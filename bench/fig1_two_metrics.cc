@@ -1,0 +1,31 @@
+// Figure 1: median approximation error for TWO cost metrics as a function
+// of optimization time; chain/cycle/star join graphs; Steinbrunn predicate
+// selectivities; algorithms DP(Infinity), DP(1000), DP(2), SA, 2P, NSGA-II,
+// II, RMQ.
+//
+// Paper scale: sizes {10,25,50,75,100}, 20 queries per point, 3 s budget.
+// Expected shape: DP variants only finish for 10-table queries (DP(2) is
+// the best there); from 25 tables on, only randomized algorithms produce
+// plans; RMQ wins increasingly with query size; SA/2P trail by orders of
+// magnitude.
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  moqo::Flags flags(argc, argv);
+  moqo::ExperimentConfig config;
+  config.title = "Figure 1: alpha vs time, 2 metrics (Steinbrunn joins)";
+  config.num_metrics = 2;
+  if (moqo::bench::PaperScale(flags)) {
+    config.sizes = {10, 25, 50, 75, 100};
+    config.queries_per_point = 20;
+    config.timeout_ms = 3000;
+    config.num_checkpoints = 10;
+  } else {
+    config.sizes = {10, 25, 50};
+    config.queries_per_point = 3;
+    config.timeout_ms = 500;
+    config.num_checkpoints = 5;
+  }
+  moqo::bench::ApplyFlags(flags, &config);
+  return moqo::bench::RunFigure(config, moqo::StandardSuite(), flags);
+}

@@ -1,0 +1,27 @@
+// Figure 2: median approximation error for THREE cost metrics as a
+// function of optimization time (otherwise identical to Figure 1).
+//
+// Expected shape: the gap between RMQ and all other algorithms widens with
+// the third metric; from 25 tables RMQ dominates the whole time axis; even
+// DP(2) cannot finish for 10-table queries within the budget.
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  moqo::Flags flags(argc, argv);
+  moqo::ExperimentConfig config;
+  config.title = "Figure 2: alpha vs time, 3 metrics (Steinbrunn joins)";
+  config.num_metrics = 3;
+  if (moqo::bench::PaperScale(flags)) {
+    config.sizes = {10, 25, 50, 75, 100};
+    config.queries_per_point = 20;
+    config.timeout_ms = 3000;
+    config.num_checkpoints = 10;
+  } else {
+    config.sizes = {10, 25, 50};
+    config.queries_per_point = 3;
+    config.timeout_ms = 500;
+    config.num_checkpoints = 5;
+  }
+  moqo::bench::ApplyFlags(flags, &config);
+  return moqo::bench::RunFigure(config, moqo::StandardSuite(), flags);
+}

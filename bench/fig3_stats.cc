@@ -1,0 +1,94 @@
+// Figure 3: (left) median path length from a random plan to the next local
+// Pareto optimum, and (right) median number of Pareto plans found by RMQ,
+// both as functions of the number of query tables, for three cost metrics
+// and chain/star/cycle join graphs.
+//
+// Expected shape: path length grows slowly (about 4-6 accepted climbing
+// steps between 10 and 100 tables — the linear bound of Theorem 2 is very
+// pessimistic); the number of Pareto plans found grows with query size.
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "common/flags.h"
+#include "core/analysis.h"
+#include "core/rmq.h"
+#include "plan/plan_factory.h"
+#include "query/generator.h"
+
+namespace {
+
+double MedianInt(std::vector<int> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace moqo;
+  Flags flags(argc, argv);
+  bool paper = flags.GetBool("paper", false) ||
+               (std::getenv("MOQO_PAPER") != nullptr &&
+                std::string(std::getenv("MOQO_PAPER")) == "1");
+  std::vector<int> sizes =
+      flags.GetIntList("sizes", paper ? std::vector<int>{10, 25, 50, 75, 100}
+                                      : std::vector<int>{10, 25, 50});
+  int queries = static_cast<int>(flags.GetInt("queries", paper ? 20 : 2));
+  int64_t timeout_ms = flags.GetInt("timeout-ms", paper ? 3000 : 300);
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  std::cout << "### Figure 3: climb path length and #Pareto plans vs query "
+               "size (3 metrics)\n\n";
+  std::cout << "theory(n) = expected visited plans per Theorem 1 (n "
+               "neighbors, l = 3):\n ";
+  for (int size : sizes) {
+    std::cout << "  E[" << size << "]="
+              << std::fixed << std::setprecision(2)
+              << ExpectedClimbPathLength(size, 3);
+  }
+  std::cout << "\n\n" << std::defaultfloat << std::setprecision(6);
+  std::cout << std::setw(8) << "graph" << std::setw(8) << "tables"
+            << std::setw(14) << "path_len(med)" << std::setw(16)
+            << "pareto_plans(med)" << std::setw(12) << "iters(med)" << "\n";
+
+  for (GraphType graph :
+       {GraphType::kChain, GraphType::kStar, GraphType::kCycle}) {
+    for (int size : sizes) {
+      std::vector<int> paths;
+      std::vector<int> frontier_sizes;
+      std::vector<int> iters;
+      for (int q = 0; q < queries; ++q) {
+        Rng rng(CombineSeed(seed, static_cast<uint64_t>(graph),
+                            static_cast<uint64_t>(size),
+                            static_cast<uint64_t>(q)));
+        GeneratorConfig gen;
+        gen.num_tables = size;
+        gen.graph_type = graph;
+        QueryPtr query = GenerateQuery(gen, &rng);
+        CostModel cost_model(
+            {Metric::kTime, Metric::kBuffer, Metric::kDisk});
+        PlanFactory factory(query, &cost_model);
+
+        Rmq rmq;
+        Rng opt_rng(CombineSeed(seed, 0xabc, static_cast<uint64_t>(q)));
+        rmq.Optimize(&factory, &opt_rng, Deadline::AfterMillis(timeout_ms),
+                     nullptr);
+        const RmqStats& stats = rmq.stats();
+        paths.insert(paths.end(), stats.path_lengths.begin(),
+                     stats.path_lengths.end());
+        frontier_sizes.push_back(
+            static_cast<int>(stats.final_frontier_size));
+        iters.push_back(stats.iterations);
+      }
+      std::cout << std::setw(8) << ToString(graph) << std::setw(8) << size
+                << std::setw(14) << MedianInt(paths) << std::setw(16)
+                << MedianInt(frontier_sizes) << std::setw(12)
+                << MedianInt(iters) << "\n";
+    }
+  }
+  return 0;
+}

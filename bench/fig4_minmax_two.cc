@@ -1,0 +1,29 @@
+// Figure 4 (appendix): median approximation error for two cost metrics
+// with Bruno's MinMax join selectivities (every join output cardinality
+// lies between its input cardinalities), 25-100 tables.
+//
+// Expected shape: consistent with Figure 1 — RMQ significantly ahead for
+// large queries, especially early; NSGA-II competitive for smaller sizes;
+// SA/2P far behind; DP absent from 25 tables on.
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  moqo::Flags flags(argc, argv);
+  moqo::ExperimentConfig config;
+  config.title = "Figure 4: alpha vs time, 2 metrics (MinMax joins)";
+  config.num_metrics = 2;
+  config.selectivity = moqo::SelectivityModel::kMinMax;
+  if (moqo::bench::PaperScale(flags)) {
+    config.sizes = {25, 50, 75, 100};
+    config.queries_per_point = 20;
+    config.timeout_ms = 3000;
+    config.num_checkpoints = 10;
+  } else {
+    config.sizes = {25, 50};
+    config.queries_per_point = 3;
+    config.timeout_ms = 500;
+    config.num_checkpoints = 5;
+  }
+  moqo::bench::ApplyFlags(flags, &config);
+  return moqo::bench::RunFigure(config, moqo::StandardSuite(), flags);
+}

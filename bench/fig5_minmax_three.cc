@@ -1,0 +1,24 @@
+// Figure 5 (appendix): median approximation error for three cost metrics
+// with Bruno's MinMax join selectivities (otherwise like Figure 4).
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  moqo::Flags flags(argc, argv);
+  moqo::ExperimentConfig config;
+  config.title = "Figure 5: alpha vs time, 3 metrics (MinMax joins)";
+  config.num_metrics = 3;
+  config.selectivity = moqo::SelectivityModel::kMinMax;
+  if (moqo::bench::PaperScale(flags)) {
+    config.sizes = {25, 50, 75, 100};
+    config.queries_per_point = 20;
+    config.timeout_ms = 3000;
+    config.num_checkpoints = 10;
+  } else {
+    config.sizes = {25, 50};
+    config.queries_per_point = 3;
+    config.timeout_ms = 500;
+    config.num_checkpoints = 5;
+  }
+  moqo::bench::ApplyFlags(flags, &config);
+  return moqo::bench::RunFigure(config, moqo::StandardSuite(), flags);
+}

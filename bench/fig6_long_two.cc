@@ -1,0 +1,26 @@
+// Figure 6 (appendix): median approximation error over a LONG optimization
+// period for two cost metrics, 50 and 100 tables, errors clipped to 1e10
+// (algorithms whose error exceeds the clip — SA, 2P — saturate at it, and
+// DP variants never produce output, exactly as in the paper's plots).
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  moqo::Flags flags(argc, argv);
+  moqo::ExperimentConfig config;
+  config.title = "Figure 6: alpha vs time (long run), 2 metrics, clip 1e10";
+  config.num_metrics = 2;
+  config.clip_alpha = 1e10;
+  if (moqo::bench::PaperScale(flags)) {
+    config.sizes = {50, 100};
+    config.queries_per_point = 10;
+    config.timeout_ms = 30000;
+    config.num_checkpoints = 10;
+  } else {
+    config.sizes = {50};
+    config.queries_per_point = 2;
+    config.timeout_ms = 2000;
+    config.num_checkpoints = 5;
+  }
+  moqo::bench::ApplyFlags(flags, &config);
+  return moqo::bench::RunFigure(config, moqo::StandardSuite(), flags);
+}

@@ -1,0 +1,24 @@
+// Figure 7 (appendix): median approximation error over a LONG optimization
+// period for three cost metrics (otherwise like Figure 6).
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  moqo::Flags flags(argc, argv);
+  moqo::ExperimentConfig config;
+  config.title = "Figure 7: alpha vs time (long run), 3 metrics, clip 1e10";
+  config.num_metrics = 3;
+  config.clip_alpha = 1e10;
+  if (moqo::bench::PaperScale(flags)) {
+    config.sizes = {50, 100};
+    config.queries_per_point = 10;
+    config.timeout_ms = 30000;
+    config.num_checkpoints = 10;
+  } else {
+    config.sizes = {50};
+    config.queries_per_point = 2;
+    config.timeout_ms = 2000;
+    config.num_checkpoints = 5;
+  }
+  moqo::bench::ApplyFlags(flags, &config);
+  return moqo::bench::RunFigure(config, moqo::StandardSuite(), flags);
+}

@@ -1,0 +1,35 @@
+// Figure 8 (appendix): PRECISE approximation error for small queries (4
+// and 8 tables) and two cost metrics. The reference frontier is computed
+// by the DP approximation scheme with alpha = 1.01, so measured errors
+// carry a formal guarantee; plots are clipped to alpha in [1, 2].
+//
+// Expected shape: RMQ converges to a (near-)perfect approximation
+// (alpha -> 1); DP(2) produces output nearly immediately with error far
+// below its worst-case bound; some baselines fail to reach alpha = 1.
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  moqo::Flags flags(argc, argv);
+  moqo::ExperimentConfig config;
+  config.title =
+      "Figure 8: precise alpha (DP(1.01) reference), 2 metrics, clip 2";
+  config.num_metrics = 2;
+  config.reference = moqo::ReferenceMode::kDpReference;
+  config.dp_reference_alpha = 1.01;
+  config.clip_alpha = 2.0;
+  if (moqo::bench::PaperScale(flags)) {
+    config.sizes = {4, 8};
+    config.queries_per_point = 10;
+    config.timeout_ms = 30000;
+    config.num_checkpoints = 10;
+    config.dp_reference_timeout_ms = 60000;
+  } else {
+    config.sizes = {4, 8};
+    config.queries_per_point = 2;
+    config.timeout_ms = 1000;
+    config.num_checkpoints = 5;
+    config.dp_reference_timeout_ms = 10000;
+  }
+  moqo::bench::ApplyFlags(flags, &config);
+  return moqo::bench::RunFigure(config, moqo::StandardSuite(), flags);
+}

@@ -1,0 +1,31 @@
+// Figure 9 (appendix): PRECISE approximation error for small queries and
+// THREE cost metrics (otherwise like Figure 8). In the paper, RMQ is the
+// only randomized algorithm reaching a perfect approximation for 8 tables
+// and three metrics.
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  moqo::Flags flags(argc, argv);
+  moqo::ExperimentConfig config;
+  config.title =
+      "Figure 9: precise alpha (DP(1.01) reference), 3 metrics, clip 2";
+  config.num_metrics = 3;
+  config.reference = moqo::ReferenceMode::kDpReference;
+  config.dp_reference_alpha = 1.01;
+  config.clip_alpha = 2.0;
+  if (moqo::bench::PaperScale(flags)) {
+    config.sizes = {4, 8};
+    config.queries_per_point = 10;
+    config.timeout_ms = 30000;
+    config.num_checkpoints = 10;
+    config.dp_reference_timeout_ms = 60000;
+  } else {
+    config.sizes = {4, 8};
+    config.queries_per_point = 2;
+    config.timeout_ms = 1000;
+    config.num_checkpoints = 5;
+    config.dp_reference_timeout_ms = 10000;
+  }
+  moqo::bench::ApplyFlags(flags, &config);
+  return moqo::bench::RunFigure(config, moqo::StandardSuite(), flags);
+}

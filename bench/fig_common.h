@@ -1,0 +1,66 @@
+// Shared scaffolding for the per-figure bench binaries.
+//
+// Every figure bench reproduces one figure of the paper's evaluation
+// (Section 6.2 / appendix). Defaults are scaled down so the whole bench
+// suite finishes in minutes; pass --paper (or set MOQO_PAPER=1) to run the
+// paper's full grid (hours), or override individual knobs:
+//
+//   --sizes=10,25,50      query sizes (tables)
+//   --queries=N           test cases per (graph, size) cell
+//   --timeout-ms=N        optimization time per algorithm run
+//   --checkpoints=N       measurement points within the timeout
+//   --seed=N              master seed
+//   --csv=PATH            additionally write the series as CSV
+#ifndef MOQO_BENCH_FIG_COMMON_H_
+#define MOQO_BENCH_FIG_COMMON_H_
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "common/flags.h"
+#include "harness/csv.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "harness/suite.h"
+
+namespace moqo::bench {
+
+/// True if the paper-scale grid was requested.
+inline bool PaperScale(const Flags& flags) {
+  if (flags.GetBool("paper", false)) return true;
+  const char* env = std::getenv("MOQO_PAPER");
+  return env != nullptr && std::string(env) == "1";
+}
+
+/// Applies common flag overrides on top of a figure's default config.
+inline void ApplyFlags(const Flags& flags, ExperimentConfig* config) {
+  config->sizes = flags.GetIntList("sizes", config->sizes);
+  config->queries_per_point = static_cast<int>(
+      flags.GetInt("queries", config->queries_per_point));
+  config->timeout_ms = flags.GetInt("timeout-ms", config->timeout_ms);
+  config->num_checkpoints = static_cast<int>(
+      flags.GetInt("checkpoints", config->num_checkpoints));
+  config->seed = static_cast<uint64_t>(flags.GetInt("seed",
+                                                    static_cast<int64_t>(config->seed)));
+}
+
+/// Runs one figure experiment, prints the paper-style tables, and writes
+/// an optional CSV (--csv=PATH).
+inline int RunFigure(const ExperimentConfig& config,
+                     const std::vector<AlgorithmSpec>& suite,
+                     const Flags& flags) {
+  ExperimentResult result = RunExperiment(config, suite);
+  PrintExperiment(result, std::cout);
+  std::string csv_path = flags.GetString("csv", "");
+  if (!csv_path.empty()) {
+    std::ofstream csv(csv_path);
+    WriteExperimentCsv(result, csv);
+    std::cerr << "wrote " << csv_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace moqo::bench
+
+#endif  // MOQO_BENCH_FIG_COMMON_H_

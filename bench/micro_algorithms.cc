@@ -1,0 +1,108 @@
+// Micro benchmarks (google-benchmark) for the algorithm layer: Pareto
+// climbing steps, full climbs, frontier approximation, one RMQ iteration,
+// one NSGA-II generation, and small-query DP.
+#include <benchmark/benchmark.h>
+
+#include "baselines/dp.h"
+#include "baselines/nsga2.h"
+#include "core/frontier_approximation.h"
+#include "core/pareto_climb.h"
+#include "core/rmq.h"
+#include "plan/random_plan.h"
+#include "query/generator.h"
+
+namespace moqo {
+namespace {
+
+struct Fixture {
+  QueryPtr query;
+  CostModel cost_model;
+  PlanFactory factory;
+
+  explicit Fixture(int tables, GraphType graph = GraphType::kChain)
+      : query([&] {
+          Rng rng(42);
+          GeneratorConfig gen;
+          gen.num_tables = tables;
+          gen.graph_type = graph;
+          return GenerateQuery(gen, &rng);
+        }()),
+        cost_model({Metric::kTime, Metric::kBuffer, Metric::kDisk}),
+        factory(query, &cost_model) {}
+};
+
+void BM_ParetoStep(benchmark::State& state) {
+  Fixture fx(static_cast<int>(state.range(0)));
+  Rng rng(7);
+  PlanPtr plan = RandomPlan(&fx.factory, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParetoStep(plan, &fx.factory));
+  }
+}
+BENCHMARK(BM_ParetoStep)->Arg(10)->Arg(50);
+
+void BM_ParetoClimb(benchmark::State& state) {
+  Fixture fx(static_cast<int>(state.range(0)));
+  Rng rng(7);
+  for (auto _ : state) {
+    PlanPtr plan = RandomPlan(&fx.factory, &rng);
+    benchmark::DoNotOptimize(ParetoClimb(plan, &fx.factory));
+  }
+}
+BENCHMARK(BM_ParetoClimb)->Arg(10)->Arg(50);
+
+void BM_FrontierApproximation(benchmark::State& state) {
+  Fixture fx(static_cast<int>(state.range(0)));
+  Rng rng(7);
+  PlanPtr plan = ParetoClimb(RandomPlan(&fx.factory, &rng), &fx.factory);
+  for (auto _ : state) {
+    PlanCache cache;
+    benchmark::DoNotOptimize(
+        ApproximateFrontiers(plan, &cache, 25.0, &fx.factory));
+  }
+}
+BENCHMARK(BM_FrontierApproximation)->Arg(10)->Arg(50);
+
+void BM_RmqIteration(benchmark::State& state) {
+  Fixture fx(static_cast<int>(state.range(0)));
+  RmqConfig config;
+  config.max_iterations = 1;
+  Rng rng(7);
+  for (auto _ : state) {
+    Rmq rmq(config);
+    benchmark::DoNotOptimize(
+        rmq.Optimize(&fx.factory, &rng, Deadline(), nullptr));
+  }
+}
+BENCHMARK(BM_RmqIteration)->Arg(10)->Arg(50);
+
+void BM_Nsga2Generation(benchmark::State& state) {
+  Fixture fx(static_cast<int>(state.range(0)));
+  Nsga2Config config;
+  config.max_generations = 1;
+  Rng rng(7);
+  for (auto _ : state) {
+    Nsga2 nsga(config);
+    benchmark::DoNotOptimize(
+        nsga.Optimize(&fx.factory, &rng, Deadline(), nullptr));
+  }
+}
+BENCHMARK(BM_Nsga2Generation)->Arg(10)->Arg(50);
+
+void BM_DpExact(benchmark::State& state) {
+  Fixture fx(static_cast<int>(state.range(0)));
+  DpConfig config;
+  config.alpha = 2.0;
+  Rng rng(7);
+  for (auto _ : state) {
+    DpOptimizer dp(config);
+    benchmark::DoNotOptimize(
+        dp.Optimize(&fx.factory, &rng, Deadline(), nullptr));
+  }
+}
+BENCHMARK(BM_DpExact)->Arg(4)->Arg(6)->Arg(8);
+
+}  // namespace
+}  // namespace moqo
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// Micro benchmarks (google-benchmark) for the substrate layers: table
+// sets, cost vectors, dominance tests, Pareto archives, plan construction,
+// and random plan generation.
+#include <benchmark/benchmark.h>
+
+#include "common/table_set.h"
+#include "cost/cost_vector.h"
+#include "pareto/epsilon_indicator.h"
+#include "pareto/pareto_archive.h"
+#include "plan/random_plan.h"
+#include "query/generator.h"
+
+namespace moqo {
+namespace {
+
+void BM_TableSetUnionCount(benchmark::State& state) {
+  TableSet a = TableSet::FirstN(100);
+  TableSet b;
+  for (int i = 50; i < 150; ++i) b.Add(i);
+  for (auto _ : state) {
+    TableSet u = a.Union(b);
+    benchmark::DoNotOptimize(u.Count());
+  }
+}
+BENCHMARK(BM_TableSetUnionCount);
+
+void BM_TableSetHash(benchmark::State& state) {
+  TableSet a = TableSet::FirstN(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Hash());
+  }
+}
+BENCHMARK(BM_TableSetHash)->Arg(10)->Arg(100);
+
+void BM_DominanceCheck(benchmark::State& state) {
+  int l = static_cast<int>(state.range(0));
+  CostVector a(l);
+  CostVector b(l);
+  for (int i = 0; i < l; ++i) {
+    a[i] = 100.0 + i;
+    b[i] = 101.0 + i;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.StrictlyDominates(b));
+    benchmark::DoNotOptimize(b.ApproxDominates(a, 1.5));
+  }
+}
+BENCHMARK(BM_DominanceCheck)->Arg(2)->Arg(3);
+
+void BM_ParetoArchiveInsert(benchmark::State& state) {
+  Rng rng(7);
+  GeneratorConfig gen;
+  gen.num_tables = 10;
+  QueryPtr query = GenerateQuery(gen, &rng);
+  CostModel cost_model({Metric::kTime, Metric::kBuffer, Metric::kDisk});
+  PlanFactory factory(query, &cost_model);
+  std::vector<PlanPtr> plans;
+  Rng plan_rng(13);
+  for (int i = 0; i < 256; ++i) plans.push_back(RandomPlan(&factory, &plan_rng));
+  for (auto _ : state) {
+    ParetoArchive archive;
+    for (const PlanPtr& p : plans) archive.Insert(p);
+    benchmark::DoNotOptimize(archive.size());
+  }
+}
+BENCHMARK(BM_ParetoArchiveInsert);
+
+void BM_AlphaError(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<CostVector> a, b;
+  for (int i = 0; i < 64; ++i) {
+    CostVector v(3);
+    for (int k = 0; k < 3; ++k) v[k] = rng.Uniform(1.0, 1000.0);
+    a.push_back(v);
+    for (int k = 0; k < 3; ++k) v[k] *= rng.Uniform(0.5, 2.0);
+    b.push_back(v);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AlphaError(a, b));
+  }
+}
+BENCHMARK(BM_AlphaError);
+
+void BM_RandomPlan(benchmark::State& state) {
+  Rng rng(3);
+  GeneratorConfig gen;
+  gen.num_tables = static_cast<int>(state.range(0));
+  QueryPtr query = GenerateQuery(gen, &rng);
+  CostModel cost_model({Metric::kTime, Metric::kBuffer});
+  PlanFactory factory(query, &cost_model);
+  Rng plan_rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RandomPlan(&factory, &plan_rng));
+  }
+}
+BENCHMARK(BM_RandomPlan)->Arg(10)->Arg(100);
+
+void BM_QueryGeneration(benchmark::State& state) {
+  Rng rng(9);
+  GeneratorConfig gen;
+  gen.num_tables = static_cast<int>(state.range(0));
+  gen.graph_type = GraphType::kStar;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateQuery(gen, &rng));
+  }
+}
+BENCHMARK(BM_QueryGeneration)->Arg(10)->Arg(100);
+
+}  // namespace
+}  // namespace moqo
+
+BENCHMARK_MAIN();

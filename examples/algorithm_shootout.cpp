@@ -1,0 +1,82 @@
+// Algorithm shootout on a single query: a miniature version of the
+// paper's Figures 1/2 that runs in seconds.
+//
+//   $ ./examples/algorithm_shootout [--tables=30] [--metrics=3]
+//                                   [--timeout-ms=500] [--graph=star]
+//
+// Runs every algorithm of the paper's evaluation (DP variants, SA, 2P,
+// NSGA-II, II, RMQ) on one random query and prints each algorithm's
+// approximation error over time against the combined reference frontier.
+#include <iostream>
+
+#include "common/flags.h"
+#include "harness/anytime.h"
+#include "harness/report.h"
+#include "harness/suite.h"
+#include "pareto/epsilon_indicator.h"
+#include "query/generator.h"
+
+using namespace moqo;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  int tables = static_cast<int>(flags.GetInt("tables", 30));
+  int metrics = static_cast<int>(flags.GetInt("metrics", 3));
+  int64_t timeout_ms = flags.GetInt("timeout-ms", 500);
+  std::string graph_name = flags.GetString("graph", "star");
+
+  GraphType graph = GraphType::kStar;
+  if (graph_name == "chain") graph = GraphType::kChain;
+  if (graph_name == "cycle") graph = GraphType::kCycle;
+  if (graph_name == "random") graph = GraphType::kRandom;
+
+  Rng rng(99);
+  GeneratorConfig gen;
+  gen.num_tables = tables;
+  gen.graph_type = graph;
+  QueryPtr query = GenerateQuery(gen, &rng);
+
+  std::vector<Metric> ms = {Metric::kTime, Metric::kBuffer, Metric::kDisk};
+  ms.resize(static_cast<size_t>(std::min(metrics, 3)));
+  CostModel cost_model(ms);
+  PlanFactory factory(query, &cost_model);
+
+  std::cout << "Shootout: " << graph_name << " query, " << tables
+            << " tables, " << ms.size() << " metrics, " << timeout_ms
+            << " ms per algorithm\n\n";
+
+  std::vector<AlgorithmSpec> suite = StandardSuite();
+  std::vector<AnytimeRecorder> recorders(suite.size());
+  for (size_t a = 0; a < suite.size(); ++a) {
+    std::unique_ptr<Optimizer> opt = suite[a].make();
+    Rng alg_rng(1234 + a);
+    recorders[a].Start();
+    std::vector<PlanPtr> final_plans =
+        opt->Optimize(&factory, &alg_rng, Deadline::AfterMillis(timeout_ms),
+                      recorders[a].MakeCallback());
+    recorders[a].RecordFinal(final_plans);
+    std::cerr << "  ran " << suite[a].name << "\n";
+  }
+
+  std::vector<std::vector<CostVector>> finals;
+  for (const AnytimeRecorder& rec : recorders) {
+    finals.push_back(rec.FinalFrontier());
+  }
+  std::vector<CostVector> reference = UnionFrontier(finals);
+  std::cout << "reference frontier: " << reference.size() << " points\n\n";
+
+  std::cout << "alpha approximation error over time (lower is better):\n";
+  printf("%12s", "time_ms");
+  for (const AlgorithmSpec& spec : suite) printf("%14s", spec.name.c_str());
+  printf("\n");
+  for (int c = 1; c <= 5; ++c) {
+    int64_t t = timeout_ms * 1000 * c / 5;
+    printf("%12lld", static_cast<long long>(t / 1000));
+    for (size_t a = 0; a < suite.size(); ++a) {
+      double alpha = AlphaError(recorders[a].FrontierAt(t), reference);
+      printf("%14s", FormatAlpha(alpha).c_str());
+    }
+    printf("\n");
+  }
+  return 0;
+}

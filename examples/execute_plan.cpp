@@ -1,0 +1,100 @@
+// End-to-end: optimize a query, then EXECUTE Pareto plans over a synthetic
+// dataset and compare the cost model's predictions with reality.
+//
+//   $ ./examples/execute_plan [--tables=6] [--timeout-ms=300]
+//
+// Materializes base tables matching the query's catalog and selectivities,
+// runs RMQ, executes three frontier plans (min-time, min-buffer, and a
+// random plan for contrast), and reports actual result sizes, predicate
+// evaluations, and largest intermediate results. The executed work tracks
+// the optimizer's cost ordering — the property that makes the optimizer
+// useful downstream.
+#include <iostream>
+
+#include "common/flags.h"
+#include "core/rmq.h"
+#include "exec/executor.h"
+#include "plan/random_plan.h"
+#include "query/generator.h"
+
+using namespace moqo;
+
+namespace {
+
+void Run(const char* label, const PlanPtr& plan, Executor* exec) {
+  ExecStats stats;
+  auto result = exec->Execute(plan, &stats);
+  std::cout << label << "\n  " << plan->ToString() << "\n";
+  if (!result.has_value()) {
+    std::cout << "  ABORTED: intermediate result exceeded the cap\n\n";
+    return;
+  }
+  std::cout << "  result rows:        " << stats.rows_out << "\n"
+            << "  comparisons:        " << stats.comparisons << "\n"
+            << "  max intermediate:   " << stats.max_intermediate << "\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  int tables = static_cast<int>(flags.GetInt("tables", 6));
+  int64_t timeout_ms = flags.GetInt("timeout-ms", 300);
+
+  // Build a chain query whose catalog matches the dataset we materialize
+  // exactly (a few hundred rows per table, moderate selectivities), so the
+  // optimizer's estimates line up with executed reality.
+  Rng rng(4242);
+  Catalog catalog;
+  for (int t = 0; t < tables; ++t) {
+    catalog.AddTable({static_cast<double>(rng.UniformInt(100, 400)), 100.0,
+                      rng.Bernoulli(0.5)});
+  }
+  JoinGraph graph(tables);
+  for (int t = 0; t + 1 < tables; ++t) {
+    graph.AddEdge(t, t + 1, 0.001 * rng.UniformInt(2, 8));
+  }
+  QueryPtr query = std::make_shared<Query>(std::move(catalog),
+                                           std::move(graph));
+  CostModel cost_model({Metric::kTime, Metric::kBuffer});
+  PlanFactory factory(query, &cost_model);
+
+  Rng data_rng(7);
+  Dataset dataset(query, &data_rng, 1.0, 100000);
+  Executor exec(&dataset, 5000000);
+
+  std::cout << "Estimated result cardinality: "
+            << factory.Cardinality(query->AllTables()) << " rows\n";
+
+  std::cout << "Dataset: ";
+  for (int t = 0; t < tables; ++t) {
+    std::cout << "T" << t << "=" << dataset.RowsOf(t) << " ";
+  }
+  std::cout << "rows\n\n";
+
+  Rmq optimizer;
+  Rng opt_rng(1);
+  std::vector<PlanPtr> frontier = optimizer.Optimize(
+      &factory, &opt_rng, Deadline::AfterMillis(timeout_ms), nullptr);
+  if (frontier.empty()) {
+    std::cout << "optimizer produced no plan\n";
+    return 1;
+  }
+
+  PlanPtr min_time = frontier.front();
+  PlanPtr min_buffer = frontier.front();
+  for (const PlanPtr& p : frontier) {
+    if (p->cost()[0] < min_time->cost()[0]) min_time = p;
+    if (p->cost()[1] < min_buffer->cost()[1]) min_buffer = p;
+  }
+
+  Run("Min-time Pareto plan:", min_time, &exec);
+  Run("Min-buffer Pareto plan:", min_buffer, &exec);
+  Rng rnd(99);
+  Run("Random plan (for contrast):", RandomPlan(&factory, &rnd), &exec);
+
+  std::cout << "All plans compute the same result multiset; they differ in "
+               "the work and memory\nspent getting there — exactly the "
+               "tradeoffs the optimizer's frontier captures.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Quickstart: optimize a small query with RMQ and print its Pareto
+// frontier of cost tradeoffs.
+//
+//   $ ./examples/quickstart
+//
+// Walks through the full public API surface in ~60 lines: build a catalog
+// and join graph, pick cost metrics, run the optimizer, inspect plans.
+#include <iostream>
+
+#include "core/rmq.h"
+#include "query/query.h"
+
+using namespace moqo;
+
+int main() {
+  // 1. Describe the database: four tables with row counts, row widths, and
+  //    index availability.
+  Catalog catalog;
+  int orders = catalog.AddTable({50000.0, 120.0, /*has_index=*/true});
+  int customers = catalog.AddTable({5000.0, 200.0, true});
+  int items = catalog.AddTable({200000.0, 80.0, false});
+  int regions = catalog.AddTable({50.0, 60.0, true});
+
+  // 2. Describe the query: which tables join with which selectivity.
+  JoinGraph graph(catalog.NumTables());
+  graph.AddEdge(orders, customers, 0.0002);  // orders.cust_id = customers.id
+  graph.AddEdge(orders, items, 0.00002);     // items.order_id = orders.id
+  graph.AddEdge(customers, regions, 0.02);   // customers.region = regions.id
+  QueryPtr query = std::make_shared<Query>(catalog, graph);
+
+  // 3. Pick the cost metrics to trade off: execution time vs buffer space.
+  CostModel cost_model({Metric::kTime, Metric::kBuffer});
+  PlanFactory factory(query, &cost_model);
+
+  // 4. Optimize for 200 milliseconds with the paper's RMQ algorithm.
+  Rmq optimizer;
+  Rng rng(/*seed=*/2016);
+  std::vector<PlanPtr> frontier = optimizer.Optimize(
+      &factory, &rng, Deadline::AfterMillis(200), /*callback=*/nullptr);
+
+  // 5. Inspect the Pareto frontier: each plan realizes a distinct optimal
+  //    tradeoff between the two metrics.
+  std::cout << "Pareto frontier after " << optimizer.stats().iterations
+            << " iterations (" << frontier.size() << " plans):\n\n";
+  std::cout << "  time        buffer      plan\n";
+  for (const PlanPtr& plan : frontier) {
+    std::cout << "  " << plan->cost()[0] << "\t" << plan->cost()[1] << "\t"
+              << plan->ToString() << "\n";
+  }
+  std::cout << "\nLegend: HJ=hash join, SM=sort-merge, BNL=block nested "
+               "loop, NL=nested loop;\n        s/m/l = small/medium/large "
+               "buffer variant; Ti = index scan of table i.\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+#include "baselines/dp.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "core/plan_cache.h"
+
+namespace moqo {
+
+std::string DpOptimizer::name() const {
+  std::ostringstream out;
+  out << "DP(";
+  if (std::isinf(config_.alpha)) {
+    out << "Infinity";
+  } else {
+    // Print integral alphas without trailing zeros ("DP(2)", "DP(1000)").
+    if (config_.alpha == std::floor(config_.alpha)) {
+      out << static_cast<long long>(config_.alpha);
+    } else {
+      out << config_.alpha;
+    }
+  }
+  out << ")";
+  return out.str();
+}
+
+std::vector<PlanPtr> DpOptimizer::Optimize(PlanFactory* factory, Rng* /*rng*/,
+                                           const Deadline& deadline,
+                                           const AnytimeCallback& callback) {
+  finished_ = false;
+  const int n = factory->query().NumTables();
+  if (n > config_.max_tables) {
+    // The 2^n subset lattice would exhaust memory long before any realistic
+    // deadline; give up immediately (matches the paper: DP produces no
+    // result for large queries).
+    return {};
+  }
+
+  const uint64_t full = (n == 64) ? ~uint64_t{0} : ((uint64_t{1} << n) - 1);
+  std::vector<std::vector<PlanPtr>> best(full + 1);
+
+  auto to_table_set = [](uint64_t mask) {
+    TableSet s;
+    while (mask != 0) {
+      int bit = __builtin_ctzll(mask);
+      s.Add(bit);
+      mask &= mask - 1;
+    }
+    return s;
+  };
+
+  // Pruning identical to the plan cache's (Algorithm 3 Prune).
+  PlanCache cache;
+
+  // Base case: single tables.
+  for (int t = 0; t < n; ++t) {
+    TableSet rel = TableSet::Singleton(t);
+    for (ScanAlgorithm op : factory->ApplicableScans(t)) {
+      cache.Insert(rel, factory->MakeScan(t, op), config_.alpha);
+    }
+    best[uint64_t{1} << t] = cache.Lookup(rel);
+  }
+
+  // Joins, by increasing subset size. Enumerating masks in numeric order
+  // already guarantees sub-masks come first, but grouping by popcount keeps
+  // the traversal cache-friendly and the deadline checks cheap.
+  int64_t joins_since_check = 0;
+  for (uint64_t mask = 1; mask <= full; ++mask) {
+    if (__builtin_popcountll(mask) < 2) continue;
+    if (deadline.Expired()) return {};
+    TableSet rel = to_table_set(mask);
+    // All ordered splits into (outer, inner): iterate proper sub-masks.
+    for (uint64_t outer = (mask - 1) & mask; outer != 0;
+         outer = (outer - 1) & mask) {
+      uint64_t inner = mask ^ outer;
+      const std::vector<PlanPtr>& outer_plans = best[outer];
+      const std::vector<PlanPtr>& inner_plans = best[inner];
+      for (const PlanPtr& o : outer_plans) {
+        for (const PlanPtr& i : inner_plans) {
+          for (JoinAlgorithm op : AllJoinAlgorithms()) {
+            cache.Insert(rel, factory->MakeJoin(o, i, op), config_.alpha);
+          }
+          if (++joins_since_check >= 4096) {
+            joins_since_check = 0;
+            if (deadline.Expired()) return {};
+          }
+        }
+      }
+    }
+    best[mask] = cache.Lookup(rel);
+  }
+
+  finished_ = true;
+  std::vector<PlanPtr> result = best[full];
+  if (callback) callback(result);
+  return result;
+}
+
+std::vector<PlanPtr> ExactParetoSet(PlanFactory* factory) {
+  DpConfig config;
+  config.alpha = 1.0;
+  config.max_tables = 14;
+  DpOptimizer dp(config);
+  Rng rng(0);
+  return dp.Optimize(factory, &rng, Deadline(), nullptr);
+}
+
+}  // namespace moqo

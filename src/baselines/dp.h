@@ -1,0 +1,64 @@
+// Dynamic-programming approximation schemes for multi-objective query
+// optimization (the paper's "DP(alpha)" baselines; Trummer & Koch,
+// SIGMOD'14).
+//
+// Classic bottom-up dynamic programming over table subsets, generalized to
+// multiple cost metrics: for every table subset (in increasing cardinality
+// order), all ordered splits into two disjoint non-empty subsets are
+// combined with every join operator, and the resulting plan set is pruned
+// with approximation factor alpha — exactly the pruning rule of the paper's
+// Algorithm 3. DP(1) computes the exact Pareto plan set (used as the
+// evaluation reference for small queries); larger alpha trades precision
+// for speed; DP(infinity) keeps a single plan per subset and output format.
+//
+// Complexity is exponential in the number of tables (Section 2), so the
+// optimizer checks the deadline throughout and returns an empty result if
+// it cannot finish — reproducing the paper's observation that DP produces
+// no output within the time budget for queries of 25+ tables.
+#ifndef MOQO_BASELINES_DP_H_
+#define MOQO_BASELINES_DP_H_
+
+#include "core/optimizer.h"
+
+namespace moqo {
+
+/// Configuration for the DP approximation scheme.
+struct DpConfig {
+  /// Approximation factor alpha >= 1 (may be infinity).
+  double alpha = 1.0;
+  /// Hard guard on query size: beyond this many tables the subset lattice
+  /// would not even fit in memory, so DP gives up immediately (the paper's
+  /// DP baselines never finish for such sizes anyway).
+  int max_tables = 20;
+};
+
+/// Multi-objective dynamic programming with alpha-pruning.
+class DpOptimizer : public Optimizer {
+ public:
+  explicit DpOptimizer(DpConfig config = DpConfig()) : config_(config) {}
+
+  std::string name() const override;
+
+  /// Runs DP to completion or deadline. Invokes the callback exactly once,
+  /// after the full frontier is available (DP is not anytime). Returns the
+  /// final plan set, or empty if the deadline struck first.
+  std::vector<PlanPtr> Optimize(PlanFactory* factory, Rng* rng,
+                                const Deadline& deadline,
+                                const AnytimeCallback& callback) override;
+
+  /// True if the most recent Optimize call finished before the deadline.
+  bool finished() const { return finished_; }
+
+ private:
+  DpConfig config_;
+  bool finished_ = false;
+};
+
+/// Convenience: the exact Pareto plan set of the factory's query, computed
+/// by DP(1) without a deadline. Only valid for small queries (<= ~12
+/// tables). Used by tests and as the precise evaluation reference.
+std::vector<PlanPtr> ExactParetoSet(PlanFactory* factory);
+
+}  // namespace moqo
+
+#endif  // MOQO_BASELINES_DP_H_

@@ -1,0 +1,289 @@
+#include "baselines/nsga2.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+#include "pareto/pareto_archive.h"
+
+namespace moqo {
+
+std::vector<int> FastNonDominatedSort(const std::vector<CostVector>& costs) {
+  const int n = static_cast<int>(costs.size());
+  std::vector<int> rank(static_cast<size_t>(n), -1);
+  std::vector<int> domination_count(static_cast<size_t>(n), 0);
+  std::vector<std::vector<int>> dominates(static_cast<size_t>(n));
+
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (costs[static_cast<size_t>(i)].StrictlyDominates(
+              costs[static_cast<size_t>(j)])) {
+        dominates[static_cast<size_t>(i)].push_back(j);
+        ++domination_count[static_cast<size_t>(j)];
+      } else if (costs[static_cast<size_t>(j)].StrictlyDominates(
+                     costs[static_cast<size_t>(i)])) {
+        dominates[static_cast<size_t>(j)].push_back(i);
+        ++domination_count[static_cast<size_t>(i)];
+      }
+    }
+  }
+
+  std::vector<int> current;
+  for (int i = 0; i < n; ++i) {
+    if (domination_count[static_cast<size_t>(i)] == 0) {
+      rank[static_cast<size_t>(i)] = 0;
+      current.push_back(i);
+    }
+  }
+  int front = 0;
+  while (!current.empty()) {
+    std::vector<int> next;
+    for (int i : current) {
+      for (int j : dominates[static_cast<size_t>(i)]) {
+        if (--domination_count[static_cast<size_t>(j)] == 0) {
+          rank[static_cast<size_t>(j)] = front + 1;
+          next.push_back(j);
+        }
+      }
+    }
+    ++front;
+    current = std::move(next);
+  }
+  return rank;
+}
+
+std::vector<double> CrowdingDistances(const std::vector<CostVector>& costs,
+                                      const std::vector<int>& front) {
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> distance(front.size(), 0.0);
+  if (front.empty()) return distance;
+  int metrics = costs[static_cast<size_t>(front[0])].size();
+
+  std::vector<int> order(front.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (int m = 0; m < metrics; ++m) {
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return costs[static_cast<size_t>(front[static_cast<size_t>(a)])][m] <
+             costs[static_cast<size_t>(front[static_cast<size_t>(b)])][m];
+    });
+    double lo = costs[static_cast<size_t>(front[static_cast<size_t>(
+        order.front())])][m];
+    double hi = costs[static_cast<size_t>(front[static_cast<size_t>(
+        order.back())])][m];
+    distance[static_cast<size_t>(order.front())] = kInf;
+    distance[static_cast<size_t>(order.back())] = kInf;
+    if (hi <= lo) continue;  // all equal in this metric
+    for (size_t k = 1; k + 1 < order.size(); ++k) {
+      double prev = costs[static_cast<size_t>(
+          front[static_cast<size_t>(order[k - 1])])][m];
+      double next = costs[static_cast<size_t>(
+          front[static_cast<size_t>(order[k + 1])])][m];
+      distance[static_cast<size_t>(order[k])] += (next - prev) / (hi - lo);
+    }
+  }
+  return distance;
+}
+
+PlanPtr DecodeGenome(const Nsga2Genome& genome, PlanFactory* factory) {
+  const int n = factory->query().NumTables();
+  assert(static_cast<int>(genome.order.size()) == n);
+
+  // Materialize the ordinal encoding into a table order.
+  std::vector<int> available(static_cast<size_t>(n));
+  std::iota(available.begin(), available.end(), 0);
+  std::vector<int> order;
+  order.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    int pick = genome.order[static_cast<size_t>(i)];
+    assert(pick >= 0 && pick < static_cast<int>(available.size()));
+    order.push_back(available[static_cast<size_t>(pick)]);
+    available.erase(available.begin() + pick);
+  }
+
+  auto scan_for = [&](int position) {
+    int table = order[static_cast<size_t>(position)];
+    std::vector<ScanAlgorithm> ops = factory->ApplicableScans(table);
+    int gene = genome.scan_ops[static_cast<size_t>(position)];
+    return factory->MakeScan(
+        table, ops[static_cast<size_t>(gene) % ops.size()]);
+  };
+
+  PlanPtr plan = scan_for(0);
+  const auto& join_algos = AllJoinAlgorithms();
+  for (int i = 1; i < n; ++i) {
+    JoinAlgorithm op = join_algos[static_cast<size_t>(
+        genome.join_ops[static_cast<size_t>(i - 1)] %
+        static_cast<int>(join_algos.size()))];
+    plan = factory->MakeJoin(std::move(plan), scan_for(i), op);
+  }
+  return plan;
+}
+
+Nsga2Genome RandomGenome(PlanFactory* factory, Rng* rng) {
+  const int n = factory->query().NumTables();
+  Nsga2Genome g;
+  g.order.resize(static_cast<size_t>(n));
+  g.scan_ops.resize(static_cast<size_t>(n));
+  g.join_ops.resize(static_cast<size_t>(n > 0 ? n - 1 : 0));
+  for (int i = 0; i < n; ++i) {
+    g.order[static_cast<size_t>(i)] = rng->UniformInt(0, n - 1 - i);
+    g.scan_ops[static_cast<size_t>(i)] =
+        rng->UniformInt(0, kNumScanAlgorithms - 1);
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    g.join_ops[static_cast<size_t>(i)] =
+        rng->UniformInt(0, kNumJoinAlgorithms - 1);
+  }
+  return g;
+}
+
+namespace {
+
+struct Individual {
+  Nsga2Genome genome;
+  PlanPtr plan;
+  int rank = 0;
+  double crowding = 0.0;
+};
+
+int GenomeLength(const Nsga2Genome& g) {
+  return static_cast<int>(g.order.size() + g.scan_ops.size() +
+                          g.join_ops.size());
+}
+
+// Single-point crossover over the concatenated genome (order | scan | join).
+// The ordinal encoding keeps children valid: gene ranges depend only on the
+// position, never on other genes.
+Nsga2Genome Crossover(const Nsga2Genome& a, const Nsga2Genome& b, Rng* rng) {
+  Nsga2Genome child = a;
+  int len = GenomeLength(a);
+  int point = rng->UniformInt(1, len - 1);
+  auto copy_tail = [&](std::vector<int>& dst, const std::vector<int>& src,
+                       int offset) {
+    for (size_t i = 0; i < dst.size(); ++i) {
+      if (offset + static_cast<int>(i) >= point) dst[i] = src[i];
+    }
+  };
+  int off = 0;
+  copy_tail(child.order, b.order, off);
+  off += static_cast<int>(child.order.size());
+  copy_tail(child.scan_ops, b.scan_ops, off);
+  off += static_cast<int>(child.scan_ops.size());
+  copy_tail(child.join_ops, b.join_ops, off);
+  return child;
+}
+
+void Mutate(Nsga2Genome* g, double pm, Rng* rng) {
+  int n = static_cast<int>(g->order.size());
+  for (int i = 0; i < n; ++i) {
+    if (rng->Bernoulli(pm)) {
+      g->order[static_cast<size_t>(i)] = rng->UniformInt(0, n - 1 - i);
+    }
+    if (rng->Bernoulli(pm)) {
+      g->scan_ops[static_cast<size_t>(i)] =
+          rng->UniformInt(0, kNumScanAlgorithms - 1);
+    }
+  }
+  for (size_t i = 0; i < g->join_ops.size(); ++i) {
+    if (rng->Bernoulli(pm)) {
+      g->join_ops[i] = rng->UniformInt(0, kNumJoinAlgorithms - 1);
+    }
+  }
+}
+
+// Binary tournament on (rank asc, crowding desc).
+const Individual& Tournament(const std::vector<Individual>& pop, Rng* rng) {
+  const Individual& a =
+      pop[static_cast<size_t>(rng->UniformInt(0, static_cast<int>(pop.size()) - 1))];
+  const Individual& b =
+      pop[static_cast<size_t>(rng->UniformInt(0, static_cast<int>(pop.size()) - 1))];
+  if (a.rank != b.rank) return a.rank < b.rank ? a : b;
+  return a.crowding >= b.crowding ? a : b;
+}
+
+// Assigns ranks and crowding distances to `pop` in place.
+void RankPopulation(std::vector<Individual>* pop) {
+  std::vector<CostVector> costs;
+  costs.reserve(pop->size());
+  for (const Individual& ind : *pop) costs.push_back(ind.plan->cost());
+  std::vector<int> ranks = FastNonDominatedSort(costs);
+  int max_rank = 0;
+  for (size_t i = 0; i < pop->size(); ++i) {
+    (*pop)[i].rank = ranks[i];
+    max_rank = std::max(max_rank, ranks[i]);
+  }
+  for (int r = 0; r <= max_rank; ++r) {
+    std::vector<int> front;
+    for (size_t i = 0; i < pop->size(); ++i) {
+      if (ranks[i] == r) front.push_back(static_cast<int>(i));
+    }
+    std::vector<double> crowd = CrowdingDistances(costs, front);
+    for (size_t k = 0; k < front.size(); ++k) {
+      (*pop)[static_cast<size_t>(front[k])].crowding = crowd[k];
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<PlanPtr> Nsga2::Optimize(PlanFactory* factory, Rng* rng,
+                                     const Deadline& deadline,
+                                     const AnytimeCallback& callback) {
+  ParetoArchive archive;
+  const int pop_size = config_.population_size;
+
+  std::vector<Individual> population;
+  population.reserve(static_cast<size_t>(pop_size));
+  for (int i = 0; i < pop_size && !deadline.Expired(); ++i) {
+    Individual ind;
+    ind.genome = RandomGenome(factory, rng);
+    ind.plan = DecodeGenome(ind.genome, factory);
+    archive.Insert(ind.plan);
+    population.push_back(std::move(ind));
+  }
+  if (population.empty()) return archive.plans();
+  RankPopulation(&population);
+  if (callback) callback(archive.plans());
+
+  double pm = config_.mutation_probability > 0.0
+                  ? config_.mutation_probability
+                  : 1.0 / GenomeLength(population.front().genome);
+
+  int generation = 0;
+  while (!deadline.Expired() && (config_.max_generations == 0 ||
+                                 generation < config_.max_generations)) {
+    // Variation: produce pop_size offspring.
+    std::vector<Individual> combined = population;
+    combined.reserve(population.size() * 2);
+    for (int i = 0; i < pop_size && !deadline.Expired(); ++i) {
+      const Individual& p1 = Tournament(population, rng);
+      const Individual& p2 = Tournament(population, rng);
+      Individual child;
+      child.genome = rng->Bernoulli(config_.crossover_probability)
+                         ? Crossover(p1.genome, p2.genome, rng)
+                         : p1.genome;
+      Mutate(&child.genome, pm, rng);
+      child.plan = DecodeGenome(child.genome, factory);
+      archive.Insert(child.plan);
+      combined.push_back(std::move(child));
+    }
+
+    // Elitist (mu + lambda) survival with crowding truncation.
+    RankPopulation(&combined);
+    std::stable_sort(combined.begin(), combined.end(),
+                     [](const Individual& a, const Individual& b) {
+                       if (a.rank != b.rank) return a.rank < b.rank;
+                       return a.crowding > b.crowding;
+                     });
+    combined.resize(static_cast<size_t>(
+        std::min<int>(pop_size, static_cast<int>(combined.size()))));
+    population = std::move(combined);
+
+    ++generation;
+    if (callback) callback(archive.plans());
+  }
+  return archive.plans();
+}
+
+}  // namespace moqo

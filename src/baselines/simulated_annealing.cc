@@ -1,0 +1,83 @@
+#include "baselines/simulated_annealing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pareto/pareto_archive.h"
+#include "plan/random_plan.h"
+#include "plan/transformations.h"
+
+namespace moqo {
+
+double AverageDelta(const CostVector& from, const CostVector& to) {
+  double sum = 0.0;
+  for (int i = 0; i < from.size(); ++i) sum += to[i] - from[i];
+  return sum / from.size();
+}
+
+double AverageCost(const CostVector& c) {
+  double sum = 0.0;
+  for (int i = 0; i < c.size(); ++i) sum += c[i];
+  return sum / c.size();
+}
+
+std::vector<PlanPtr> SimulatedAnnealing::Optimize(
+    PlanFactory* factory, Rng* rng, const Deadline& deadline,
+    const AnytimeCallback& callback) {
+  ParetoArchive archive;
+
+  PlanPtr current =
+      config_.start_plan ? config_.start_plan : RandomPlan(factory, rng);
+  archive.Insert(current);
+  if (callback) callback(archive.plans());
+
+  double temperature =
+      config_.initial_temperature_factor * AverageCost(current->cost());
+  int stage_length = config_.stage_length_factor * current->NodeCount();
+  int stage_step = 0;
+  int64_t steps_since_callback = 0;
+  bool archive_dirty = false;
+
+  while (!deadline.Expired()) {
+    PlanPtr neighbor = RandomNeighbor(current, factory, rng);
+    if (neighbor != nullptr) {
+      double delta = AverageDelta(current->cost(), neighbor->cost());
+      if (config_.normalize_delta) {
+        delta /= std::max(AverageCost(current->cost()), 1e-12);
+      }
+      bool accept =
+          delta <= 0.0 || rng->Bernoulli(std::exp(-delta / temperature));
+      if (accept) {
+        current = std::move(neighbor);
+        archive_dirty |= archive.Insert(current);
+      }
+    }
+
+    if (++stage_step >= stage_length) {
+      stage_step = 0;
+      temperature *= config_.cooling;
+      double scale = config_.normalize_delta
+                         ? 1.0
+                         : std::max(AverageCost(current->cost()), 1.0);
+      if (temperature < config_.frozen_fraction * scale) {
+        // Frozen: restart the chain from a fresh random plan so the
+        // algorithm remains anytime over long deadlines.
+        current = RandomPlan(factory, rng);
+        archive_dirty |= archive.Insert(current);
+        temperature =
+            config_.initial_temperature_factor *
+            (config_.normalize_delta ? 1.0 : AverageCost(current->cost()));
+      }
+    }
+
+    if (++steps_since_callback >= 64) {
+      steps_since_callback = 0;
+      if (archive_dirty && callback) callback(archive.plans());
+      archive_dirty = false;
+    }
+  }
+  if (archive_dirty && callback) callback(archive.plans());
+  return archive.plans();
+}
+
+}  // namespace moqo

@@ -1,0 +1,64 @@
+#include "baselines/two_phase.h"
+
+#include <cmath>
+
+#include "baselines/simulated_annealing.h"
+#include "core/pareto_climb.h"
+#include "pareto/pareto_archive.h"
+#include "plan/random_plan.h"
+
+namespace moqo {
+
+namespace {
+
+// Scale-balanced scalarization used to pick the phase-one champion.
+double LogCostSum(const CostVector& c) {
+  double sum = 0.0;
+  for (int i = 0; i < c.size(); ++i) sum += std::log(std::max(c[i], 1e-9));
+  return sum;
+}
+
+}  // namespace
+
+std::vector<PlanPtr> TwoPhase::Optimize(PlanFactory* factory, Rng* rng,
+                                        const Deadline& deadline,
+                                        const AnytimeCallback& callback) {
+  ParetoArchive archive;
+
+  // Phase one: a few iterations of iterative improvement. Following
+  // Steinbrunn et al., only the best plan of the phase survives (2P is
+  // built on the assumption that a single very good plan is the goal —
+  // which is exactly why the paper finds it ill-suited for frontier
+  // approximation).
+  PlanPtr champion;
+  for (int it = 0;
+       it < config_.phase_one_iterations && !deadline.Expired(); ++it) {
+    PlanPtr opt =
+        ParetoClimb(RandomPlan(factory, rng), factory, nullptr, deadline);
+    if (champion == nullptr ||
+        LogCostSum(opt->cost()) < LogCostSum(champion->cost())) {
+      champion = opt;
+    }
+  }
+  if (champion == nullptr) return archive.plans();
+  archive.Insert(champion);
+  if (callback) callback(archive.plans());
+  if (deadline.Expired()) return archive.plans();
+
+  // Phase two: simulated annealing seeded with the phase-one champion.
+  SaConfig sa_config;
+  sa_config.initial_temperature_factor = config_.phase_two_temperature;
+  sa_config.start_plan = champion;
+  SimulatedAnnealing sa(sa_config);
+  std::vector<PlanPtr> sa_result = sa.Optimize(
+      factory, rng, deadline, [&](const std::vector<PlanPtr>& frontier) {
+        // Merge SA's frontier into the shared archive for the callback.
+        bool changed = false;
+        for (const PlanPtr& p : frontier) changed |= archive.Insert(p);
+        if (changed && callback) callback(archive.plans());
+      });
+  for (PlanPtr& p : sa_result) archive.Insert(std::move(p));
+  return archive.plans();
+}
+
+}  // namespace moqo

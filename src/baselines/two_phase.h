@@ -1,0 +1,44 @@
+// Two-Phase Optimization (the paper's "2P" baseline).
+//
+// Following Steinbrunn et al. (VLDBJ'97): a first phase runs iterative
+// improvement for a small number of restarts (the paper switches after ten
+// II iterations), then a second phase runs simulated annealing starting
+// from the best plan of phase one with a low initial temperature. The
+// multi-objective generalization shares the archives of both phases; the
+// phase-one "best" plan is the archived plan with the lowest sum of
+// log-costs (a scale-balanced scalarization).
+#ifndef MOQO_BASELINES_TWO_PHASE_H_
+#define MOQO_BASELINES_TWO_PHASE_H_
+
+#include "core/optimizer.h"
+
+namespace moqo {
+
+/// Configuration for the 2P baseline.
+struct TwoPhaseConfig {
+  /// II restarts in phase one (the paper uses 10).
+  int phase_one_iterations = 10;
+  /// Phase-two initial temperature as a multiple of the champion's average
+  /// cost (low: phase-one plans are already good).
+  double phase_two_temperature = 0.1;
+};
+
+/// Two-phase optimization: II then SA.
+class TwoPhase : public Optimizer {
+ public:
+  explicit TwoPhase(TwoPhaseConfig config = TwoPhaseConfig())
+      : config_(config) {}
+
+  std::string name() const override { return "2P"; }
+
+  std::vector<PlanPtr> Optimize(PlanFactory* factory, Rng* rng,
+                                const Deadline& deadline,
+                                const AnytimeCallback& callback) override;
+
+ private:
+  TwoPhaseConfig config_;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_BASELINES_TWO_PHASE_H_

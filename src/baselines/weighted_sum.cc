@@ -1,0 +1,106 @@
+#include "baselines/weighted_sum.h"
+
+#include <cmath>
+#include <vector>
+
+#include "pareto/pareto_archive.h"
+#include "plan/random_plan.h"
+#include "plan/transformations.h"
+
+namespace moqo {
+
+namespace {
+
+// LINEAR scalarization: sum_i w_i * cost_i / norm_i. Linearity is the
+// point — minimizers of linear scalarizations are exactly the convex-hull
+// points of the Pareto frontier (the paper's Section 2 remark), so this
+// baseline provably cannot reach non-convex frontier points. The fixed
+// per-metric normalizers make weights comparable across metrics whose
+// magnitudes differ by orders of magnitude; a positive diagonal scaling
+// preserves convexity, so the hull restriction stands.
+double Scalarize(const CostVector& cost, const std::vector<double>& weights,
+                 const std::vector<double>& norms) {
+  double sum = 0.0;
+  for (int i = 0; i < cost.size(); ++i) {
+    sum += weights[static_cast<size_t>(i)] * cost[i] /
+           norms[static_cast<size_t>(i)];
+  }
+  return sum;
+}
+
+// Single-objective hill climbing on the scalarized cost.
+PlanPtr ScalarClimb(PlanPtr plan, const std::vector<double>& weights,
+                    const std::vector<double>& norms, PlanFactory* factory,
+                    const Deadline& deadline) {
+  bool improving = true;
+  while (improving && !deadline.Expired()) {
+    improving = false;
+    double current = Scalarize(plan->cost(), weights, norms);
+    for (PlanPtr& neighbor : AllNeighbors(plan, factory)) {
+      double score = Scalarize(neighbor->cost(), weights, norms);
+      if (score < current) {
+        plan = std::move(neighbor);
+        current = score;
+        improving = true;
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+std::vector<PlanPtr> WeightedSum::Optimize(PlanFactory* factory, Rng* rng,
+                                           const Deadline& deadline,
+                                           const AnytimeCallback& callback) {
+  const int l = factory->cost_model().NumMetrics();
+  ParetoArchive archive;
+
+  // Weight sweep: axis extremes first (pure per-metric optima), then
+  // random simplex points. The sweep repeats with fresh random starts
+  // until the deadline, so the baseline is anytime like the others.
+  std::vector<std::vector<double>> weight_vectors;
+  for (int axis = 0; axis < l; ++axis) {
+    std::vector<double> w(static_cast<size_t>(l), 0.05);
+    w[static_cast<size_t>(axis)] = 1.0;
+    weight_vectors.push_back(std::move(w));
+  }
+  while (static_cast<int>(weight_vectors.size()) <
+         config_.num_weight_vectors) {
+    std::vector<double> w(static_cast<size_t>(l));
+    double total = 0.0;
+    for (double& v : w) {
+      v = -std::log(std::max(rng->Uniform01(), 1e-12));  // Dirichlet(1)
+      total += v;
+    }
+    for (double& v : w) v /= total;
+    weight_vectors.push_back(std::move(w));
+  }
+
+  // Fix per-metric normalizers from a sample of random plans so the
+  // scalarization stays linear during every climb.
+  std::vector<double> norms(static_cast<size_t>(l), 0.0);
+  for (int s = 0; s < 8; ++s) {
+    PlanPtr sample = RandomPlan(factory, rng);
+    for (int i = 0; i < l; ++i) {
+      double c = sample->cost()[i];
+      size_t idx = static_cast<size_t>(i);
+      norms[idx] = norms[idx] == 0.0 ? c : std::min(norms[idx], c);
+    }
+  }
+  for (double& n : norms) n = std::max(n, 1.0);
+
+  while (!deadline.Expired()) {
+    for (const std::vector<double>& weights : weight_vectors) {
+      if (deadline.Expired()) break;
+      PlanPtr plan = RandomPlan(factory, rng);
+      plan = ScalarClimb(std::move(plan), weights, norms, factory, deadline);
+      if (archive.Insert(std::move(plan)) && callback) {
+        callback(archive.plans());
+      }
+    }
+  }
+  return archive.plans();
+}
+
+}  // namespace moqo

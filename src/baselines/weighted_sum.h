@@ -1,0 +1,44 @@
+// Weighted-sum scalarization baseline (extension).
+//
+// Section 2 of the paper notes that "mapping multi-objective optimization
+// into a single-objective optimization problem using a weighted sum over
+// different cost metrics with varying weights will not yield the Pareto
+// frontier but at most a subset of it (the convex hull)". This optimizer
+// makes that limitation measurable: it sweeps a set of weight vectors and,
+// for each, runs single-objective iterative improvement on the scalarized
+// cost, archiving the best plans. Points of the Pareto frontier that lie
+// inside the convex hull are unreachable by construction, so its alpha
+// error is bounded away from 1 on non-convex frontiers.
+#ifndef MOQO_BASELINES_WEIGHTED_SUM_H_
+#define MOQO_BASELINES_WEIGHTED_SUM_H_
+
+#include "core/optimizer.h"
+
+namespace moqo {
+
+/// Configuration for the weighted-sum baseline.
+struct WeightedSumConfig {
+  /// Number of weight vectors swept (uniform over the simplex, plus the
+  /// axis-aligned extremes).
+  int num_weight_vectors = 16;
+};
+
+/// Weighted-sum scalarization with per-weight hill climbing.
+class WeightedSum : public Optimizer {
+ public:
+  explicit WeightedSum(WeightedSumConfig config = WeightedSumConfig())
+      : config_(config) {}
+
+  std::string name() const override { return "WeightedSum"; }
+
+  std::vector<PlanPtr> Optimize(PlanFactory* factory, Rng* rng,
+                                const Deadline& deadline,
+                                const AnytimeCallback& callback) override;
+
+ private:
+  WeightedSumConfig config_;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_BASELINES_WEIGHTED_SUM_H_

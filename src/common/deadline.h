@@ -1,0 +1,77 @@
+// Deadline / stopwatch utilities shared by all anytime algorithms.
+#ifndef MOQO_COMMON_DEADLINE_H_
+#define MOQO_COMMON_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace moqo {
+
+/// Monotonic stopwatch measuring elapsed microseconds since construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Microseconds elapsed since construction / last Restart.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  /// Milliseconds elapsed since construction / last Restart.
+  double ElapsedMillis() const { return ElapsedMicros() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A wall-clock budget: algorithms poll Expired() and stop when it is true.
+///
+/// A default-constructed Deadline never expires (useful for tests that run a
+/// fixed number of iterations instead of a fixed time).
+class Deadline {
+ public:
+  /// Never expires.
+  Deadline() : has_deadline_(false) {}
+
+  /// Expires `micros` microseconds after construction.
+  static Deadline AfterMicros(int64_t micros) {
+    Deadline d;
+    d.has_deadline_ = true;
+    d.deadline_ = Clock::now() + std::chrono::microseconds(micros);
+    return d;
+  }
+
+  /// Expires `millis` milliseconds after construction.
+  static Deadline AfterMillis(int64_t millis) {
+    return AfterMicros(millis * 1000);
+  }
+
+  /// Returns true once the budget is exhausted.
+  bool Expired() const {
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  /// Microseconds remaining (0 if expired; a large value if unbounded).
+  int64_t RemainingMicros() const {
+    if (!has_deadline_) return INT64_MAX;
+    auto rem = std::chrono::duration_cast<std::chrono::microseconds>(
+                   deadline_ - Clock::now())
+                   .count();
+    return rem > 0 ? rem : 0;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool has_deadline_;
+  Clock::time_point deadline_;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_COMMON_DEADLINE_H_

@@ -1,0 +1,50 @@
+// Minimal command-line flag parsing for bench and example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name`. Unknown
+// flags are reported but ignored so that bench binaries remain robust when
+// invoked by generic runners.
+#ifndef MOQO_COMMON_FLAGS_H_
+#define MOQO_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace moqo {
+
+/// Parsed command-line flags with typed accessors and defaults.
+class Flags {
+ public:
+  /// Parses argv; positional (non `--`) arguments are collected separately.
+  Flags(int argc, char** argv);
+
+  /// Returns true if `--name` was present (with or without a value).
+  bool Has(const std::string& name) const;
+
+  /// String value of `--name`, or `def` if absent.
+  std::string GetString(const std::string& name, const std::string& def) const;
+
+  /// Integer value of `--name`, or `def` if absent/unparsable.
+  int64_t GetInt(const std::string& name, int64_t def) const;
+
+  /// Double value of `--name`, or `def` if absent/unparsable.
+  double GetDouble(const std::string& name, double def) const;
+
+  /// Boolean: `--name`, `--name=true/1` => true; `--name=false/0` => false.
+  bool GetBool(const std::string& name, bool def) const;
+
+  /// Comma-separated integer list, e.g. `--sizes=10,25,50`.
+  std::vector<int> GetIntList(const std::string& name,
+                              const std::vector<int>& def) const;
+
+  /// Positional arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_COMMON_FLAGS_H_

@@ -1,0 +1,113 @@
+#include "common/table_set.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace moqo {
+
+TableSet TableSet::Singleton(int table) {
+  TableSet s;
+  s.Add(table);
+  return s;
+}
+
+TableSet TableSet::FirstN(int n) {
+  assert(n >= 0 && n <= kCapacity);
+  TableSet s;
+  for (int i = 0; i < n; ++i) s.Add(i);
+  return s;
+}
+
+void TableSet::Add(int table) {
+  assert(table >= 0 && table < kCapacity);
+  words_[table >> 6] |= uint64_t{1} << (table & 63);
+}
+
+void TableSet::Remove(int table) {
+  assert(table >= 0 && table < kCapacity);
+  words_[table >> 6] &= ~(uint64_t{1} << (table & 63));
+}
+
+bool TableSet::Contains(int table) const {
+  if (table < 0 || table >= kCapacity) return false;
+  return (words_[table >> 6] >> (table & 63)) & 1;
+}
+
+int TableSet::Count() const {
+  return __builtin_popcountll(words_[0]) + __builtin_popcountll(words_[1]) +
+         __builtin_popcountll(words_[2]) + __builtin_popcountll(words_[3]);
+}
+
+TableSet TableSet::Union(const TableSet& other) const {
+  TableSet r;
+  for (int i = 0; i < 4; ++i) r.words_[i] = words_[i] | other.words_[i];
+  return r;
+}
+
+TableSet TableSet::Intersect(const TableSet& other) const {
+  TableSet r;
+  for (int i = 0; i < 4; ++i) r.words_[i] = words_[i] & other.words_[i];
+  return r;
+}
+
+TableSet TableSet::Minus(const TableSet& other) const {
+  TableSet r;
+  for (int i = 0; i < 4; ++i) r.words_[i] = words_[i] & ~other.words_[i];
+  return r;
+}
+
+bool TableSet::IsSubsetOf(const TableSet& other) const {
+  for (int i = 0; i < 4; ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool TableSet::DisjointWith(const TableSet& other) const {
+  for (int i = 0; i < 4; ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+int TableSet::Min() const {
+  for (int w = 0; w < 4; ++w) {
+    if (words_[w] != 0) return w * 64 + __builtin_ctzll(words_[w]);
+  }
+  return -1;
+}
+
+int TableSet::Max() const {
+  for (int w = 3; w >= 0; --w) {
+    if (words_[w] != 0) return w * 64 + 63 - __builtin_clzll(words_[w]);
+  }
+  return -1;
+}
+
+size_t TableSet::Hash() const {
+  // Mixes the four words with the 64-bit finalizer from MurmurHash3.
+  uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (uint64_t w : words_) {
+    uint64_t k = w * 0xff51afd7ed558ccdull;
+    k ^= k >> 33;
+    k *= 0xc4ceb9fe1a85ec53ull;
+    h = (h ^ k) * 0x9e3779b97f4a7c15ull;
+  }
+  h ^= h >> 32;
+  return static_cast<size_t>(h);
+}
+
+std::string TableSet::ToString() const {
+  std::ostringstream out;
+  out << '{';
+  bool first = true;
+  ForEach([&](int t) {
+    if (!first) out << ',';
+    out << t;
+    first = false;
+  });
+  out << '}';
+  return out.str();
+}
+
+}  // namespace moqo

@@ -1,0 +1,105 @@
+// Fixed-capacity bitset identifying a set of query tables.
+//
+// Queries in this library are sets of tables (see query/query.h); plans and
+// plan-cache entries are keyed by the set of tables they join. TableSet is a
+// small, trivially copyable 256-bit set (the paper evaluates up to 100
+// tables; 256 leaves generous headroom) with value semantics, O(1) union /
+// intersection / subset tests, and a hash suitable for unordered containers.
+#ifndef MOQO_COMMON_TABLE_SET_H_
+#define MOQO_COMMON_TABLE_SET_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace moqo {
+
+/// A set of table indices in [0, TableSet::kCapacity).
+class TableSet {
+ public:
+  /// Maximum number of distinct tables representable.
+  static constexpr int kCapacity = 256;
+
+  /// Creates the empty set.
+  constexpr TableSet() : words_{0, 0, 0, 0} {}
+
+  /// Returns the singleton set {table}.
+  static TableSet Singleton(int table);
+
+  /// Returns the set {0, 1, ..., n - 1}.
+  static TableSet FirstN(int n);
+
+  /// Adds `table` to the set.
+  void Add(int table);
+
+  /// Removes `table` from the set.
+  void Remove(int table);
+
+  /// Returns true if `table` is a member.
+  bool Contains(int table) const;
+
+  /// Returns the number of members.
+  int Count() const;
+
+  /// Returns true if the set is empty.
+  bool Empty() const { return (words_[0] | words_[1] | words_[2] | words_[3]) == 0; }
+
+  /// Returns the union of this set and `other`.
+  TableSet Union(const TableSet& other) const;
+
+  /// Returns the intersection of this set and `other`.
+  TableSet Intersect(const TableSet& other) const;
+
+  /// Returns the members of this set that are not in `other`.
+  TableSet Minus(const TableSet& other) const;
+
+  /// Returns true if this set is a (non-strict) subset of `other`.
+  bool IsSubsetOf(const TableSet& other) const;
+
+  /// Returns true if the two sets share no member.
+  bool DisjointWith(const TableSet& other) const;
+
+  /// Returns the smallest member, or -1 if empty.
+  int Min() const;
+
+  /// Returns the largest member, or -1 if empty.
+  int Max() const;
+
+  /// Calls `fn(table)` for each member in increasing order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (int w = 0; w < 4; ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        int bit = __builtin_ctzll(bits);
+        fn(w * 64 + bit);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Returns a stable hash of the set contents.
+  size_t Hash() const;
+
+  /// Returns e.g. "{0,3,7}" for debugging and test failure messages.
+  std::string ToString() const;
+
+  friend bool operator==(const TableSet& a, const TableSet& b) {
+    return a.words_[0] == b.words_[0] && a.words_[1] == b.words_[1] &&
+           a.words_[2] == b.words_[2] && a.words_[3] == b.words_[3];
+  }
+  friend bool operator!=(const TableSet& a, const TableSet& b) { return !(a == b); }
+
+ private:
+  uint64_t words_[4];
+};
+
+/// Hash functor for unordered containers keyed by TableSet.
+struct TableSetHash {
+  size_t operator()(const TableSet& s) const { return s.Hash(); }
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_COMMON_TABLE_SET_H_

@@ -1,0 +1,39 @@
+#include "core/analysis.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace moqo {
+
+double DominanceProbability(int num_metrics) {
+  assert(num_metrics >= 1);
+  return std::pow(0.5, num_metrics);
+}
+
+double NoDominatingNeighborProbability(int num_neighbors, int path_length,
+                                       int num_metrics) {
+  assert(num_neighbors >= 1);
+  assert(path_length >= 1);
+  // u(n, i) = (1 - (1/2)^(l * i))^n.
+  double p_dominate_all = std::pow(0.5, num_metrics * path_length);
+  return std::pow(1.0 - p_dominate_all, num_neighbors);
+}
+
+double ExpectedClimbPathLength(int num_neighbors, int num_metrics) {
+  // E = sum_{i>=1} i * u(n, i) * prod_{j<i} (1 - u(n, j)).
+  double expectation = 0.0;
+  double continue_prob = 1.0;  // prod_{j<i} (1 - u(n, j))
+  for (int i = 1; i <= 100000; ++i) {
+    double u = NoDominatingNeighborProbability(num_neighbors, i, num_metrics);
+    expectation += i * u * continue_prob;
+    continue_prob *= (1.0 - u);
+    if (continue_prob < 1e-12) break;  // tail mass negligible
+  }
+  return expectation;
+}
+
+double LocalOptimumProbability(int num_neighbors, int num_metrics) {
+  return std::pow(1.0 - DominanceProbability(num_metrics), num_neighbors);
+}
+
+}  // namespace moqo

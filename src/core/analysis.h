@@ -1,0 +1,42 @@
+// The paper's statistical model of hill-climbing behavior (Section 5).
+//
+// The analysis models the cost of a random plan per metric as independent
+// random variables and derives:
+//
+//  * Lemma 3 — the probability that one random plan dominates another is
+//    (1/2)^l for l metrics;
+//  * Lemma 4 — u(n, i) = (1 - (1/2)^(l*i))^n, the probability that none of
+//    n neighbors dominates all i plans visited so far;
+//  * Theorem 1 — the expected number of plans visited until a local Pareto
+//    optimum: sum_i i * u(n,i) * prod_{j<i} (1 - u(n,j));
+//  * Lemma 5 — the probability that a random plan is a local Pareto
+//    optimum, (1 - (1/2)^l)^n.
+//
+// These closed forms let benches compare the measured climb path lengths
+// (Figure 3, left) against the model's prediction.
+#ifndef MOQO_CORE_ANALYSIS_H_
+#define MOQO_CORE_ANALYSIS_H_
+
+namespace moqo {
+
+/// Lemma 3: probability that a random plan dominates another under l
+/// independent metrics.
+double DominanceProbability(int num_metrics);
+
+/// Lemma 4: u(n, i) — probability that none of n neighbor plans dominates
+/// all of i plans.
+double NoDominatingNeighborProbability(int num_neighbors, int path_length,
+                                       int num_metrics);
+
+/// Theorem 1: expected number of plans visited by multi-objective hill
+/// climbing until reaching a local Pareto optimum, for a plan with
+/// `num_neighbors` neighbors and `num_metrics` metrics. The infinite sum
+/// is truncated once the remaining tail mass falls below 1e-12.
+double ExpectedClimbPathLength(int num_neighbors, int num_metrics);
+
+/// Lemma 5: probability that a random plan is a local Pareto optimum.
+double LocalOptimumProbability(int num_neighbors, int num_metrics);
+
+}  // namespace moqo
+
+#endif  // MOQO_CORE_ANALYSIS_H_

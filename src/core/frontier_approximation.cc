@@ -1,0 +1,45 @@
+#include "core/frontier_approximation.h"
+
+#include <cmath>
+
+namespace moqo {
+
+double AlphaForIteration(int iteration) {
+  return AlphaForIteration(iteration, 25.0, 0.99, 25);
+}
+
+double AlphaForIteration(int iteration, double start, double decay,
+                         int step) {
+  double alpha = start * std::pow(decay, iteration / step);
+  return alpha < 1.0 ? 1.0 : alpha;
+}
+
+int64_t ApproximateFrontiers(const PlanPtr& plan, PlanCache* cache,
+                             double alpha, PlanFactory* factory) {
+  int64_t inserted = 0;
+  if (plan->IsJoin()) {
+    // Approximate outer and inner frontiers first (post-order).
+    inserted += ApproximateFrontiers(plan->outer(), cache, alpha, factory);
+    inserted += ApproximateFrontiers(plan->inner(), cache, alpha, factory);
+    // Copy the child plan lists: inserting into the cache may rehash the
+    // underlying map and would invalidate references into it.
+    std::vector<PlanPtr> outer_plans = cache->Lookup(plan->outer()->rel());
+    std::vector<PlanPtr> inner_plans = cache->Lookup(plan->inner()->rel());
+    for (const PlanPtr& outer : outer_plans) {
+      for (const PlanPtr& inner : inner_plans) {
+        for (JoinAlgorithm op : AllJoinAlgorithms()) {
+          PlanPtr np = factory->MakeJoin(outer, inner, op);
+          if (cache->Insert(plan->rel(), std::move(np), alpha)) ++inserted;
+        }
+      }
+    }
+  } else {
+    for (ScanAlgorithm op : factory->ApplicableScans(plan->table())) {
+      PlanPtr np = factory->MakeScan(plan->table(), op);
+      if (cache->Insert(plan->rel(), std::move(np), alpha)) ++inserted;
+    }
+  }
+  return inserted;
+}
+
+}  // namespace moqo

@@ -1,0 +1,45 @@
+// Common interface for all anytime multi-objective query optimizers.
+//
+// Every algorithm in this repository (RMQ and the baselines of Section 6.1)
+// implements Optimizer: given a plan factory (query + cost model), a seeded
+// RNG, and a deadline, it incrementally produces an approximation of the
+// Pareto plan set and reports frontier updates through a callback so the
+// evaluation harness can measure approximation quality over time.
+#ifndef MOQO_CORE_OPTIMIZER_H_
+#define MOQO_CORE_OPTIMIZER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/rng.h"
+#include "plan/plan_factory.h"
+
+namespace moqo {
+
+/// Invoked by optimizers whenever their current result plan set may have
+/// changed. The vector holds the current non-dominated plans for the full
+/// query. Implementations must not retain references beyond the call.
+using AnytimeCallback = std::function<void(const std::vector<PlanPtr>&)>;
+
+/// An anytime multi-objective query optimization algorithm.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Short display name, e.g. "RMQ", "NSGA-II", "DP(2)".
+  virtual std::string name() const = 0;
+
+  /// Optimizes the factory's query until `deadline` expires, invoking
+  /// `callback` (if set) on frontier updates. Returns the final set of
+  /// non-dominated plans for the full query; empty if the algorithm
+  /// produced no complete plan within the deadline.
+  virtual std::vector<PlanPtr> Optimize(PlanFactory* factory, Rng* rng,
+                                        const Deadline& deadline,
+                                        const AnytimeCallback& callback) = 0;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_CORE_OPTIMIZER_H_

@@ -1,0 +1,36 @@
+#include "core/plan_cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace moqo {
+
+bool PlanCache::Insert(const TableSet& rel, PlanPtr plan, double alpha) {
+  assert(plan->rel() == rel);
+  assert(alpha >= 1.0);
+  std::vector<PlanPtr>& plans = cache_[rel];
+  for (const PlanPtr& p : plans) {
+    if (SigBetterPlan(*p, *plan, alpha)) return false;
+  }
+  plans.erase(std::remove_if(plans.begin(), plans.end(),
+                             [&](const PlanPtr& p) {
+                               return SigBetterPlan(*plan, *p, 1.0);
+                             }),
+              plans.end());
+  plans.push_back(std::move(plan));
+  return true;
+}
+
+const std::vector<PlanPtr>& PlanCache::Lookup(const TableSet& rel) const {
+  static const std::vector<PlanPtr> kEmpty;
+  auto it = cache_.find(rel);
+  return it == cache_.end() ? kEmpty : it->second;
+}
+
+size_t PlanCache::TotalPlans() const {
+  size_t total = 0;
+  for (const auto& [rel, plans] : cache_) total += plans.size();
+  return total;
+}
+
+}  // namespace moqo

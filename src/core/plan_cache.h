@@ -1,0 +1,50 @@
+// Partial-plan cache (the `P` of Algorithms 1 and 3).
+//
+// The cache maps each intermediate result (a set of joined tables) that was
+// encountered in any iteration to a set of partial plans generating it,
+// pruned so that no cached plan's cost can be approximated (factor alpha)
+// by another cached plan with the same output representation. The cache is
+// how RMQ shares Pareto-optimal partial plans across iterations: frontier
+// approximation recombines cached sub-plans that may stem from *different*
+// join orders than the current locally optimal plan.
+#ifndef MOQO_CORE_PLAN_CACHE_H_
+#define MOQO_CORE_PLAN_CACHE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/table_set.h"
+#include "plan/plan.h"
+
+namespace moqo {
+
+/// Maps table sets to alpha-pruned sets of non-dominated partial plans.
+class PlanCache {
+ public:
+  PlanCache() = default;
+
+  /// The paper's Prune (Algorithm 3): inserts `plan` under `rel` unless an
+  /// existing same-representation plan alpha-approximately dominates it;
+  /// evicts existing plans that the new plan (factor 1) dominates. Returns
+  /// true if the plan was inserted.
+  bool Insert(const TableSet& rel, PlanPtr plan, double alpha);
+
+  /// Cached plans for `rel`; empty if the table set was never seen.
+  const std::vector<PlanPtr>& Lookup(const TableSet& rel) const;
+
+  /// Number of distinct table sets with cached plans.
+  size_t NumTableSets() const { return cache_.size(); }
+
+  /// Total number of cached partial plans.
+  size_t TotalPlans() const;
+
+  /// Drops all entries.
+  void Clear() { cache_.clear(); }
+
+ private:
+  std::unordered_map<TableSet, std::vector<PlanPtr>, TableSetHash> cache_;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_CORE_PLAN_CACHE_H_

@@ -1,0 +1,78 @@
+#include "core/rmq.h"
+
+#include "core/frontier_approximation.h"
+#include "plan/random_plan.h"
+
+namespace moqo {
+
+std::string Rmq::name() const {
+  if (config_.use_climb && config_.share_cache &&
+      config_.fixed_alpha == 0.0 && config_.plan_space == PlanSpace::kBushy) {
+    return "RMQ";
+  }
+  std::string n = "RMQ[";
+  if (config_.plan_space == PlanSpace::kLeftDeep) n += "leftdeep";
+  if (!config_.use_climb) n += "-climb";
+  if (!config_.share_cache) n += "-cache";
+  if (config_.fixed_alpha >= 1.0) {
+    n += "a=" + std::to_string(config_.fixed_alpha);
+  }
+  n += "]";
+  return n;
+}
+
+double Rmq::AlphaFor(int iteration) const {
+  if (config_.fixed_alpha >= 1.0) return config_.fixed_alpha;
+  return AlphaForIteration(iteration, config_.alpha_start,
+                           config_.alpha_decay, config_.alpha_step);
+}
+
+std::vector<PlanPtr> Rmq::Optimize(PlanFactory* factory, Rng* rng,
+                                   const Deadline& deadline,
+                                   const AnytimeCallback& callback) {
+  stats_ = RmqStats();
+  PlanCache cache;
+  const TableSet all = factory->query().AllTables();
+
+  int i = 1;
+  while (!deadline.Expired() &&
+         (config_.max_iterations == 0 || i <= config_.max_iterations)) {
+    if (!config_.share_cache && i > 1) {
+      // Ablation: forget partial plans between iterations, but keep the
+      // result plans for the full query so the output is still anytime.
+      std::vector<PlanPtr> results = cache.Lookup(all);
+      double alpha = AlphaFor(i);
+      cache.Clear();
+      for (PlanPtr& p : results) cache.Insert(all, std::move(p), alpha);
+    }
+
+    // Step 1: random plan from the configured join-order space.
+    PlanPtr plan = config_.plan_space == PlanSpace::kLeftDeep
+                       ? RandomLeftDeepPlan(factory, rng)
+                       : RandomPlan(factory, rng);
+
+    // Step 2: fast multi-objective hill climbing.
+    PlanPtr opt_plan = plan;
+    if (config_.use_climb) {
+      ClimbStats climb;
+      opt_plan =
+          ParetoClimb(plan, factory, &climb, deadline, config_.plan_space);
+      stats_.path_lengths.push_back(climb.steps);
+    }
+
+    // Step 3: approximate the Pareto frontiers of all intermediate results
+    // of the locally optimal plan, sharing partial plans via the cache.
+    stats_.frontier_insertions +=
+        ApproximateFrontiers(opt_plan, &cache, AlphaFor(i), factory);
+
+    ++stats_.iterations;
+    if (callback) callback(cache.Lookup(all));
+    ++i;
+  }
+
+  std::vector<PlanPtr> result = cache.Lookup(all);
+  stats_.final_frontier_size = result.size();
+  return result;
+}
+
+}  // namespace moqo

@@ -1,0 +1,91 @@
+#include "cost/cost_vector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace moqo {
+
+CostVector CostVector::Clamped() const {
+  CostVector r = *this;
+  for (int i = 0; i < size_; ++i) {
+    double& v = r.values_[static_cast<size_t>(i)];
+    if (!(v >= 0.0)) v = 0.0;  // also catches NaN
+    v = std::min(v, kMaxCost);
+  }
+  return r;
+}
+
+bool CostVector::WeakDominates(const CostVector& other) const {
+  assert(size_ == other.size_);
+  for (int i = 0; i < size_; ++i) {
+    if (values_[static_cast<size_t>(i)] >
+        other.values_[static_cast<size_t>(i)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CostVector::StrictlyDominates(const CostVector& other) const {
+  return WeakDominates(other) && !EqualTo(other);
+}
+
+bool CostVector::ApproxDominates(const CostVector& other, double alpha) const {
+  assert(size_ == other.size_);
+  for (int i = 0; i < size_; ++i) {
+    if (values_[static_cast<size_t>(i)] >
+        alpha * other.values_[static_cast<size_t>(i)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CostVector::EqualTo(const CostVector& other) const {
+  assert(size_ == other.size_);
+  for (int i = 0; i < size_; ++i) {
+    if (values_[static_cast<size_t>(i)] !=
+        other.values_[static_cast<size_t>(i)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double CostVector::Sum() const {
+  double s = 0.0;
+  for (int i = 0; i < size_; ++i) s += values_[static_cast<size_t>(i)];
+  return s;
+}
+
+double CostVector::MaxRatioOver(const CostVector& other) const {
+  assert(size_ == other.size_);
+  double worst = 0.0;
+  for (int i = 0; i < size_; ++i) {
+    double a = values_[static_cast<size_t>(i)];
+    double r = other.values_[static_cast<size_t>(i)];
+    double ratio;
+    if (r > 0.0) {
+      ratio = a / r;
+    } else {
+      ratio = (a == 0.0) ? 1.0 : std::numeric_limits<double>::infinity();
+    }
+    worst = std::max(worst, ratio);
+  }
+  return worst;
+}
+
+std::string CostVector::ToString() const {
+  std::ostringstream out;
+  out << '(';
+  for (int i = 0; i < size_; ++i) {
+    if (i > 0) out << ", ";
+    out << values_[static_cast<size_t>(i)];
+  }
+  out << ')';
+  return out.str();
+}
+
+}  // namespace moqo

@@ -1,0 +1,105 @@
+// Plan cost vectors and Pareto-dominance relations between them.
+//
+// A plan's cost is a vector with one non-negative component per cost metric
+// (Section 3 of the paper). Following the paper and its predecessors, the
+// number of metrics l is treated as a small constant; we support up to
+// kMaxMetrics components stored inline.
+#ifndef MOQO_COST_COST_VECTOR_H_
+#define MOQO_COST_COST_VECTOR_H_
+
+#include <array>
+#include <cassert>
+#include <string>
+
+namespace moqo {
+
+/// Upper bound on plan cost components. Costs are clamped here so that
+/// products and sums of pathological (cross-product-heavy) plans never
+/// overflow IEEE doubles to +infinity, which would make Pareto dominance
+/// ill-defined.
+inline constexpr double kMaxCost = 1e290;
+
+/// A fixed-capacity vector of cost values, one per metric.
+class CostVector {
+ public:
+  static constexpr int kMaxMetrics = 4;
+
+  /// Zero vector with `size` components.
+  explicit CostVector(int size = 0) : size_(size) {
+    assert(size >= 0 && size <= kMaxMetrics);
+    values_.fill(0.0);
+  }
+
+  /// Vector with the given components.
+  CostVector(std::initializer_list<double> values) : size_(0) {
+    values_.fill(0.0);
+    for (double v : values) {
+      assert(size_ < kMaxMetrics);
+      values_[static_cast<size_t>(size_++)] = v;
+    }
+  }
+
+  /// Number of metrics.
+  int size() const { return size_; }
+
+  /// Component accessor.
+  double operator[](int i) const {
+    assert(i >= 0 && i < size_);
+    return values_[static_cast<size_t>(i)];
+  }
+
+  /// Mutable component accessor.
+  double& operator[](int i) {
+    assert(i >= 0 && i < size_);
+    return values_[static_cast<size_t>(i)];
+  }
+
+  /// Component-wise sum (sizes must match).
+  CostVector operator+(const CostVector& o) const {
+    assert(size_ == o.size_);
+    CostVector r(size_);
+    for (int i = 0; i < size_; ++i) {
+      r.values_[static_cast<size_t>(i)] =
+          values_[static_cast<size_t>(i)] + o.values_[static_cast<size_t>(i)];
+    }
+    return r.Clamped();
+  }
+
+  /// Returns a copy with every component clamped to [0, kMaxCost].
+  CostVector Clamped() const;
+
+  /// Weak Pareto dominance: this <= other in every component.
+  bool WeakDominates(const CostVector& other) const;
+
+  /// Strict Pareto dominance: weak dominance plus strictly lower in at
+  /// least one component (i.e., the vectors are not equal).
+  bool StrictlyDominates(const CostVector& other) const;
+
+  /// Approximate dominance with factor alpha >= 1: this <= alpha * other
+  /// component-wise (the paper's `p1 \preceq_alpha p2`).
+  bool ApproxDominates(const CostVector& other, double alpha) const;
+
+  /// True iff all components are equal.
+  bool EqualTo(const CostVector& other) const;
+
+  /// Sum of components; a convenient monotone scalarization used by tests
+  /// and by termination arguments (strict dominance strictly lowers it).
+  double Sum() const;
+
+  /// Maximum component ratio max_i(this[i] / other[i]); used by the
+  /// epsilon/alpha approximation-error indicator. Components where both
+  /// values are zero contribute 1; zero `other` with positive `this`
+  /// contributes +infinity.
+  double MaxRatioOver(const CostVector& other) const;
+
+  /// Renders e.g. "(12.5, 3e4)" for debugging.
+  std::string ToString() const;
+
+ private:
+  std::array<double, kMaxMetrics> values_;
+  int size_;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_COST_COST_VECTOR_H_

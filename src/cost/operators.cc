@@ -1,0 +1,111 @@
+#include "cost/operators.h"
+
+namespace moqo {
+
+const std::vector<JoinAlgorithm>& AllJoinAlgorithms() {
+  static const std::vector<JoinAlgorithm> kAll = {
+      JoinAlgorithm::kNestedLoop,
+      JoinAlgorithm::kBlockNestedLoopSmall,
+      JoinAlgorithm::kBlockNestedLoopLarge,
+      JoinAlgorithm::kHashSmall,
+      JoinAlgorithm::kHashMedium,
+      JoinAlgorithm::kHashLarge,
+      JoinAlgorithm::kSortMergeSmall,
+      JoinAlgorithm::kSortMergeLarge,
+  };
+  return kAll;
+}
+
+const std::vector<ScanAlgorithm>& AllScanAlgorithms() {
+  static const std::vector<ScanAlgorithm> kAll = {
+      ScanAlgorithm::kFullScan,
+      ScanAlgorithm::kIndexScan,
+  };
+  return kAll;
+}
+
+OutputFormat FormatOf(ScanAlgorithm op) {
+  switch (op) {
+    case ScanAlgorithm::kFullScan:
+      return OutputFormat::kUnsorted;
+    case ScanAlgorithm::kIndexScan:
+      return OutputFormat::kSorted;
+  }
+  return OutputFormat::kUnsorted;
+}
+
+OutputFormat FormatOf(JoinAlgorithm op) {
+  switch (op) {
+    case JoinAlgorithm::kSortMergeSmall:
+    case JoinAlgorithm::kSortMergeLarge:
+      return OutputFormat::kSorted;
+    default:
+      return OutputFormat::kUnsorted;
+  }
+}
+
+double BufferPages(JoinAlgorithm op) {
+  switch (op) {
+    case JoinAlgorithm::kNestedLoop:
+      return 2.0;
+    case JoinAlgorithm::kBlockNestedLoopSmall:
+      return 16.0;
+    case JoinAlgorithm::kBlockNestedLoopLarge:
+      return 256.0;
+    case JoinAlgorithm::kHashSmall:
+      return 64.0;
+    case JoinAlgorithm::kHashMedium:
+      return 1024.0;
+    case JoinAlgorithm::kHashLarge:
+      return 16384.0;
+    case JoinAlgorithm::kSortMergeSmall:
+      return 64.0;
+    case JoinAlgorithm::kSortMergeLarge:
+      return 1024.0;
+  }
+  return 2.0;
+}
+
+std::string ToString(ScanAlgorithm op) {
+  switch (op) {
+    case ScanAlgorithm::kFullScan:
+      return "full-scan";
+    case ScanAlgorithm::kIndexScan:
+      return "index-scan";
+  }
+  return "scan?";
+}
+
+std::string ToString(JoinAlgorithm op) {
+  switch (op) {
+    case JoinAlgorithm::kNestedLoop:
+      return "nested-loop";
+    case JoinAlgorithm::kBlockNestedLoopSmall:
+      return "block-nl(small)";
+    case JoinAlgorithm::kBlockNestedLoopLarge:
+      return "block-nl(large)";
+    case JoinAlgorithm::kHashSmall:
+      return "hash-join(small)";
+    case JoinAlgorithm::kHashMedium:
+      return "hash-join(medium)";
+    case JoinAlgorithm::kHashLarge:
+      return "hash-join(large)";
+    case JoinAlgorithm::kSortMergeSmall:
+      return "sort-merge(small)";
+    case JoinAlgorithm::kSortMergeLarge:
+      return "sort-merge(large)";
+  }
+  return "join?";
+}
+
+std::string ToString(OutputFormat format) {
+  switch (format) {
+    case OutputFormat::kUnsorted:
+      return "unsorted";
+    case OutputFormat::kSorted:
+      return "sorted";
+  }
+  return "format?";
+}
+
+}  // namespace moqo

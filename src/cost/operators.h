@@ -1,0 +1,88 @@
+// Physical scan and join operators.
+//
+// The paper's plan space (Section 3) selects a join order plus a scan
+// operator per base table and a join operator per join. Pareto tradeoffs at
+// a fixed join order arise from operator *variants* that consume different
+// amounts of buffer memory (footnote 2, Section 4.3): we provide nested-loop
+// joins, block-nested-loop joins at two buffer budgets, hash joins at three
+// memory budgets, and sort-merge joins at two budgets.
+//
+// Operators also determine the *data representation* of their output (the
+// `SameOutput` test in Algorithms 2 and 3): sort-based operators emit sorted
+// streams, everything else emits unsorted pipelined tuples. Representation
+// matters upstream: sort-merge joins skip the sort phase for pre-sorted
+// inputs.
+#ifndef MOQO_COST_OPERATORS_H_
+#define MOQO_COST_OPERATORS_H_
+
+#include <string>
+#include <vector>
+
+namespace moqo {
+
+/// Physical scan algorithms.
+enum class ScanAlgorithm {
+  /// Sequential heap scan; fastest per page, needs a prefetch buffer.
+  kFullScan,
+  /// Index-order scan; slower per page and needs no buffer, but emits its
+  /// output sorted. Only applicable if the table has an index.
+  kIndexScan,
+};
+
+/// Physical join algorithms (variants encode buffer budgets).
+enum class JoinAlgorithm {
+  /// Tuple nested loop; minimal buffer, quadratic page cost.
+  kNestedLoop,
+  /// Block nested loop with a small block buffer.
+  kBlockNestedLoopSmall,
+  /// Block nested loop with a large block buffer.
+  kBlockNestedLoopLarge,
+  /// Hash join with a small memory budget (partitions to disk when the
+  /// build side exceeds the budget).
+  kHashSmall,
+  /// Hash join with a medium memory budget.
+  kHashMedium,
+  /// Hash join with a large memory budget.
+  kHashLarge,
+  /// Sort-merge join with a small sort buffer; output is sorted.
+  kSortMergeSmall,
+  /// Sort-merge join with a large sort buffer; output is sorted.
+  kSortMergeLarge,
+};
+
+/// Data representation of an operator's output stream; plans are only
+/// comparable during pruning when their representations match.
+enum class OutputFormat {
+  kUnsorted,
+  kSorted,
+};
+
+/// Number of distinct JoinAlgorithm values.
+inline constexpr int kNumJoinAlgorithms = 8;
+
+/// Number of distinct ScanAlgorithm values.
+inline constexpr int kNumScanAlgorithms = 2;
+
+/// All join algorithms, in enum order.
+const std::vector<JoinAlgorithm>& AllJoinAlgorithms();
+
+/// All scan algorithms, in enum order.
+const std::vector<ScanAlgorithm>& AllScanAlgorithms();
+
+/// Output representation of a scan.
+OutputFormat FormatOf(ScanAlgorithm op);
+
+/// Output representation of a join.
+OutputFormat FormatOf(JoinAlgorithm op);
+
+/// Buffer budget, in pages, granted to a join algorithm.
+double BufferPages(JoinAlgorithm op);
+
+/// Human-readable operator names ("hash-join(large)", "full-scan", ...).
+std::string ToString(ScanAlgorithm op);
+std::string ToString(JoinAlgorithm op);
+std::string ToString(OutputFormat format);
+
+}  // namespace moqo
+
+#endif  // MOQO_COST_OPERATORS_H_

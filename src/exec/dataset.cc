@@ -1,0 +1,39 @@
+#include "exec/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace moqo {
+
+Dataset::Dataset(QueryPtr query, Rng* rng, double scale, int max_rows)
+    : query_(std::move(query)) {
+  const int n = query_->NumTables();
+  tables_.resize(static_cast<size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    double rows = query_->catalog().Cardinality(t) * scale;
+    tables_[static_cast<size_t>(t)].num_rows = static_cast<int>(
+        std::clamp(rows, 1.0, static_cast<double>(max_rows)));
+  }
+
+  const auto& edges = query_->graph().Edges();
+  domains_.resize(edges.size());
+  for (size_t e = 0; e < edges.size(); ++e) {
+    const JoinEdge& edge = edges[e];
+    // Matching probability for two uniform keys over a domain of size D is
+    // 1/D; pick D ~ 1/selectivity.
+    double d = std::clamp(1.0 / std::max(edge.selectivity, 1e-12), 1.0, 1e15);
+    int64_t domain = static_cast<int64_t>(std::llround(d));
+    domains_[e] = std::max<int64_t>(1, domain);
+    for (int endpoint : {edge.left, edge.right}) {
+      TableData& data = tables_[static_cast<size_t>(endpoint)];
+      std::vector<int64_t>& column =
+          data.key_columns[static_cast<int>(e)];
+      column.resize(static_cast<size_t>(data.num_rows));
+      for (int64_t& key : column) {
+        key = rng->UniformInt64(0, domains_[e] - 1);
+      }
+    }
+  }
+}
+
+}  // namespace moqo

@@ -1,0 +1,66 @@
+// Synthetic table data honoring a query's statistics.
+//
+// The paper evaluates optimizers against cost models only; a downstream
+// user additionally wants to *run* the chosen plan. Dataset materializes
+// base tables consistent with a query's catalog and join graph: each table
+// gets (a scaled-down multiple of) its catalog cardinality in rows, and
+// for every join predicate (a, b, sel) both endpoint tables carry a join
+// key column drawn uniformly from a domain of size ~1/sel, so the expected
+// fraction of the cross product matching the predicate equals the
+// catalog's selectivity. Executing a plan over the dataset therefore
+// yields result sizes close to the optimizer's cardinality estimates
+// (validated by exec tests and bench/ext_executor_validation).
+#ifndef MOQO_EXEC_DATASET_H_
+#define MOQO_EXEC_DATASET_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "query/query.h"
+
+namespace moqo {
+
+/// Materialized rows of one base table: one join-key column per incident
+/// join predicate (keyed by the edge's index in the join graph).
+struct TableData {
+  int num_rows = 0;
+  std::unordered_map<int, std::vector<int64_t>> key_columns;
+};
+
+/// Synthetic database instance for a query.
+class Dataset {
+ public:
+  /// Materializes tables for `query`. Row counts are the catalog
+  /// cardinalities scaled by `scale` and clamped to [1, max_rows] (keeps
+  /// generation and execution tractable for large catalogs; scaling every
+  /// table by the same factor preserves relative plan quality).
+  Dataset(QueryPtr query, Rng* rng, double scale = 1.0,
+          int max_rows = 100000);
+
+  /// Rows and key columns of table `t`.
+  const TableData& table(int t) const {
+    return tables_[static_cast<size_t>(t)];
+  }
+
+  /// The query this instance was generated for.
+  const Query& query() const { return *query_; }
+
+  /// Key-domain size used for join-graph edge `e` (~ 1 / selectivity).
+  int64_t DomainOf(int edge) const {
+    return domains_[static_cast<size_t>(edge)];
+  }
+
+  /// Effective row count of table `t` (after scaling and clamping).
+  int RowsOf(int t) const { return table(t).num_rows; }
+
+ private:
+  QueryPtr query_;
+  std::vector<TableData> tables_;
+  std::vector<int64_t> domains_;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_EXEC_DATASET_H_

@@ -1,0 +1,323 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace moqo {
+
+namespace {
+
+// Index of table `t` within result.tables, or -1.
+int ColumnOf(const ResultSet& result, int t) {
+  for (size_t i = 0; i < result.tables.size(); ++i) {
+    if (result.tables[i] == t) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+// One equality predicate crossing the operands: compare the key of edge
+// `edge` on `left_column` of the outer result against `right_column` of
+// the inner result.
+struct CrossingPredicate {
+  int edge = 0;
+  int left_table = 0;
+  int right_table = 0;
+  int left_column = 0;
+  int right_column = 0;
+};
+
+std::vector<CrossingPredicate> CrossingPredicates(const Dataset& dataset,
+                                                  const ResultSet& left,
+                                                  const ResultSet& right) {
+  std::vector<CrossingPredicate> predicates;
+  const auto& edges = dataset.query().graph().Edges();
+  for (size_t e = 0; e < edges.size(); ++e) {
+    int a = edges[e].left;
+    int b = edges[e].right;
+    int la = ColumnOf(left, a);
+    int lb = ColumnOf(left, b);
+    int ra = ColumnOf(right, a);
+    int rb = ColumnOf(right, b);
+    if (la >= 0 && rb >= 0) {
+      predicates.push_back({static_cast<int>(e), a, b, la, rb});
+    } else if (lb >= 0 && ra >= 0) {
+      predicates.push_back({static_cast<int>(e), b, a, lb, ra});
+    }
+  }
+  return predicates;
+}
+
+int64_t KeyOf(const Dataset& dataset, int table, int edge, int32_t row) {
+  const auto& column = dataset.table(table).key_columns.at(edge);
+  return column[static_cast<size_t>(row)];
+}
+
+// Composite key of one result row under the given predicates (left side).
+uint64_t HashKeyLeft(const Dataset& dataset,
+                     const std::vector<CrossingPredicate>& preds,
+                     const std::vector<int32_t>& row) {
+  uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (const CrossingPredicate& p : preds) {
+    uint64_t k = static_cast<uint64_t>(
+        KeyOf(dataset, p.left_table, p.edge,
+              row[static_cast<size_t>(p.left_column)]));
+    k *= 0xff51afd7ed558ccdull;
+    k ^= k >> 33;
+    h = (h ^ k) * 0xc4ceb9fe1a85ec53ull;
+  }
+  return h;
+}
+
+uint64_t HashKeyRight(const Dataset& dataset,
+                      const std::vector<CrossingPredicate>& preds,
+                      const std::vector<int32_t>& row) {
+  uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (const CrossingPredicate& p : preds) {
+    uint64_t k = static_cast<uint64_t>(
+        KeyOf(dataset, p.right_table, p.edge,
+              row[static_cast<size_t>(p.right_column)]));
+    k *= 0xff51afd7ed558ccdull;
+    k ^= k >> 33;
+    h = (h ^ k) * 0xc4ceb9fe1a85ec53ull;
+  }
+  return h;
+}
+
+bool Matches(const Dataset& dataset,
+             const std::vector<CrossingPredicate>& preds,
+             const std::vector<int32_t>& left_row,
+             const std::vector<int32_t>& right_row, ExecStats* stats) {
+  if (stats != nullptr) ++stats->comparisons;
+  for (const CrossingPredicate& p : preds) {
+    int64_t lk = KeyOf(dataset, p.left_table, p.edge,
+                       left_row[static_cast<size_t>(p.left_column)]);
+    int64_t rk = KeyOf(dataset, p.right_table, p.edge,
+                       right_row[static_cast<size_t>(p.right_column)]);
+    if (lk != rk) return false;
+  }
+  return true;
+}
+
+// Concatenates left and right row tuples into the output schema.
+std::vector<int32_t> Combine(const ResultSet& left, const ResultSet& right,
+                             const std::vector<int>& out_tables,
+                             const std::vector<int32_t>& lrow,
+                             const std::vector<int32_t>& rrow) {
+  std::vector<int32_t> out(out_tables.size());
+  for (size_t i = 0; i < out_tables.size(); ++i) {
+    int lcol = ColumnOf(left, out_tables[i]);
+    if (lcol >= 0) {
+      out[i] = lrow[static_cast<size_t>(lcol)];
+    } else {
+      int rcol = ColumnOf(right, out_tables[i]);
+      assert(rcol >= 0);
+      out[i] = rrow[static_cast<size_t>(rcol)];
+    }
+  }
+  return out;
+}
+
+// Sort-key for sort-merge join: the tuple of crossing-edge keys.
+std::vector<int64_t> SortKeyLeft(const Dataset& dataset,
+                                 const std::vector<CrossingPredicate>& preds,
+                                 const std::vector<int32_t>& row) {
+  std::vector<int64_t> key;
+  key.reserve(preds.size());
+  for (const CrossingPredicate& p : preds) {
+    key.push_back(KeyOf(dataset, p.left_table, p.edge,
+                        row[static_cast<size_t>(p.left_column)]));
+  }
+  return key;
+}
+
+std::vector<int64_t> SortKeyRight(const Dataset& dataset,
+                                  const std::vector<CrossingPredicate>& preds,
+                                  const std::vector<int32_t>& row) {
+  std::vector<int64_t> key;
+  key.reserve(preds.size());
+  for (const CrossingPredicate& p : preds) {
+    key.push_back(KeyOf(dataset, p.right_table, p.edge,
+                        row[static_cast<size_t>(p.right_column)]));
+  }
+  return key;
+}
+
+}  // namespace
+
+Executor::Executor(const Dataset* dataset, int64_t max_intermediate_rows)
+    : dataset_(dataset), max_intermediate_rows_(max_intermediate_rows) {}
+
+std::optional<ResultSet> Executor::Execute(const PlanPtr& plan,
+                                           ExecStats* stats) {
+  if (!plan->IsJoin()) {
+    // Scans materialize the identity row list; an index scan delivers rows
+    // in key order, which is irrelevant for multiset results but mirrors
+    // the sorted output representation.
+    ResultSet result;
+    result.tables = {plan->table()};
+    int rows = dataset_->RowsOf(plan->table());
+    result.rows.reserve(static_cast<size_t>(rows));
+    for (int32_t r = 0; r < rows; ++r) result.rows.push_back({r});
+    if (stats != nullptr) {
+      stats->max_intermediate =
+          std::max(stats->max_intermediate, result.NumRows());
+      stats->rows_out = result.NumRows();
+    }
+    return result;
+  }
+
+  std::optional<ResultSet> left = Execute(plan->outer(), stats);
+  if (!left.has_value()) return std::nullopt;
+  std::optional<ResultSet> right = Execute(plan->inner(), stats);
+  if (!right.has_value()) return std::nullopt;
+
+  std::vector<CrossingPredicate> preds =
+      CrossingPredicates(*dataset_, *left, *right);
+
+  ResultSet out;
+  plan->rel().ForEach([&](int t) { out.tables.push_back(t); });
+
+  auto emit = [&](const std::vector<int32_t>& lrow,
+                  const std::vector<int32_t>& rrow) {
+    out.rows.push_back(Combine(*left, *right, out.tables, lrow, rrow));
+    return static_cast<int64_t>(out.rows.size()) <= max_intermediate_rows_;
+  };
+
+  bool ok = true;
+  switch (plan->join_op()) {
+    case JoinAlgorithm::kHashSmall:
+    case JoinAlgorithm::kHashMedium:
+    case JoinAlgorithm::kHashLarge: {
+      if (preds.empty()) {
+        // Cross product: no keys to hash; fall through to nested loops.
+        for (const auto& lrow : left->rows) {
+          for (const auto& rrow : right->rows) {
+            if (stats != nullptr) ++stats->comparisons;
+            if (!emit(lrow, rrow)) {
+              ok = false;
+              break;
+            }
+          }
+          if (!ok) break;
+        }
+        break;
+      }
+      // Build on the left (outer) input, probe with the right.
+      std::unordered_multimap<uint64_t, const std::vector<int32_t>*> table;
+      table.reserve(left->rows.size());
+      for (const auto& lrow : left->rows) {
+        table.emplace(HashKeyLeft(*dataset_, preds, lrow), &lrow);
+      }
+      for (const auto& rrow : right->rows) {
+        auto [begin, end] =
+            table.equal_range(HashKeyRight(*dataset_, preds, rrow));
+        for (auto it = begin; it != end && ok; ++it) {
+          if (Matches(*dataset_, preds, *it->second, rrow, stats)) {
+            if (!emit(*it->second, rrow)) ok = false;
+          }
+        }
+        if (!ok) break;
+      }
+      break;
+    }
+    case JoinAlgorithm::kSortMergeSmall:
+    case JoinAlgorithm::kSortMergeLarge: {
+      if (preds.empty()) {
+        for (const auto& lrow : left->rows) {
+          for (const auto& rrow : right->rows) {
+            if (stats != nullptr) ++stats->comparisons;
+            if (!emit(lrow, rrow)) {
+              ok = false;
+              break;
+            }
+          }
+          if (!ok) break;
+        }
+        break;
+      }
+      // Sort row indices of both inputs by their composite keys, merge.
+      auto make_order = [&](const ResultSet& side, bool is_left) {
+        std::vector<std::pair<std::vector<int64_t>, const std::vector<int32_t>*>>
+            order;
+        order.reserve(side.rows.size());
+        for (const auto& row : side.rows) {
+          order.emplace_back(is_left ? SortKeyLeft(*dataset_, preds, row)
+                                     : SortKeyRight(*dataset_, preds, row),
+                             &row);
+        }
+        std::sort(order.begin(), order.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        return order;
+      };
+      auto lorder = make_order(*left, true);
+      auto rorder = make_order(*right, false);
+      size_t i = 0;
+      size_t j = 0;
+      while (i < lorder.size() && j < rorder.size() && ok) {
+        if (stats != nullptr) ++stats->comparisons;
+        if (lorder[i].first < rorder[j].first) {
+          ++i;
+        } else if (rorder[j].first < lorder[i].first) {
+          ++j;
+        } else {
+          // Equal key groups: emit the cross product of the two groups.
+          size_t i_end = i;
+          while (i_end < lorder.size() && lorder[i_end].first == lorder[i].first) {
+            ++i_end;
+          }
+          size_t j_end = j;
+          while (j_end < rorder.size() && rorder[j_end].first == rorder[j].first) {
+            ++j_end;
+          }
+          for (size_t a = i; a < i_end && ok; ++a) {
+            for (size_t b = j; b < j_end && ok; ++b) {
+              if (!emit(*lorder[a].second, *rorder[b].second)) ok = false;
+            }
+          }
+          i = i_end;
+          j = j_end;
+        }
+      }
+      break;
+    }
+    case JoinAlgorithm::kNestedLoop:
+    case JoinAlgorithm::kBlockNestedLoopSmall:
+    case JoinAlgorithm::kBlockNestedLoopLarge: {
+      for (const auto& lrow : left->rows) {
+        for (const auto& rrow : right->rows) {
+          if (Matches(*dataset_, preds, lrow, rrow, stats)) {
+            if (!emit(lrow, rrow)) {
+              ok = false;
+              break;
+            }
+          }
+        }
+        if (!ok) break;
+      }
+      break;
+    }
+  }
+  if (!ok) return std::nullopt;
+
+  if (stats != nullptr) {
+    stats->max_intermediate = std::max(stats->max_intermediate, out.NumRows());
+    stats->rows_out = out.NumRows();
+  }
+  return out;
+}
+
+void Canonicalize(ResultSet* result) {
+  std::sort(result->rows.begin(), result->rows.end());
+}
+
+bool SameResult(const ResultSet& a, const ResultSet& b) {
+  if (a.tables != b.tables) return false;
+  ResultSet ca = a;
+  ResultSet cb = b;
+  Canonicalize(&ca);
+  Canonicalize(&cb);
+  return ca.rows == cb.rows;
+}
+
+}  // namespace moqo

@@ -1,0 +1,77 @@
+// Plan execution over synthetic datasets.
+//
+// Executes a physical plan produced by any optimizer in this library
+// against a Dataset, dispatching on each node's physical operator:
+// nested-loop and block-nested-loop joins run the quadratic algorithm,
+// hash joins build and probe a hash table on the crossing join keys, and
+// sort-merge joins sort both inputs and merge. Join predicates are
+// conjunctions of key equalities over all join-graph edges crossing the
+// operand table sets; operand pairs connected by no edge execute as cross
+// products (the paper's unconstrained bushy space allows them).
+//
+// Results are materialized as row-index tuples (one base-table row index
+// per joined table), so every operator must produce the same multiset of
+// result tuples for the same operand results — a strong correctness
+// oracle exercised by the exec tests.
+#ifndef MOQO_EXEC_EXECUTOR_H_
+#define MOQO_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "exec/dataset.h"
+#include "plan/plan.h"
+
+namespace moqo {
+
+/// Materialized (intermediate) result: `tables` lists the joined table ids
+/// in increasing order; every entry of `rows` holds one base-table row
+/// index per joined table, aligned with `tables`.
+struct ResultSet {
+  std::vector<int> tables;
+  std::vector<std::vector<int32_t>> rows;
+
+  /// Number of result tuples.
+  int64_t NumRows() const { return static_cast<int64_t>(rows.size()); }
+};
+
+/// Counters accumulated while executing one plan.
+struct ExecStats {
+  /// Tuples produced at the plan root.
+  int64_t rows_out = 0;
+  /// Join-predicate evaluations plus hash probes (work proxy).
+  int64_t comparisons = 0;
+  /// Largest intermediate result materialized.
+  int64_t max_intermediate = 0;
+};
+
+/// Executes plans against one dataset.
+class Executor {
+ public:
+  /// `max_intermediate_rows` aborts runaway plans (e.g. huge cross
+  /// products) before they exhaust memory.
+  explicit Executor(const Dataset* dataset,
+                    int64_t max_intermediate_rows = 5000000);
+
+  /// Runs `plan`; returns std::nullopt if an intermediate result would
+  /// exceed the configured cap.
+  std::optional<ResultSet> Execute(const PlanPtr& plan,
+                                   ExecStats* stats = nullptr);
+
+ private:
+  const Dataset* dataset_;
+  int64_t max_intermediate_rows_;
+};
+
+/// Canonicalizes a result set (sorts rows) so two results can be compared
+/// for multiset equality; exposed for tests.
+void Canonicalize(ResultSet* result);
+
+/// True if `a` and `b` join the same tables and contain the same multiset
+/// of row tuples.
+bool SameResult(const ResultSet& a, const ResultSet& b);
+
+}  // namespace moqo
+
+#endif  // MOQO_EXEC_EXECUTOR_H_

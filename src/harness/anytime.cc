@@ -1,0 +1,50 @@
+#include "harness/anytime.h"
+
+#include <algorithm>
+
+namespace moqo {
+
+AnytimeCallback AnytimeRecorder::MakeCallback() {
+  return [this](const std::vector<PlanPtr>& plans) { Record(plans); };
+}
+
+void AnytimeRecorder::RecordFinal(const std::vector<PlanPtr>& plans) {
+  Record(plans);
+}
+
+void AnytimeRecorder::Record(const std::vector<PlanPtr>& plans) {
+  FrontierSnapshot snap;
+  snap.elapsed_micros = watch_.ElapsedMicros();
+  snap.frontier.reserve(plans.size());
+  for (const PlanPtr& p : plans) snap.frontier.push_back(p->cost());
+  // Skip storing if identical in size and content to the previous snapshot
+  // (optimizers may report unchanged frontiers).
+  if (!snapshots_.empty()) {
+    const auto& prev = snapshots_.back().frontier;
+    if (prev.size() == snap.frontier.size()) {
+      bool same = true;
+      for (size_t i = 0; i < prev.size() && same; ++i) {
+        same = prev[i].EqualTo(snap.frontier[i]);
+      }
+      if (same) return;
+    }
+  }
+  snapshots_.push_back(std::move(snap));
+}
+
+std::vector<CostVector> AnytimeRecorder::FrontierAt(
+    int64_t elapsed_micros) const {
+  std::vector<CostVector> result;
+  for (const FrontierSnapshot& snap : snapshots_) {
+    if (snap.elapsed_micros > elapsed_micros) break;
+    result = snap.frontier;
+  }
+  return result;
+}
+
+std::vector<CostVector> AnytimeRecorder::FinalFrontier() const {
+  return snapshots_.empty() ? std::vector<CostVector>{}
+                            : snapshots_.back().frontier;
+}
+
+}  // namespace moqo

@@ -1,0 +1,61 @@
+// Anytime frontier recording.
+//
+// The paper compares algorithms "in terms of how well they approximate the
+// Pareto frontier after a certain amount of optimization time" (Section
+// 6.1), measuring quality at regular intervals. AnytimeRecorder timestamps
+// every frontier update an optimizer reports; after the run, the frontier
+// that was current at any checkpoint can be replayed and scored against a
+// reference frontier.
+#ifndef MOQO_HARNESS_ANYTIME_H_
+#define MOQO_HARNESS_ANYTIME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/deadline.h"
+#include "core/optimizer.h"
+#include "cost/cost_vector.h"
+
+namespace moqo {
+
+/// One timestamped frontier snapshot.
+struct FrontierSnapshot {
+  int64_t elapsed_micros = 0;
+  std::vector<CostVector> frontier;
+};
+
+/// Records timestamped frontier snapshots during one optimizer run.
+class AnytimeRecorder {
+ public:
+  AnytimeRecorder() = default;
+
+  /// Resets the clock; call immediately before Optimizer::Optimize.
+  void Start() { watch_.Restart(); }
+
+  /// Callback to hand to Optimizer::Optimize.
+  AnytimeCallback MakeCallback();
+
+  /// Records a final snapshot from the returned plan set (covers optimizers
+  /// that return without a trailing callback).
+  void RecordFinal(const std::vector<PlanPtr>& plans);
+
+  /// All snapshots in chronological order.
+  const std::vector<FrontierSnapshot>& snapshots() const { return snapshots_; }
+
+  /// The frontier current at `elapsed_micros` (the last snapshot at or
+  /// before that time); empty if nothing was produced yet.
+  std::vector<CostVector> FrontierAt(int64_t elapsed_micros) const;
+
+  /// The last recorded frontier (empty if none).
+  std::vector<CostVector> FinalFrontier() const;
+
+ private:
+  void Record(const std::vector<PlanPtr>& plans);
+
+  Stopwatch watch_;
+  std::vector<FrontierSnapshot> snapshots_;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_HARNESS_ANYTIME_H_

@@ -1,0 +1,28 @@
+#include "harness/csv.h"
+
+#include <cmath>
+#include <ostream>
+
+namespace moqo {
+
+void WriteExperimentCsv(const ExperimentResult& result, std::ostream& out) {
+  out << "graph,tables,algorithm,time_ms,median_alpha\n";
+  for (const CellResult& cell : result.cells) {
+    for (const CellSeries& series : cell.series) {
+      for (size_t c = 0; c < result.checkpoint_micros.size(); ++c) {
+        out << ToString(cell.graph) << ',' << cell.size << ','
+            << series.algorithm << ',' << result.checkpoint_micros[c] / 1000
+            << ',';
+        double alpha = series.median_alpha[c];
+        if (std::isinf(alpha)) {
+          out << "inf";
+        } else {
+          out << alpha;
+        }
+        out << '\n';
+      }
+    }
+  }
+}
+
+}  // namespace moqo

@@ -1,0 +1,19 @@
+// CSV rendering of experiment results, for plotting the paper's figures
+// with external tooling (pandas, gnuplot, ...).
+#ifndef MOQO_HARNESS_CSV_H_
+#define MOQO_HARNESS_CSV_H_
+
+#include <iosfwd>
+
+#include "harness/experiment.h"
+
+namespace moqo {
+
+/// Writes one row per (graph, size, algorithm, checkpoint):
+///   graph,tables,algorithm,time_ms,median_alpha
+/// Infinite alphas are rendered as the string "inf".
+void WriteExperimentCsv(const ExperimentResult& result, std::ostream& out);
+
+}  // namespace moqo
+
+#endif  // MOQO_HARNESS_CSV_H_

@@ -1,0 +1,152 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <limits>
+
+#include "baselines/dp.h"
+#include "harness/anytime.h"
+#include "pareto/epsilon_indicator.h"
+#include "plan/plan_factory.h"
+
+namespace moqo {
+
+std::vector<Metric> SampleMetrics(int l, Rng* rng) {
+  std::vector<Metric> pool = DefaultMetricPool();
+  std::shuffle(pool.begin(), pool.end(), rng->engine());
+  if (l > static_cast<int>(pool.size())) l = static_cast<int>(pool.size());
+  pool.resize(static_cast<size_t>(l));
+  return pool;
+}
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return std::numeric_limits<double>::infinity();
+  std::sort(values.begin(), values.end());
+  size_t n = values.size();
+  if (n % 2 == 1) return values[n / 2];
+  // With +inf entries the arithmetic mean can be inf; that is intended.
+  return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+namespace {
+
+// Per-algorithm alpha series of one test case.
+struct CaseResult {
+  std::vector<std::vector<double>> alphas;  // [algorithm][checkpoint]
+};
+
+CaseResult RunOneCase(const ExperimentConfig& config,
+                      const std::vector<AlgorithmSpec>& algorithms,
+                      GraphType graph, int size, int case_index,
+                      const std::vector<int64_t>& checkpoints) {
+  // Deterministic per-case seeds.
+  uint64_t case_seed = CombineSeed(config.seed, static_cast<uint64_t>(graph),
+                                   static_cast<uint64_t>(size),
+                                   static_cast<uint64_t>(case_index));
+  Rng gen_rng(case_seed);
+
+  GeneratorConfig gen;
+  gen.num_tables = size;
+  gen.graph_type = graph;
+  gen.selectivity_model = config.selectivity;
+  QueryPtr query = GenerateQuery(gen, &gen_rng);
+
+  CostModel cost_model(SampleMetrics(config.num_metrics, &gen_rng));
+  PlanFactory factory(query, &cost_model);
+
+  // Run every algorithm on the same query with its own RNG and recorder.
+  std::vector<AnytimeRecorder> recorders(algorithms.size());
+  for (size_t a = 0; a < algorithms.size(); ++a) {
+    std::unique_ptr<Optimizer> optimizer = algorithms[a].make();
+    Rng alg_rng(CombineSeed(case_seed, 0x5eed, a));
+    recorders[a].Start();
+    std::vector<PlanPtr> final_plans =
+        optimizer->Optimize(&factory, &alg_rng,
+                            Deadline::AfterMillis(config.timeout_ms),
+                            recorders[a].MakeCallback());
+    recorders[a].RecordFinal(final_plans);
+  }
+
+  // Build the reference frontier.
+  std::vector<CostVector> reference;
+  if (config.reference == ReferenceMode::kDpReference) {
+    DpConfig dp_config;
+    dp_config.alpha = config.dp_reference_alpha;
+    DpOptimizer dp(dp_config);
+    Rng dp_rng(case_seed);
+    std::vector<PlanPtr> dp_plans = dp.Optimize(
+        &factory, &dp_rng,
+        Deadline::AfterMillis(config.dp_reference_timeout_ms), nullptr);
+    for (const PlanPtr& p : dp_plans) reference.push_back(p->cost());
+    reference = ParetoFilter(std::move(reference));
+  }
+  if (reference.empty()) {
+    std::vector<std::vector<CostVector>> finals;
+    for (const AnytimeRecorder& rec : recorders) {
+      finals.push_back(rec.FinalFrontier());
+    }
+    reference = UnionFrontier(finals);
+  }
+
+  // Score every algorithm at every checkpoint.
+  CaseResult result;
+  result.alphas.resize(algorithms.size());
+  for (size_t a = 0; a < algorithms.size(); ++a) {
+    for (int64_t t : checkpoints) {
+      double alpha = AlphaError(recorders[a].FrontierAt(t), reference);
+      if (config.clip_alpha > 1.0) alpha = std::min(alpha, config.clip_alpha);
+      result.alphas[a].push_back(alpha);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+ExperimentResult RunExperiment(const ExperimentConfig& config,
+                               const std::vector<AlgorithmSpec>& algorithms) {
+  ExperimentResult result;
+  result.config = config;
+  for (int c = 1; c <= config.num_checkpoints; ++c) {
+    result.checkpoint_micros.push_back(config.timeout_ms * 1000 * c /
+                                       config.num_checkpoints);
+  }
+
+  for (GraphType graph : config.graphs) {
+    for (int size : config.sizes) {
+      std::cerr << "[" << config.title << "] " << ToString(graph) << ", "
+                << size << " tables: " << config.queries_per_point
+                << " queries x " << algorithms.size() << " algorithms...\n";
+      // alphas[algorithm][checkpoint][case]
+      std::vector<std::vector<std::vector<double>>> alphas(
+          algorithms.size(),
+          std::vector<std::vector<double>>(
+              result.checkpoint_micros.size()));
+      for (int q = 0; q < config.queries_per_point; ++q) {
+        CaseResult one = RunOneCase(config, algorithms, graph, size, q,
+                                    result.checkpoint_micros);
+        for (size_t a = 0; a < algorithms.size(); ++a) {
+          for (size_t c = 0; c < result.checkpoint_micros.size(); ++c) {
+            alphas[a][c].push_back(one.alphas[a][c]);
+          }
+        }
+      }
+      CellResult cell;
+      cell.graph = graph;
+      cell.size = size;
+      for (size_t a = 0; a < algorithms.size(); ++a) {
+        CellSeries series;
+        series.algorithm = algorithms[a].name;
+        for (size_t c = 0; c < result.checkpoint_micros.size(); ++c) {
+          series.median_alpha.push_back(Median(alphas[a][c]));
+        }
+        cell.series.push_back(std::move(series));
+      }
+      result.cells.push_back(std::move(cell));
+    }
+  }
+  return result;
+}
+
+}  // namespace moqo

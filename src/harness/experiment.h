@@ -1,0 +1,94 @@
+// Experiment runner reproducing the paper's evaluation methodology
+// (Section 6.1):
+//
+//  * random queries per (join graph structure, query size) cell;
+//  * per test case, l cost metrics drawn uniformly from {time, buffer,
+//    disk};
+//  * every algorithm runs on the same queries with the same time budget;
+//  * quality = the lowest alpha such that the produced plan set is an
+//    alpha-approximate Pareto set of a reference frontier;
+//  * the reference frontier is the Pareto-filtered union of all
+//    algorithms' final outputs (large queries, Figures 1-7) or a DP(1.01)
+//    frontier with formal guarantees (small queries, Figures 8-9);
+//  * reported values are medians over the test cases of a cell, sampled at
+//    regular time checkpoints.
+#ifndef MOQO_HARNESS_EXPERIMENT_H_
+#define MOQO_HARNESS_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/suite.h"
+#include "query/generator.h"
+
+namespace moqo {
+
+/// How the reference frontier of a test case is obtained.
+enum class ReferenceMode {
+  /// Pareto-filtered union of all algorithms' final frontiers.
+  kUnionOfFinal,
+  /// DP with a small alpha (falls back to union if DP cannot finish).
+  kDpReference,
+};
+
+/// Full description of one experiment (one paper figure).
+struct ExperimentConfig {
+  std::string title;
+  std::vector<GraphType> graphs = {GraphType::kChain, GraphType::kCycle,
+                                   GraphType::kStar};
+  std::vector<int> sizes = {10, 25, 50};
+  int num_metrics = 2;
+  int queries_per_point = 3;
+  SelectivityModel selectivity = SelectivityModel::kSteinbrunn;
+  int64_t timeout_ms = 100;
+  /// Number of equally spaced measurement checkpoints within the timeout.
+  int num_checkpoints = 6;
+  uint64_t seed = 42;
+  ReferenceMode reference = ReferenceMode::kUnionOfFinal;
+  /// Alpha and budget for the DP reference (ReferenceMode::kDpReference).
+  double dp_reference_alpha = 1.01;
+  int64_t dp_reference_timeout_ms = 5000;
+  /// If > 1, reported alphas are clipped to this value (the paper clips
+  /// Figures 6-9 plots to visualize the competitive range).
+  double clip_alpha = 0.0;
+};
+
+/// Median-alpha series of one algorithm within one cell.
+struct CellSeries {
+  std::string algorithm;
+  /// Median alpha at each checkpoint; +infinity when the algorithm had not
+  /// produced any plan yet for at least half the test cases.
+  std::vector<double> median_alpha;
+};
+
+/// Results for one (graph structure, query size) cell.
+struct CellResult {
+  GraphType graph = GraphType::kChain;
+  int size = 0;
+  std::vector<CellSeries> series;
+};
+
+/// Results of a full experiment.
+struct ExperimentResult {
+  ExperimentConfig config;
+  /// Measurement times (microseconds since optimizer start).
+  std::vector<int64_t> checkpoint_micros;
+  std::vector<CellResult> cells;
+};
+
+/// Runs `config` over `algorithms` and collects median alpha-error series.
+/// Progress lines are written to stderr.
+ExperimentResult RunExperiment(const ExperimentConfig& config,
+                               const std::vector<AlgorithmSpec>& algorithms);
+
+/// Draws `l` distinct metrics uniformly from the default pool, matching the
+/// paper's per-test-case metric selection. Exposed for tests.
+std::vector<Metric> SampleMetrics(int l, Rng* rng);
+
+/// Median of a vector (+infinity entries participate; empty -> +infinity).
+double Median(std::vector<double> values);
+
+}  // namespace moqo
+
+#endif  // MOQO_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,61 @@
+#include "harness/report.h"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace moqo {
+
+std::string FormatAlpha(double alpha) {
+  if (std::isinf(alpha)) return "inf";
+  std::ostringstream out;
+  if (alpha < 100.0) {
+    out << std::fixed << std::setprecision(3) << alpha;
+  } else {
+    out << "1e" << std::fixed << std::setprecision(1) << std::log10(alpha);
+  }
+  return out.str();
+}
+
+void PrintExperiment(const ExperimentResult& result, std::ostream& out) {
+  const ExperimentConfig& config = result.config;
+  out << "### " << config.title << "\n";
+  out << "metrics=" << config.num_metrics
+      << " selectivity=" << ToString(config.selectivity)
+      << " timeout=" << config.timeout_ms << "ms"
+      << " queries/point=" << config.queries_per_point;
+  if (config.clip_alpha > 1.0) out << " clip=" << FormatAlpha(config.clip_alpha);
+  out << "\n\n";
+
+  for (const CellResult& cell : result.cells) {
+    out << "== " << ToString(cell.graph) << ", " << cell.size
+        << " tables (median alpha; lower is better) ==\n";
+    out << std::setw(10) << "time_ms";
+    for (const CellSeries& s : cell.series) {
+      out << std::setw(14) << s.algorithm;
+    }
+    out << "\n";
+    for (size_t c = 0; c < result.checkpoint_micros.size(); ++c) {
+      out << std::setw(10) << result.checkpoint_micros[c] / 1000;
+      for (const CellSeries& s : cell.series) {
+        out << std::setw(14) << FormatAlpha(s.median_alpha[c]);
+      }
+      out << "\n";
+    }
+    // Winner at the final checkpoint.
+    size_t last = result.checkpoint_micros.size() - 1;
+    std::string winner = "-";
+    double best = std::numeric_limits<double>::infinity();
+    for (const CellSeries& s : cell.series) {
+      if (s.median_alpha[last] < best) {
+        best = s.median_alpha[last];
+        winner = s.algorithm;
+      }
+    }
+    out << "  winner@final: " << winner << " (alpha=" << FormatAlpha(best)
+        << ")\n\n";
+  }
+}
+
+}  // namespace moqo

@@ -1,0 +1,23 @@
+// Paper-style text rendering of experiment results.
+#ifndef MOQO_HARNESS_REPORT_H_
+#define MOQO_HARNESS_REPORT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "harness/experiment.h"
+
+namespace moqo {
+
+/// Formats an alpha value the way the paper's log-scale axes read: "1.02",
+/// "1e6", "1e40", or "inf" when no plan was produced.
+std::string FormatAlpha(double alpha);
+
+/// Prints one table per (graph, size) cell: rows are checkpoints, columns
+/// are algorithms, entries are median alpha approximation errors; followed
+/// by a winner summary per cell.
+void PrintExperiment(const ExperimentResult& result, std::ostream& out);
+
+}  // namespace moqo
+
+#endif  // MOQO_HARNESS_REPORT_H_

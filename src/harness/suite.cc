@@ -1,0 +1,54 @@
+#include "harness/suite.h"
+
+#include <limits>
+
+#include "baselines/dp.h"
+#include "baselines/iterative_improvement.h"
+#include "baselines/nsga2.h"
+#include "baselines/simulated_annealing.h"
+#include "baselines/two_phase.h"
+#include "core/rmq.h"
+
+namespace moqo {
+
+namespace {
+
+AlgorithmSpec DpSpec(double alpha) {
+  DpConfig config;
+  config.alpha = alpha;
+  DpOptimizer probe(config);
+  return {probe.name(), [config] { return std::make_unique<DpOptimizer>(config); }};
+}
+
+}  // namespace
+
+std::vector<AlgorithmSpec> RandomizedSuite() {
+  return {
+      {"SA", [] { return std::make_unique<SimulatedAnnealing>(); }},
+      {"2P", [] { return std::make_unique<TwoPhase>(); }},
+      {"NSGA-II", [] { return std::make_unique<Nsga2>(); }},
+      {"II", [] { return std::make_unique<IterativeImprovement>(); }},
+      {"RMQ", [] { return std::make_unique<Rmq>(); }},
+  };
+}
+
+std::vector<AlgorithmSpec> StandardSuite() {
+  std::vector<AlgorithmSpec> suite = {
+      DpSpec(std::numeric_limits<double>::infinity()),
+      DpSpec(1000.0),
+      DpSpec(2.0),
+  };
+  for (AlgorithmSpec& spec : RandomizedSuite()) {
+    suite.push_back(std::move(spec));
+  }
+  return suite;
+}
+
+AlgorithmSpec SpecByName(const std::string& name) {
+  for (AlgorithmSpec& spec : StandardSuite()) {
+    if (spec.name == name) return spec;
+  }
+  return {name, nullptr};
+}
+
+}  // namespace moqo

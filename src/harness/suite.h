@@ -1,0 +1,34 @@
+// Algorithm suites used by the paper's evaluation.
+#ifndef MOQO_HARNESS_SUITE_H_
+#define MOQO_HARNESS_SUITE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/optimizer.h"
+
+namespace moqo {
+
+/// A named optimizer factory; experiments instantiate one optimizer per
+/// (query, algorithm) pair so runs never share internal state.
+struct AlgorithmSpec {
+  std::string name;
+  std::function<std::unique_ptr<Optimizer>()> make;
+};
+
+/// The full suite of Figures 1-2 and 4-9: DP(Infinity), DP(1000), DP(2),
+/// SA, 2P, NSGA-II, II, RMQ.
+std::vector<AlgorithmSpec> StandardSuite();
+
+/// Only the randomized algorithms: SA, 2P, NSGA-II, II, RMQ.
+std::vector<AlgorithmSpec> RandomizedSuite();
+
+/// Looks up a spec by name from either suite ("RMQ", "II", "SA", "2P",
+/// "NSGA-II", "DP(2)", ...); returns nullptr-make spec if unknown.
+AlgorithmSpec SpecByName(const std::string& name);
+
+}  // namespace moqo
+
+#endif  // MOQO_HARNESS_SUITE_H_

@@ -1,0 +1,52 @@
+#include "pareto/epsilon_indicator.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace moqo {
+
+std::vector<CostVector> ParetoFilter(std::vector<CostVector> vectors) {
+  std::vector<CostVector> out;
+  for (const CostVector& v : vectors) {
+    bool dominated = false;
+    for (const CostVector& kept : out) {
+      if (kept.WeakDominates(v)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [&](const CostVector& kept) {
+                               return v.StrictlyDominates(kept);
+                             }),
+              out.end());
+    out.push_back(v);
+  }
+  return out;
+}
+
+double AlphaError(const std::vector<CostVector>& approx,
+                  const std::vector<CostVector>& reference) {
+  if (reference.empty()) return 1.0;
+  if (approx.empty()) return std::numeric_limits<double>::infinity();
+  double worst = 1.0;
+  for (const CostVector& r : reference) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const CostVector& a : approx) {
+      best = std::min(best, a.MaxRatioOver(r));
+      if (best <= worst) break;  // cannot raise the max any further
+    }
+    worst = std::max(worst, best);
+  }
+  return worst;
+}
+
+std::vector<CostVector> UnionFrontier(
+    const std::vector<std::vector<CostVector>>& frontiers) {
+  std::vector<CostVector> all;
+  for (const auto& f : frontiers) all.insert(all.end(), f.begin(), f.end());
+  return ParetoFilter(std::move(all));
+}
+
+}  // namespace moqo

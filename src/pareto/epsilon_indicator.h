@@ -1,0 +1,34 @@
+// Approximation-quality measurement.
+//
+// The paper judges an optimizer's plan set by the lowest alpha such that the
+// set is an alpha-approximate Pareto set of a reference frontier: for every
+// reference vector r there must be a produced vector a with a <= alpha * r
+// component-wise. This equals the multiplicative epsilon indicator of
+// Zitzler & Thiele with alpha = 1 + epsilon (Section 6.1).
+#ifndef MOQO_PARETO_EPSILON_INDICATOR_H_
+#define MOQO_PARETO_EPSILON_INDICATOR_H_
+
+#include <vector>
+
+#include "cost/cost_vector.h"
+
+namespace moqo {
+
+/// Removes strictly dominated vectors and exact duplicates; the result is a
+/// Pareto frontier (mutually non-dominated cost vectors).
+std::vector<CostVector> ParetoFilter(std::vector<CostVector> vectors);
+
+/// Smallest alpha >= 1 such that `approx` alpha-approximately dominates
+/// every vector in `reference`. Returns +infinity if `approx` is empty and
+/// `reference` is not; returns 1 if `reference` is empty.
+double AlphaError(const std::vector<CostVector>& approx,
+                  const std::vector<CostVector>& reference);
+
+/// Pareto-filtered union of several frontiers; used to build the evaluation
+/// reference frontier from all algorithms' outputs (Section 6.1).
+std::vector<CostVector> UnionFrontier(
+    const std::vector<std::vector<CostVector>>& frontiers);
+
+}  // namespace moqo
+
+#endif  // MOQO_PARETO_EPSILON_INDICATOR_H_

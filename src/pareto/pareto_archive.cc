@@ -1,0 +1,28 @@
+#include "pareto/pareto_archive.h"
+
+#include <algorithm>
+
+namespace moqo {
+
+bool ParetoArchive::Insert(PlanPtr plan) {
+  for (const PlanPtr& p : plans_) {
+    if (p->cost().WeakDominates(plan->cost())) return false;
+  }
+  plans_.erase(std::remove_if(plans_.begin(), plans_.end(),
+                              [&](const PlanPtr& p) {
+                                return plan->cost().StrictlyDominates(
+                                    p->cost());
+                              }),
+               plans_.end());
+  plans_.push_back(std::move(plan));
+  return true;
+}
+
+std::vector<CostVector> ParetoArchive::Frontier() const {
+  std::vector<CostVector> out;
+  out.reserve(plans_.size());
+  for (const PlanPtr& p : plans_) out.push_back(p->cost());
+  return out;
+}
+
+}  // namespace moqo

@@ -1,0 +1,51 @@
+// Non-dominated plan archives.
+//
+// A ParetoArchive maintains the set of mutually non-dominated plans seen so
+// far, compared on cost vectors only (the final result set of a
+// multi-objective optimizer; the paper's quality metric judges cost vectors,
+// not data representations). Equal-cost duplicates are kept only once.
+//
+// This differs from the *plan cache* pruning of Algorithm 3 (see
+// core/plan_cache.h), which is representation-aware and approximate.
+#ifndef MOQO_PARETO_PARETO_ARCHIVE_H_
+#define MOQO_PARETO_PARETO_ARCHIVE_H_
+
+#include <vector>
+
+#include "cost/cost_vector.h"
+#include "plan/plan.h"
+
+namespace moqo {
+
+/// Set of mutually non-dominated plans (cost-only comparison).
+class ParetoArchive {
+ public:
+  ParetoArchive() = default;
+
+  /// Inserts `plan` unless an archived plan weakly dominates it; evicts
+  /// archived plans that `plan` strictly dominates. Returns true if the
+  /// plan was inserted.
+  bool Insert(PlanPtr plan);
+
+  /// The archived plans (unspecified order).
+  const std::vector<PlanPtr>& plans() const { return plans_; }
+
+  /// Cost vectors of the archived plans.
+  std::vector<CostVector> Frontier() const;
+
+  /// Number of archived plans.
+  size_t size() const { return plans_.size(); }
+
+  /// True if no plan has been archived.
+  bool empty() const { return plans_.empty(); }
+
+  /// Removes all plans.
+  void Clear() { plans_.clear(); }
+
+ private:
+  std::vector<PlanPtr> plans_;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_PARETO_PARETO_ARCHIVE_H_

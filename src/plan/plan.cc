@@ -1,0 +1,52 @@
+#include "plan/plan.h"
+
+#include <sstream>
+
+namespace moqo {
+
+namespace {
+
+const char* JoinAbbrev(JoinAlgorithm op) {
+  switch (op) {
+    case JoinAlgorithm::kNestedLoop:
+      return "NL";
+    case JoinAlgorithm::kBlockNestedLoopSmall:
+      return "BNLs";
+    case JoinAlgorithm::kBlockNestedLoopLarge:
+      return "BNLl";
+    case JoinAlgorithm::kHashSmall:
+      return "HJs";
+    case JoinAlgorithm::kHashMedium:
+      return "HJm";
+    case JoinAlgorithm::kHashLarge:
+      return "HJl";
+    case JoinAlgorithm::kSortMergeSmall:
+      return "SMs";
+    case JoinAlgorithm::kSortMergeLarge:
+      return "SMl";
+  }
+  return "?";
+}
+
+void Render(const Plan& p, std::ostringstream& out) {
+  if (!p.IsJoin()) {
+    out << 'T' << p.table();
+    if (p.scan_op() == ScanAlgorithm::kIndexScan) out << 'i';
+    return;
+  }
+  out << '(';
+  Render(*p.outer(), out);
+  out << ' ' << JoinAbbrev(p.join_op()) << ' ';
+  Render(*p.inner(), out);
+  out << ')';
+}
+
+}  // namespace
+
+std::string Plan::ToString() const {
+  std::ostringstream out;
+  Render(*this, out);
+  return out.str();
+}
+
+}  // namespace moqo

@@ -1,0 +1,111 @@
+// Immutable query plan trees.
+//
+// A plan is a labeled binary tree (Section 3 of the paper): leaves are
+// ScanPlan(table, scanOp) nodes and inner nodes are JoinPlan(outer, inner,
+// joinOp) nodes. Plans are immutable and reference-counted, so the plan
+// cache, Pareto archives, and optimizers share sub-plans structurally —
+// each cached plan costs O(1) additional space exactly as the paper's
+// space analysis (Theorem 5) assumes.
+//
+// Every node carries its derived properties, computed once at construction
+// by the PlanFactory: the joined table set `rel`, the estimated output
+// cardinality and tuple width, the output data representation, and the full
+// cost vector under the factory's cost model.
+#ifndef MOQO_PLAN_PLAN_H_
+#define MOQO_PLAN_PLAN_H_
+
+#include <memory>
+#include <string>
+
+#include "common/table_set.h"
+#include "cost/cost_vector.h"
+#include "cost/operators.h"
+
+namespace moqo {
+
+class Plan;
+
+/// Shared handle to an immutable plan node.
+using PlanPtr = std::shared_ptr<const Plan>;
+
+/// One node of an immutable plan tree. Construct via PlanFactory.
+class Plan {
+ public:
+  /// True for join nodes (|rel| > 1), false for scan leaves.
+  bool IsJoin() const { return outer_ != nullptr; }
+
+  /// Set of tables joined by this (sub-)plan.
+  const TableSet& rel() const { return rel_; }
+
+  /// Outer child (join nodes only).
+  const PlanPtr& outer() const { return outer_; }
+
+  /// Inner child (join nodes only).
+  const PlanPtr& inner() const { return inner_; }
+
+  /// Scanned table id (scan leaves only).
+  int table() const { return table_; }
+
+  /// Scan operator (scan leaves only).
+  ScanAlgorithm scan_op() const { return scan_op_; }
+
+  /// Join operator (join nodes only).
+  JoinAlgorithm join_op() const { return join_op_; }
+
+  /// Cost vector under the owning factory's cost model.
+  const CostVector& cost() const { return cost_; }
+
+  /// Estimated output cardinality (rows).
+  double cardinality() const { return cardinality_; }
+
+  /// Estimated output tuple width (bytes).
+  double tuple_bytes() const { return tuple_bytes_; }
+
+  /// Output data representation; the `SameOutput` test of Algorithms 2/3
+  /// compares this tag.
+  OutputFormat format() const { return format_; }
+
+  /// Total number of nodes in this subtree (2 * |rel| - 1).
+  int NodeCount() const { return node_count_; }
+
+  /// Renders e.g. "((T0 HJ T1) SM T2)" for debugging and logs.
+  std::string ToString() const;
+
+ private:
+  friend class PlanFactory;
+  Plan() = default;
+
+  TableSet rel_;
+  PlanPtr outer_;
+  PlanPtr inner_;
+  int table_ = -1;
+  ScanAlgorithm scan_op_ = ScanAlgorithm::kFullScan;
+  JoinAlgorithm join_op_ = JoinAlgorithm::kNestedLoop;
+  CostVector cost_;
+  double cardinality_ = 0.0;
+  double tuple_bytes_ = 0.0;
+  OutputFormat format_ = OutputFormat::kUnsorted;
+  int node_count_ = 1;
+};
+
+/// True if `a` and `b` produce the same output data representation; plans
+/// with different representations are never pruned against each other.
+inline bool SameOutput(const Plan& a, const Plan& b) {
+  return a.format() == b.format();
+}
+
+/// The paper's `Better` (Algorithm 2): same output representation and
+/// strictly dominating cost.
+inline bool BetterPlan(const Plan& a, const Plan& b) {
+  return SameOutput(a, b) && a.cost().StrictlyDominates(b.cost());
+}
+
+/// The paper's `SigBetter` (Algorithm 3): same output representation and
+/// approximately dominating cost with coarsening factor alpha.
+inline bool SigBetterPlan(const Plan& a, const Plan& b, double alpha) {
+  return SameOutput(a, b) && a.cost().ApproxDominates(b.cost(), alpha);
+}
+
+}  // namespace moqo
+
+#endif  // MOQO_PLAN_PLAN_H_

@@ -1,0 +1,70 @@
+#include "plan/plan_export.h"
+
+#include <sstream>
+
+namespace moqo {
+
+namespace {
+
+void CostJson(const CostVector& cost, std::ostringstream& out) {
+  out << '[';
+  for (int i = 0; i < cost.size(); ++i) {
+    if (i > 0) out << ',';
+    out << cost[i];
+  }
+  out << ']';
+}
+
+void PlanJson(const Plan& plan, std::ostringstream& out) {
+  out << '{';
+  if (plan.IsJoin()) {
+    out << "\"op\":\"" << ToString(plan.join_op()) << "\"";
+  } else {
+    out << "\"op\":\"" << ToString(plan.scan_op()) << "\""
+        << ",\"table\":" << plan.table();
+  }
+  out << ",\"card\":" << plan.cardinality();
+  out << ",\"format\":\"" << ToString(plan.format()) << "\"";
+  out << ",\"cost\":";
+  CostJson(plan.cost(), out);
+  if (plan.IsJoin()) {
+    out << ",\"outer\":";
+    PlanJson(*plan.outer(), out);
+    out << ",\"inner\":";
+    PlanJson(*plan.inner(), out);
+  }
+  out << '}';
+}
+
+}  // namespace
+
+std::string PlanToJson(const PlanPtr& plan) {
+  std::ostringstream out;
+  PlanJson(*plan, out);
+  return out.str();
+}
+
+std::string FrontierToJson(const std::vector<PlanPtr>& plans) {
+  std::ostringstream out;
+  out << '[';
+  for (size_t i = 0; i < plans.size(); ++i) {
+    if (i > 0) out << ',';
+    PlanJson(*plans[i], out);
+  }
+  out << ']';
+  return out.str();
+}
+
+std::string FrontierToCsv(const std::vector<PlanPtr>& plans,
+                          const std::vector<Metric>& metrics) {
+  std::ostringstream out;
+  for (const Metric& m : metrics) out << ToString(m) << ',';
+  out << "plan\n";
+  for (const PlanPtr& p : plans) {
+    for (int i = 0; i < p->cost().size(); ++i) out << p->cost()[i] << ',';
+    out << '"' << p->ToString() << "\"\n";
+  }
+  return out.str();
+}
+
+}  // namespace moqo

@@ -1,0 +1,33 @@
+// Plan and frontier serialization.
+//
+// Downstream tooling (plotting the paper's figures, feeding plans to an
+// execution engine, diffing optimizer outputs) needs machine-readable
+// plans: JSON for single plan trees, CSV for frontiers of cost vectors.
+#ifndef MOQO_PLAN_PLAN_EXPORT_H_
+#define MOQO_PLAN_PLAN_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "plan/plan.h"
+
+namespace moqo {
+
+/// Renders `plan` as a JSON object:
+///   scan:  {"op":"full-scan","table":3,"card":1000,"cost":[...]}
+///   join:  {"op":"hash-join(large)","cost":[...],"outer":{...},"inner":{...}}
+std::string PlanToJson(const PlanPtr& plan);
+
+/// Renders a whole frontier as a JSON array of PlanToJson objects.
+std::string FrontierToJson(const std::vector<PlanPtr>& plans);
+
+/// Renders a frontier as CSV: one header row naming the metrics, then one
+/// row of cost values per plan, followed by the rendered plan string.
+/// Suitable for pandas / gnuplot.
+std::string FrontierToCsv(const std::vector<PlanPtr>& plans,
+                          const std::vector<Metric>& metrics);
+
+}  // namespace moqo
+
+#endif  // MOQO_PLAN_PLAN_EXPORT_H_

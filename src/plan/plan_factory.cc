@@ -1,0 +1,96 @@
+#include "plan/plan_factory.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace moqo {
+
+PlanFactory::PlanFactory(QueryPtr query, const CostModel* cost_model)
+    : query_(std::move(query)), cost_model_(cost_model) {
+  assert(query_ != nullptr);
+  assert(cost_model_ != nullptr);
+}
+
+const PlanFactory::SetStats& PlanFactory::StatsFor(const TableSet& s) {
+  auto it = set_stats_.find(s);
+  if (it != set_stats_.end()) return it->second;
+
+  SetStats stats{1.0, 0.0};
+  s.ForEach([&](int t) {
+    stats.cardinality *= query_->catalog().Cardinality(t);
+    stats.cardinality = std::min(stats.cardinality, kMaxCardinality);
+    stats.tuple_bytes += query_->catalog().Table(t).tuple_bytes;
+  });
+  stats.cardinality *= query_->graph().SelectivityWithin(s);
+  stats.cardinality = std::clamp(stats.cardinality, 1.0, kMaxCardinality);
+  return set_stats_.emplace(s, stats).first->second;
+}
+
+double PlanFactory::Cardinality(const TableSet& s) {
+  return StatsFor(s).cardinality;
+}
+
+double PlanFactory::TupleBytes(const TableSet& s) {
+  return StatsFor(s).tuple_bytes;
+}
+
+std::vector<ScanAlgorithm> PlanFactory::ApplicableScans(int table) const {
+  std::vector<ScanAlgorithm> ops;
+  for (ScanAlgorithm op : AllScanAlgorithms()) {
+    if (cost_model_->ScanApplicable(query_->catalog().Table(table), op)) {
+      ops.push_back(op);
+    }
+  }
+  return ops;
+}
+
+PlanPtr PlanFactory::MakeScan(int table, ScanAlgorithm op) {
+  assert(table >= 0 && table < query_->NumTables());
+  const TableStats& stats = query_->catalog().Table(table);
+  assert(cost_model_->ScanApplicable(stats, op));
+
+  auto plan = std::shared_ptr<Plan>(new Plan());
+  plan->rel_ = TableSet::Singleton(table);
+  plan->table_ = table;
+  plan->scan_op_ = op;
+  plan->cardinality_ = stats.cardinality;
+  plan->tuple_bytes_ = stats.tuple_bytes;
+  plan->format_ = FormatOf(op);
+  plan->cost_ = cost_model_->ScanCost(stats, op);
+  plan->node_count_ = 1;
+  ++plans_built_;
+  return plan;
+}
+
+PlanPtr PlanFactory::MakeJoin(PlanPtr outer, PlanPtr inner, JoinAlgorithm op) {
+  assert(outer != nullptr && inner != nullptr);
+  assert(!outer->rel().Empty() && !inner->rel().Empty());
+  assert(outer->rel().DisjointWith(inner->rel()));
+
+  auto plan = std::shared_ptr<Plan>(new Plan());
+  plan->rel_ = outer->rel().Union(inner->rel());
+  const SetStats& stats = StatsFor(plan->rel_);
+  plan->join_op_ = op;
+  plan->cardinality_ = stats.cardinality;
+  plan->tuple_bytes_ = stats.tuple_bytes;
+  plan->format_ = FormatOf(op);
+  CostVector op_cost = cost_model_->JoinCost(
+      op, outer->cardinality(), outer->tuple_bytes(), outer->format(),
+      inner->cardinality(), inner->tuple_bytes(), inner->format(),
+      stats.cardinality);
+  plan->cost_ = cost_model_->Combine(outer->cost(), inner->cost(), op_cost);
+  plan->node_count_ = outer->NodeCount() + inner->NodeCount() + 1;
+  plan->outer_ = std::move(outer);
+  plan->inner_ = std::move(inner);
+  ++plans_built_;
+  return plan;
+}
+
+PlanPtr PlanFactory::Rebuild(const PlanPtr& plan) {
+  if (!plan->IsJoin()) return MakeScan(plan->table(), plan->scan_op());
+  return MakeJoin(Rebuild(plan->outer()), Rebuild(plan->inner()),
+                  plan->join_op());
+}
+
+}  // namespace moqo

@@ -1,0 +1,78 @@
+// PlanFactory: the only way to construct plans.
+//
+// The factory binds a query and a cost model, memoizes cardinality and
+// tuple-width estimates per table set (the estimate depends only on the set
+// of joined tables, not on the join order), and stamps every constructed
+// node with its derived properties. Centralizing construction guarantees
+// that any two plans for the same query are always compared under identical
+// statistics.
+#ifndef MOQO_PLAN_PLAN_FACTORY_H_
+#define MOQO_PLAN_PLAN_FACTORY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/table_set.h"
+#include "cost/cost_model.h"
+#include "plan/plan.h"
+#include "query/query.h"
+
+namespace moqo {
+
+/// Builds scan and join plans with costs under a fixed query + cost model.
+class PlanFactory {
+ public:
+  /// The factory keeps a reference to `cost_model`; the caller must keep it
+  /// alive for the factory's lifetime.
+  PlanFactory(QueryPtr query, const CostModel* cost_model);
+
+  /// The query being optimized.
+  const Query& query() const { return *query_; }
+
+  /// Shared handle to the query.
+  const QueryPtr& query_ptr() const { return query_; }
+
+  /// The cost model used for all plans from this factory.
+  const CostModel& cost_model() const { return *cost_model_; }
+
+  /// Builds ScanPlan(table, op). `op` must be applicable to the table.
+  PlanPtr MakeScan(int table, ScanAlgorithm op);
+
+  /// Builds JoinPlan(outer, inner, op). The children's table sets must be
+  /// disjoint and non-empty.
+  PlanPtr MakeJoin(PlanPtr outer, PlanPtr inner, JoinAlgorithm op);
+
+  /// Rebuilds `plan` node-for-node (same shape and operators). Used by
+  /// tests to verify that cost stamping is deterministic.
+  PlanPtr Rebuild(const PlanPtr& plan);
+
+  /// Scan operators applicable to `table` under the catalog.
+  std::vector<ScanAlgorithm> ApplicableScans(int table) const;
+
+  /// Estimated output cardinality of joining exactly the tables in `s`
+  /// (order-independent; memoized; capped at kMaxCardinality).
+  double Cardinality(const TableSet& s);
+
+  /// Estimated output tuple width of the tables in `s`, in bytes.
+  double TupleBytes(const TableSet& s);
+
+  /// Number of plans constructed so far (observability for benches).
+  int64_t plans_built() const { return plans_built_; }
+
+ private:
+  struct SetStats {
+    double cardinality;
+    double tuple_bytes;
+  };
+
+  const SetStats& StatsFor(const TableSet& s);
+
+  QueryPtr query_;
+  const CostModel* cost_model_;
+  std::unordered_map<TableSet, SetStats, TableSetHash> set_stats_;
+  int64_t plans_built_ = 0;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_PLAN_PLAN_FACTORY_H_

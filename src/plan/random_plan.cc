@@ -1,0 +1,143 @@
+#include "plan/random_plan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <vector>
+
+namespace moqo {
+
+ScanAlgorithm RandomScanOp(PlanFactory* factory, int table, Rng* rng) {
+  std::vector<ScanAlgorithm> ops = factory->ApplicableScans(table);
+  assert(!ops.empty());
+  return ops[static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int>(ops.size()) - 1))];
+}
+
+JoinAlgorithm RandomJoinOp(Rng* rng) {
+  const auto& ops = AllJoinAlgorithms();
+  return ops[static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int>(ops.size()) - 1))];
+}
+
+namespace {
+
+// Array representation of an unlabeled binary tree under construction.
+// node 0 is the root; leaves have child[0] == -1.
+struct ShapeNode {
+  int child[2] = {-1, -1};
+};
+
+// Remy's algorithm: starting from a single leaf, repeatedly pick a uniform
+// random node v and a uniform random side, and replace v by a new internal
+// node whose children are v's subtree and a fresh leaf. After n - 1
+// insertions the shape is uniform over binary trees with n leaves.
+std::vector<ShapeNode> UniformShape(int num_leaves, Rng* rng) {
+  std::vector<ShapeNode> nodes;
+  nodes.emplace_back();  // the initial single leaf, also the root
+  int root = 0;
+  std::vector<int> parent = {-1};
+
+  for (int leaf = 1; leaf < num_leaves; ++leaf) {
+    int v = rng->UniformInt(0, static_cast<int>(nodes.size()) - 1);
+    int side = rng->UniformInt(0, 1);
+
+    int internal = static_cast<int>(nodes.size());
+    nodes.emplace_back();
+    parent.push_back(parent[static_cast<size_t>(v)]);
+    int fresh = static_cast<int>(nodes.size());
+    nodes.emplace_back();
+    parent.push_back(internal);
+
+    // Splice the new internal node where v used to hang.
+    int p = parent[static_cast<size_t>(internal)];
+    if (p == -1) {
+      root = internal;
+    } else {
+      ShapeNode& pn = nodes[static_cast<size_t>(p)];
+      if (pn.child[0] == v) {
+        pn.child[0] = internal;
+      } else {
+        pn.child[1] = internal;
+      }
+    }
+    parent[static_cast<size_t>(v)] = internal;
+    nodes[static_cast<size_t>(internal)].child[side] = fresh;
+    nodes[static_cast<size_t>(internal)].child[1 - side] = v;
+  }
+
+  // Normalize so the root is node 0 (swap if needed).
+  if (root != 0) {
+    std::swap(nodes[0], nodes[static_cast<size_t>(root)]);
+    // Fix children that pointed at 0 or root.
+    for (ShapeNode& n : nodes) {
+      for (int s = 0; s < 2; ++s) {
+        if (n.child[s] == 0) {
+          n.child[s] = root;
+        } else if (n.child[s] == root) {
+          n.child[s] = 0;
+        }
+      }
+    }
+  }
+  return nodes;
+}
+
+PlanPtr BuildFromShape(const std::vector<ShapeNode>& nodes, int node,
+                       const std::vector<int>& leaf_tables, int* next_leaf,
+                       PlanFactory* factory, Rng* rng) {
+  const ShapeNode& n = nodes[static_cast<size_t>(node)];
+  if (n.child[0] == -1) {
+    int table = leaf_tables[static_cast<size_t>((*next_leaf)++)];
+    return factory->MakeScan(table, RandomScanOp(factory, table, rng));
+  }
+  PlanPtr outer =
+      BuildFromShape(nodes, n.child[0], leaf_tables, next_leaf, factory, rng);
+  PlanPtr inner =
+      BuildFromShape(nodes, n.child[1], leaf_tables, next_leaf, factory, rng);
+  return factory->MakeJoin(std::move(outer), std::move(inner),
+                           RandomJoinOp(rng));
+}
+
+}  // namespace
+
+PlanPtr RandomPlan(PlanFactory* factory, Rng* rng) {
+  const int n = factory->query().NumTables();
+  assert(n >= 1);
+  std::vector<int> leaf_tables(static_cast<size_t>(n));
+  std::iota(leaf_tables.begin(), leaf_tables.end(), 0);
+  std::shuffle(leaf_tables.begin(), leaf_tables.end(), rng->engine());
+
+  if (n == 1) {
+    return factory->MakeScan(leaf_tables[0],
+                             RandomScanOp(factory, leaf_tables[0], rng));
+  }
+  std::vector<ShapeNode> shape = UniformShape(n, rng);
+  int next_leaf = 0;
+  PlanPtr plan =
+      BuildFromShape(shape, 0, leaf_tables, &next_leaf, factory, rng);
+  assert(next_leaf == n);
+  assert(plan->rel() == factory->query().AllTables());
+  return plan;
+}
+
+PlanPtr RandomLeftDeepPlan(PlanFactory* factory, Rng* rng) {
+  const int n = factory->query().NumTables();
+  assert(n >= 1);
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng->engine());
+
+  PlanPtr plan =
+      factory->MakeScan(order[0], RandomScanOp(factory, order[0], rng));
+  for (int i = 1; i < n; ++i) {
+    PlanPtr right =
+        factory->MakeScan(order[static_cast<size_t>(i)],
+                          RandomScanOp(factory, order[static_cast<size_t>(i)], rng));
+    plan = factory->MakeJoin(std::move(plan), std::move(right),
+                             RandomJoinOp(rng));
+  }
+  return plan;
+}
+
+}  // namespace moqo

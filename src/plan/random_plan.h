@@ -1,0 +1,32 @@
+// Uniform random bushy plan generation (function RandomPlan, Algorithm 1).
+//
+// Tree shapes are drawn uniformly from all binary trees with n leaves using
+// Remy's algorithm (the paper cites Quiroz's O(n) generator; Remy's is the
+// classic O(n) method achieving the same uniform distribution). Tables are
+// assigned to leaves by a uniform random permutation; scan and join
+// operators are drawn uniformly from the applicable operator sets.
+#ifndef MOQO_PLAN_RANDOM_PLAN_H_
+#define MOQO_PLAN_RANDOM_PLAN_H_
+
+#include "common/rng.h"
+#include "plan/plan_factory.h"
+
+namespace moqo {
+
+/// Returns a uniformly random bushy plan joining all query tables, with
+/// uniformly random operator labels. Runs in O(n) plan constructions.
+PlanPtr RandomPlan(PlanFactory* factory, Rng* rng);
+
+/// Returns a random *left-deep* plan (used by the NSGA-II baseline's
+/// initial population and by left-deep-space experiments).
+PlanPtr RandomLeftDeepPlan(PlanFactory* factory, Rng* rng);
+
+/// Draws a uniformly random applicable scan operator for `table`.
+ScanAlgorithm RandomScanOp(PlanFactory* factory, int table, Rng* rng);
+
+/// Draws a uniformly random join operator.
+JoinAlgorithm RandomJoinOp(Rng* rng);
+
+}  // namespace moqo
+
+#endif  // MOQO_PLAN_RANDOM_PLAN_H_

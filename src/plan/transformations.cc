@@ -1,0 +1,139 @@
+#include "plan/transformations.h"
+
+#include <cassert>
+
+namespace moqo {
+
+bool IsLeftDeep(const PlanPtr& p) {
+  PlanPtr node = p;
+  while (node->IsJoin()) {
+    if (node->inner()->IsJoin()) return false;
+    node = node->outer();
+  }
+  return true;
+}
+
+std::vector<PlanPtr> RootMutations(const PlanPtr& p, PlanFactory* factory,
+                                   PlanSpace space) {
+  std::vector<PlanPtr> out;
+  if (!p->IsJoin()) {
+    // Rule 2: scan operator replacement.
+    for (ScanAlgorithm op : factory->ApplicableScans(p->table())) {
+      if (op != p->scan_op()) out.push_back(factory->MakeScan(p->table(), op));
+    }
+    return out;
+  }
+
+  const PlanPtr& l = p->outer();
+  const PlanPtr& r = p->inner();
+  const JoinAlgorithm a = p->join_op();
+  const bool bushy = space == PlanSpace::kBushy;
+
+  // Rule 1: join operator replacement (shape-preserving in every space).
+  for (JoinAlgorithm op : AllJoinAlgorithms()) {
+    if (op != a) out.push_back(factory->MakeJoin(l, r, op));
+  }
+
+  // Rule 3: commutativity. In the left-deep space only the bottom pair
+  // (both operands scans) may swap without leaving the space.
+  if (bushy || !l->IsJoin()) {
+    out.push_back(factory->MakeJoin(r, l, a));
+  }
+
+  // Rules 4 and 6 require a join as outer child: L = (A b B).
+  if (l->IsJoin()) {
+    const PlanPtr& A = l->outer();
+    const PlanPtr& B = l->inner();
+    const JoinAlgorithm b = l->join_op();
+    if (bushy) {
+      // Rule 4: ((A b B) a C) -> (A b (B a C)).
+      out.push_back(factory->MakeJoin(A, factory->MakeJoin(B, r, a), b));
+    }
+    // Rule 6: ((A b B) a C) -> ((A b C) a B). Left-deep preserving.
+    out.push_back(factory->MakeJoin(factory->MakeJoin(A, r, b), B, a));
+  }
+
+  // Rules 5 and 7 require a join as inner child: R = (B b C). A left-deep
+  // plan never has one, so these fire in the bushy space only.
+  if (bushy && r->IsJoin()) {
+    const PlanPtr& B = r->outer();
+    const PlanPtr& C = r->inner();
+    const JoinAlgorithm b = r->join_op();
+    // Rule 5: (A a (B b C)) -> ((A a B) b C).
+    out.push_back(factory->MakeJoin(factory->MakeJoin(l, B, a), C, b));
+    // Rule 7: (A a (B b C)) -> (B b (A a C)).
+    out.push_back(factory->MakeJoin(B, factory->MakeJoin(l, C, a), b));
+  }
+
+  return out;
+}
+
+int CountNodes(const PlanPtr& p) { return p->NodeCount(); }
+
+namespace {
+
+// Rebuilds `p` with the node at pre-order index `target` replaced by
+// `replacement(node)`. Only the path from the root to the mutated node is
+// rebuilt; untouched subtrees are shared. Returns nullptr if the
+// replacement returned nullptr (no mutation possible at that node).
+template <typename Fn>
+PlanPtr ReplaceAt(const PlanPtr& p, int target, PlanFactory* factory,
+                  const Fn& replacement) {
+  assert(target >= 0 && target < p->NodeCount());
+  if (target == 0) return replacement(p);
+  assert(p->IsJoin());
+  int outer_count = p->outer()->NodeCount();
+  if (target <= outer_count) {
+    PlanPtr outer = ReplaceAt(p->outer(), target - 1, factory, replacement);
+    if (outer == nullptr) return nullptr;
+    return factory->MakeJoin(std::move(outer), p->inner(), p->join_op());
+  }
+  PlanPtr inner =
+      ReplaceAt(p->inner(), target - 1 - outer_count, factory, replacement);
+  if (inner == nullptr) return nullptr;
+  return factory->MakeJoin(p->outer(), std::move(inner), p->join_op());
+}
+
+// Collects each subtree in pre-order.
+void CollectSubtrees(const PlanPtr& p, std::vector<PlanPtr>* out) {
+  out->push_back(p);
+  if (p->IsJoin()) {
+    CollectSubtrees(p->outer(), out);
+    CollectSubtrees(p->inner(), out);
+  }
+}
+
+}  // namespace
+
+std::vector<PlanPtr> AllNeighbors(const PlanPtr& p, PlanFactory* factory,
+                                  PlanSpace space) {
+  std::vector<PlanPtr> subtrees;
+  CollectSubtrees(p, &subtrees);
+
+  std::vector<PlanPtr> neighbors;
+  for (int node = 0; node < static_cast<int>(subtrees.size()); ++node) {
+    std::vector<PlanPtr> local =
+        RootMutations(subtrees[static_cast<size_t>(node)], factory, space);
+    for (const PlanPtr& mutated : local) {
+      PlanPtr full = ReplaceAt(p, node, factory,
+                               [&](const PlanPtr&) { return mutated; });
+      assert(full != nullptr);
+      neighbors.push_back(std::move(full));
+    }
+  }
+  return neighbors;
+}
+
+PlanPtr RandomNeighbor(const PlanPtr& p, PlanFactory* factory, Rng* rng,
+                       PlanSpace space) {
+  int nodes = p->NodeCount();
+  int target = rng->UniformInt(0, nodes - 1);
+  return ReplaceAt(p, target, factory, [&](const PlanPtr& node) {
+    std::vector<PlanPtr> local = RootMutations(node, factory, space);
+    if (local.empty()) return PlanPtr(nullptr);
+    return local[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int>(local.size()) - 1))];
+  });
+}
+
+}  // namespace moqo

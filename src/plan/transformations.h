@@ -1,0 +1,66 @@
+// Local plan transformations (the neighborhood relation).
+//
+// All local-search algorithms in this repository (RMQ's ParetoClimb, II,
+// SA, 2P, and the naive-climber ablation) share the standard transformation
+// rule set for bushy query plans described by Steinbrunn et al. (VLDBJ'97):
+//
+//   1. join operator replacement   (L op R)        -> (L op' R)
+//   2. scan operator replacement   Scan(t, op)     -> Scan(t, op')
+//   3. commutativity               (L op R)        -> (R op L)
+//   4. left associativity          ((A b B) a C)   -> (A b (B a C))
+//   5. right associativity         (A a (B b C))   -> ((A a B) b C)
+//   6. left join exchange          ((A b B) a C)   -> ((A b C) a B)
+//   7. right join exchange         (A a (B b C))   -> (B b (A a C))
+//
+// Rules 4-7 preserve the operator labels of the two participating joins;
+// operator changes are reachable through rules 1-2, keeping the neighbor
+// count per node bounded by a constant (as assumed by the paper's
+// complexity analysis, Lemma 2).
+#ifndef MOQO_PLAN_TRANSFORMATIONS_H_
+#define MOQO_PLAN_TRANSFORMATIONS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "plan/plan_factory.h"
+
+namespace moqo {
+
+/// Join-order search space (Section 4.1: the algorithm adapts to different
+/// spaces by exchanging the random plan generator and the transformation
+/// rule set).
+enum class PlanSpace {
+  /// Unconstrained bushy plans (the paper's evaluated space).
+  kBushy,
+  /// Left-deep plans only: every inner operand is a base-table scan. The
+  /// rule set restricts to operator replacement, bottom-pair commutativity
+  /// (both operands scans), and left join exchange — all of which preserve
+  /// left-deep shape.
+  kLeftDeep,
+};
+
+/// All plans reachable from `p` by applying one rule at the *root* node
+/// (child subtrees are reused unchanged). Does not include `p` itself.
+std::vector<PlanPtr> RootMutations(const PlanPtr& p, PlanFactory* factory,
+                                   PlanSpace space = PlanSpace::kBushy);
+
+/// True if every inner operand in `p` is a scan leaf.
+bool IsLeftDeep(const PlanPtr& p);
+
+/// All complete neighbor plans reachable from `p` by applying one rule at
+/// any single node (the classic neighborhood; used by SA and by the naive
+/// climber ablation). O(n) rebuilds per neighbor.
+std::vector<PlanPtr> AllNeighbors(const PlanPtr& p, PlanFactory* factory,
+                                  PlanSpace space = PlanSpace::kBushy);
+
+/// One uniformly random neighbor of `p` (random node, random applicable
+/// rule), or nullptr if the chosen node admits no mutation. Used by SA.
+PlanPtr RandomNeighbor(const PlanPtr& p, PlanFactory* factory, Rng* rng,
+                       PlanSpace space = PlanSpace::kBushy);
+
+/// Number of nodes in `p` (leaves + joins); exposed for sampling.
+int CountNodes(const PlanPtr& p);
+
+}  // namespace moqo
+
+#endif  // MOQO_PLAN_TRANSFORMATIONS_H_

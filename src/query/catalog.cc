@@ -1,0 +1,3 @@
+#include "query/catalog.h"
+
+// Catalog is fully defined inline; this translation unit anchors the library.

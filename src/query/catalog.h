@@ -1,0 +1,54 @@
+// Database catalog: per-table statistics used by the cost model.
+#ifndef MOQO_QUERY_CATALOG_H_
+#define MOQO_QUERY_CATALOG_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace moqo {
+
+/// Statistics for one base table.
+struct TableStats {
+  /// Number of rows.
+  double cardinality = 1000.0;
+  /// Average row width in bytes (drives page counts).
+  double tuple_bytes = 100.0;
+  /// Whether an index exists on the table's join column; enables IndexScan
+  /// and index-nested-loop joins on this table.
+  bool has_index = false;
+};
+
+/// Immutable collection of table statistics, indexed by table id.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Builds a catalog over `stats.size()` tables.
+  explicit Catalog(std::vector<TableStats> stats) : stats_(std::move(stats)) {}
+
+  /// Appends a table; returns its id.
+  int AddTable(const TableStats& stats) {
+    stats_.push_back(stats);
+    return static_cast<int>(stats_.size()) - 1;
+  }
+
+  /// Number of tables in the catalog.
+  int NumTables() const { return static_cast<int>(stats_.size()); }
+
+  /// Statistics for table `id`.
+  const TableStats& Table(int id) const {
+    assert(id >= 0 && id < NumTables());
+    return stats_[static_cast<size_t>(id)];
+  }
+
+  /// Rows of table `id` (convenience accessor).
+  double Cardinality(int id) const { return Table(id).cardinality; }
+
+ private:
+  std::vector<TableStats> stats_;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_QUERY_CATALOG_H_

@@ -1,0 +1,134 @@
+#include "query/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace moqo {
+
+std::string ToString(GraphType type) {
+  switch (type) {
+    case GraphType::kChain:
+      return "chain";
+    case GraphType::kCycle:
+      return "cycle";
+    case GraphType::kStar:
+      return "star";
+    case GraphType::kRandom:
+      return "random";
+  }
+  return "unknown";
+}
+
+std::string ToString(SelectivityModel model) {
+  switch (model) {
+    case SelectivityModel::kSteinbrunn:
+      return "steinbrunn";
+    case SelectivityModel::kMinMax:
+      return "minmax";
+  }
+  return "unknown";
+}
+
+double SampleCardinality(Rng* rng, int stratum_index) {
+  // Steinbrunn et al. use relation cardinalities stratified over four
+  // decades: [10,100), [100,1k), [1k,10k), [10k,100k). Stratified sampling
+  // cycles through the strata so every query mixes small and large tables.
+  static constexpr double kLo[] = {10.0, 100.0, 1000.0, 10000.0};
+  int s = stratum_index % 4;
+  // Log-uniform within the stratum.
+  double lo = kLo[s];
+  double hi = lo * 10.0;
+  double u = rng->Uniform01();
+  return std::floor(lo * std::pow(hi / lo, u));
+}
+
+namespace {
+
+// Selectivity for an edge between tables with cardinalities ca and cb.
+double DrawSelectivity(SelectivityModel model, double ca, double cb,
+                       Rng* rng) {
+  switch (model) {
+    case SelectivityModel::kSteinbrunn: {
+      // Log-uniform over [1e-4, 1]: matches the broad magnitude spread used
+      // by Steinbrunn et al. for join predicate selectivities.
+      double u = rng->Uniform01();
+      return std::pow(10.0, -4.0 * u);
+    }
+    case SelectivityModel::kMinMax: {
+      // Bruno's MinMax method: the join output cardinality ca*cb*sel must
+      // lie between min(ca, cb) and max(ca, cb). Draw the target output
+      // cardinality log-uniformly within that band.
+      double lo = std::min(ca, cb);
+      double hi = std::max(ca, cb);
+      double u = rng->Uniform01();
+      double out = lo * std::pow(hi / lo, u);
+      double sel = out / (ca * cb);
+      return std::clamp(sel, 1e-12, 1.0);
+    }
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+QueryPtr GenerateQuery(const GeneratorConfig& config, Rng* rng) {
+  const int n = config.num_tables;
+  assert(n >= 1 && n <= TableSet::kCapacity);
+
+  // Stratified cardinalities: shuffle stratum assignments so the mapping of
+  // strata to table ids is random but the overall mix is balanced.
+  std::vector<int> strata(static_cast<size_t>(n));
+  std::iota(strata.begin(), strata.end(), 0);
+  std::shuffle(strata.begin(), strata.end(), rng->engine());
+
+  Catalog catalog;
+  for (int t = 0; t < n; ++t) {
+    TableStats stats;
+    stats.cardinality = SampleCardinality(rng, strata[static_cast<size_t>(t)]);
+    stats.tuple_bytes = 8.0 * rng->UniformInt(4, 32);  // 32..256 bytes
+    stats.has_index = rng->Bernoulli(config.index_probability);
+    catalog.AddTable(stats);
+  }
+
+  JoinGraph graph(n);
+  auto add_edge = [&](int a, int b) {
+    double sel = DrawSelectivity(config.selectivity_model,
+                                 catalog.Cardinality(a),
+                                 catalog.Cardinality(b), rng);
+    graph.AddEdge(a, b, sel);
+  };
+
+  switch (config.graph_type) {
+    case GraphType::kChain:
+      for (int t = 0; t + 1 < n; ++t) add_edge(t, t + 1);
+      break;
+    case GraphType::kCycle:
+      for (int t = 0; t + 1 < n; ++t) add_edge(t, t + 1);
+      if (n > 2) add_edge(n - 1, 0);
+      break;
+    case GraphType::kStar:
+      // Table 0 is the fact table; all others are dimensions.
+      for (int t = 1; t < n; ++t) add_edge(0, t);
+      break;
+    case GraphType::kRandom: {
+      // Random spanning tree (each node attaches to a random predecessor)
+      // plus extra edges with the configured probability.
+      for (int t = 1; t < n; ++t) add_edge(rng->UniformInt(0, t - 1), t);
+      for (int a = 0; a < n; ++a) {
+        for (int b = a + 2; b < n; ++b) {
+          if (rng->Bernoulli(config.random_extra_edge_probability)) {
+            add_edge(a, b);
+          }
+        }
+      }
+      break;
+    }
+  }
+
+  return std::make_shared<Query>(std::move(catalog), std::move(graph));
+}
+
+}  // namespace moqo

@@ -1,0 +1,66 @@
+// Random query generation following the paper's experimental setup (§6.1
+// and appendix):
+//
+//  * join graph structures: chain, cycle, star (plus a connected random
+//    graph used by extension experiments);
+//  * table cardinalities drawn by stratified sampling from the distribution
+//    of Steinbrunn et al. (VLDBJ'97): strata 10-100, 100-1k, 1k-10k, 10k-100k
+//    rows;
+//  * join predicate selectivities either from the Steinbrunn distribution
+//    (uniform magnitudes) or via the MinMax method of Bruno (ICDE'10), where
+//    each join output cardinality lies between its input cardinalities.
+#ifndef MOQO_QUERY_GENERATOR_H_
+#define MOQO_QUERY_GENERATOR_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "query/query.h"
+
+namespace moqo {
+
+/// Join graph topology of a generated query.
+enum class GraphType {
+  kChain,
+  kCycle,
+  kStar,
+  /// Connected Erdos-Renyi-style graph (spanning tree + random extra edges).
+  kRandom,
+};
+
+/// Returns "chain", "cycle", "star", or "random".
+std::string ToString(GraphType type);
+
+/// How join predicate selectivities are drawn.
+enum class SelectivityModel {
+  /// Steinbrunn et al.: uniform over magnitudes in [1e-4, 1].
+  kSteinbrunn,
+  /// Bruno MinMax: each join output cardinality lies between the input
+  /// cardinalities.
+  kMinMax,
+};
+
+/// Returns "steinbrunn" or "minmax".
+std::string ToString(SelectivityModel model);
+
+/// Parameters for random query generation.
+struct GeneratorConfig {
+  int num_tables = 10;
+  GraphType graph_type = GraphType::kChain;
+  SelectivityModel selectivity_model = SelectivityModel::kSteinbrunn;
+  /// Probability that a table carries an index on its join column; indexes
+  /// enable the index-scan operator variants.
+  double index_probability = 0.5;
+  /// Extra edge probability for GraphType::kRandom (per non-tree pair).
+  double random_extra_edge_probability = 0.1;
+};
+
+/// Generates a random query according to `config`, drawing from `rng`.
+QueryPtr GenerateQuery(const GeneratorConfig& config, Rng* rng);
+
+/// Draws one table cardinality with the stratified Steinbrunn distribution.
+double SampleCardinality(Rng* rng, int stratum_index);
+
+}  // namespace moqo
+
+#endif  // MOQO_QUERY_GENERATOR_H_

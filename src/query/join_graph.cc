@@ -1,0 +1,75 @@
+#include "query/join_graph.h"
+
+#include <cassert>
+
+namespace moqo {
+
+JoinGraph::JoinGraph(int num_tables) : num_tables_(num_tables) {
+  assert(num_tables >= 0 && num_tables <= TableSet::kCapacity);
+  adjacency_.resize(static_cast<size_t>(num_tables));
+}
+
+void JoinGraph::AddEdge(int a, int b, double selectivity) {
+  assert(a >= 0 && a < num_tables_);
+  assert(b >= 0 && b < num_tables_);
+  assert(a != b);
+  assert(selectivity > 0.0 && selectivity <= 1.0);
+  edges_.push_back(JoinEdge{a, b, selectivity});
+  adjacency_[static_cast<size_t>(a)].Add(b);
+  adjacency_[static_cast<size_t>(b)].Add(a);
+}
+
+double JoinGraph::SelectivityBetween(const TableSet& a,
+                                     const TableSet& b) const {
+  double sel = 1.0;
+  for (const JoinEdge& e : edges_) {
+    bool crosses = (a.Contains(e.left) && b.Contains(e.right)) ||
+                   (a.Contains(e.right) && b.Contains(e.left));
+    if (crosses) sel *= e.selectivity;
+  }
+  return sel;
+}
+
+double JoinGraph::SelectivityWithin(const TableSet& s) const {
+  double sel = 1.0;
+  for (const JoinEdge& e : edges_) {
+    if (s.Contains(e.left) && s.Contains(e.right)) sel *= e.selectivity;
+  }
+  return sel;
+}
+
+bool JoinGraph::Connected(const TableSet& a, const TableSet& b) const {
+  for (const JoinEdge& e : edges_) {
+    bool crosses = (a.Contains(e.left) && b.Contains(e.right)) ||
+                   (a.Contains(e.right) && b.Contains(e.left));
+    if (crosses) return true;
+  }
+  return false;
+}
+
+bool JoinGraph::InducedConnected(const TableSet& s) const {
+  if (s.Empty()) return true;
+  // Breadth-first expansion within s using the adjacency sets.
+  TableSet visited = TableSet::Singleton(s.Min());
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    TableSet frontier;
+    visited.ForEach([&](int t) {
+      frontier = frontier.Union(adjacency_[static_cast<size_t>(t)]);
+    });
+    TableSet next = visited.Union(frontier.Intersect(s));
+    if (next != visited) {
+      visited = next;
+      grew = true;
+    }
+  }
+  return visited == s;
+}
+
+TableSet JoinGraph::Neighbors(int t) const {
+  assert(t >= 0 && t < num_tables_);
+  return adjacency_[static_cast<size_t>(t)];
+}
+
+}  // namespace moqo

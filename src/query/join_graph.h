@@ -1,0 +1,71 @@
+// Join graph: which tables are connected by join predicates, and how
+// selective those predicates are.
+//
+// The query model follows the paper's Section 3: a query is a set of tables;
+// join predicates connect pairs of tables with a selectivity in (0, 1].
+// Table pairs without a predicate may still be joined (the paper evaluates
+// an *unconstrained* bushy plan space), in which case the join is a cross
+// product with selectivity 1.
+#ifndef MOQO_QUERY_JOIN_GRAPH_H_
+#define MOQO_QUERY_JOIN_GRAPH_H_
+
+#include <vector>
+
+#include "common/table_set.h"
+
+namespace moqo {
+
+/// One binary join predicate between two tables.
+struct JoinEdge {
+  int left = 0;
+  int right = 0;
+  /// Fraction of the cross product surviving the predicate, in (0, 1].
+  double selectivity = 1.0;
+};
+
+/// Undirected multigraph of join predicates over `num_tables` tables.
+class JoinGraph {
+ public:
+  JoinGraph() : num_tables_(0) {}
+
+  /// Creates a graph over `num_tables` tables with no edges.
+  explicit JoinGraph(int num_tables);
+
+  /// Adds a predicate between tables `a` and `b` with `selectivity`.
+  void AddEdge(int a, int b, double selectivity);
+
+  /// Number of tables.
+  int NumTables() const { return num_tables_; }
+
+  /// All predicates.
+  const std::vector<JoinEdge>& Edges() const { return edges_; }
+
+  /// Product of selectivities of all predicates with one endpoint in `a`
+  /// and the other in `b`. Returns 1.0 when no predicate connects the sets
+  /// (a pure cross product).
+  double SelectivityBetween(const TableSet& a, const TableSet& b) const;
+
+  /// Product of selectivities of all predicates with both endpoints in `s`.
+  /// This is the total predicate filter applied within an intermediate
+  /// result joining exactly the tables of `s`.
+  double SelectivityWithin(const TableSet& s) const;
+
+  /// True if any predicate connects `a` and `b` (i.e., the join would not be
+  /// a cross product).
+  bool Connected(const TableSet& a, const TableSet& b) const;
+
+  /// True if the sub-graph induced by `s` is connected.
+  bool InducedConnected(const TableSet& s) const;
+
+  /// Tables adjacent to table `t` via at least one predicate.
+  TableSet Neighbors(int t) const;
+
+ private:
+  int num_tables_;
+  std::vector<JoinEdge> edges_;
+  std::vector<TableSet> adjacency_;  // adjacency_[t] = neighbor set of t
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_QUERY_JOIN_GRAPH_H_

@@ -1,0 +1,3 @@
+#include "query/query.h"
+
+// Query is fully defined inline; this translation unit anchors the library.

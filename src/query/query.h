@@ -1,0 +1,45 @@
+// A query = a catalog + a join graph + the set of tables to join.
+#ifndef MOQO_QUERY_QUERY_H_
+#define MOQO_QUERY_QUERY_H_
+
+#include <memory>
+
+#include "common/table_set.h"
+#include "query/catalog.h"
+#include "query/join_graph.h"
+
+namespace moqo {
+
+/// An immutable join query over `NumTables()` tables (ids 0..n-1).
+///
+/// Following the paper's formal model (Section 3), a query is simply the set
+/// of tables to be joined; the join graph supplies predicate selectivities
+/// and the catalog supplies base-table statistics. Query objects are shared
+/// by plans, cost models, and optimizers via shared_ptr.
+class Query {
+ public:
+  Query(Catalog catalog, JoinGraph graph)
+      : catalog_(std::move(catalog)), graph_(std::move(graph)) {}
+
+  /// Number of tables joined by the query.
+  int NumTables() const { return catalog_.NumTables(); }
+
+  /// The set {0, ..., NumTables()-1} of all query tables.
+  TableSet AllTables() const { return TableSet::FirstN(NumTables()); }
+
+  /// Base-table statistics.
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Join predicates.
+  const JoinGraph& graph() const { return graph_; }
+
+ private:
+  Catalog catalog_;
+  JoinGraph graph_;
+};
+
+using QueryPtr = std::shared_ptr<const Query>;
+
+}  // namespace moqo
+
+#endif  // MOQO_QUERY_QUERY_H_

@@ -1,0 +1,94 @@
+#include "core/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pareto_climb.h"
+#include "plan/random_plan.h"
+#include "query/generator.h"
+
+namespace moqo {
+namespace {
+
+TEST(AnalysisTest, DominanceProbabilityLemma3) {
+  EXPECT_DOUBLE_EQ(DominanceProbability(1), 0.5);
+  EXPECT_DOUBLE_EQ(DominanceProbability(2), 0.25);
+  EXPECT_DOUBLE_EQ(DominanceProbability(3), 0.125);
+}
+
+TEST(AnalysisTest, NoDominatingNeighborLemma4) {
+  // u(n, i) = (1 - (1/2)^(l*i))^n.
+  EXPECT_DOUBLE_EQ(NoDominatingNeighborProbability(1, 1, 1), 0.5);
+  EXPECT_NEAR(NoDominatingNeighborProbability(2, 1, 2), 0.75 * 0.75, 1e-12);
+  // Longer paths make domination of all visited plans harder.
+  for (int i = 1; i < 10; ++i) {
+    EXPECT_LE(NoDominatingNeighborProbability(10, i, 2),
+              NoDominatingNeighborProbability(10, i + 1, 2));
+  }
+  // More neighbors make escape easier (u decreases in n).
+  for (int n = 1; n < 10; ++n) {
+    EXPECT_GE(NoDominatingNeighborProbability(n, 3, 2),
+              NoDominatingNeighborProbability(n + 1, 3, 2));
+  }
+}
+
+TEST(AnalysisTest, ExpectedPathLengthFinite) {
+  for (int l : {1, 2, 3}) {
+    for (int n : {10, 25, 50, 100}) {
+      double e = ExpectedClimbPathLength(n, l);
+      EXPECT_GT(e, 1.0) << n << " " << l;
+      EXPECT_LT(e, 3.0 * n) << n << " " << l;
+    }
+  }
+}
+
+TEST(AnalysisTest, ExpectedPathLengthGrowsSlowlyInTables) {
+  // Theorem 2: expected path length is O(n); empirically it grows far
+  // slower (the paper measures ~4-6 between 10 and 100 tables).
+  double e10 = ExpectedClimbPathLength(10, 3);
+  double e100 = ExpectedClimbPathLength(100, 3);
+  EXPECT_LT(e100, e10 * 10.0);
+  EXPECT_GT(e100, e10);  // monotone in n
+}
+
+TEST(AnalysisTest, MoreMetricsShortenExpectedPaths) {
+  // Dominating neighbors are rarer with more metrics, so climbs end
+  // sooner.
+  EXPECT_GT(ExpectedClimbPathLength(50, 1), ExpectedClimbPathLength(50, 2));
+  EXPECT_GT(ExpectedClimbPathLength(50, 2), ExpectedClimbPathLength(50, 3));
+}
+
+TEST(AnalysisTest, LocalOptimumProbabilityLemma5) {
+  EXPECT_DOUBLE_EQ(LocalOptimumProbability(1, 1), 0.5);
+  EXPECT_NEAR(LocalOptimumProbability(2, 2), 0.75 * 0.75, 1e-12);
+  // Exponential decay in the neighbor count.
+  EXPECT_LT(LocalOptimumProbability(100, 3), 1e-5);
+  // More metrics -> more local optima.
+  EXPECT_LT(LocalOptimumProbability(20, 1), LocalOptimumProbability(20, 3));
+}
+
+TEST(AnalysisTest, MeasuredPathLengthsSameOrderAsTheory) {
+  // The statistical model is deliberately crude, but measured climb path
+  // lengths should land within a small constant factor of its prediction
+  // (Figure 3 left vs Theorem 1).
+  Rng rng(42);
+  GeneratorConfig gen;
+  gen.num_tables = 25;
+  QueryPtr query = GenerateQuery(gen, &rng);
+  CostModel cost_model({Metric::kTime, Metric::kBuffer, Metric::kDisk});
+  PlanFactory factory(query, &cost_model);
+
+  double total_steps = 0.0;
+  Rng plan_rng(7);
+  for (int i = 0; i < 20; ++i) {
+    ClimbStats stats;
+    ParetoClimb(RandomPlan(&factory, &plan_rng), &factory, &stats);
+    total_steps += stats.steps;
+  }
+  double measured = total_steps / 20.0;
+  double theory = ExpectedClimbPathLength(25, 3);
+  EXPECT_LT(measured, theory * 10.0);
+  EXPECT_GT(measured, theory / 10.0);
+}
+
+}  // namespace
+}  // namespace moqo

@@ -1,0 +1,218 @@
+// Tests for the local-search baselines: II, SA, and 2P.
+#include <gtest/gtest.h>
+
+#include "baselines/iterative_improvement.h"
+#include "baselines/simulated_annealing.h"
+#include "baselines/two_phase.h"
+#include "core/pareto_climb.h"
+#include "plan/random_plan.h"
+#include "query/generator.h"
+
+namespace moqo {
+namespace {
+
+struct Fixture {
+  QueryPtr query;
+  CostModel model;
+  PlanFactory factory;
+
+  explicit Fixture(int tables = 8, uint64_t seed = 42)
+      : query([&] {
+          Rng rng(seed);
+          GeneratorConfig config;
+          config.num_tables = tables;
+          return GenerateQuery(config, &rng);
+        }()),
+        model({Metric::kTime, Metric::kBuffer, Metric::kDisk}),
+        factory(query, &model) {}
+};
+
+void ExpectValidFrontier(const std::vector<PlanPtr>& plans,
+                         const PlanFactory& factory) {
+  ASSERT_FALSE(plans.empty());
+  for (const PlanPtr& p : plans) {
+    EXPECT_EQ(p->rel(), factory.query().AllTables());
+  }
+  for (const PlanPtr& a : plans) {
+    for (const PlanPtr& b : plans) {
+      if (a == b) continue;
+      EXPECT_FALSE(a->cost().StrictlyDominates(b->cost()));
+    }
+  }
+}
+
+TEST(IterativeImprovementTest, ProducesNonDominatedLocalOptima) {
+  Fixture fx;
+  IterativeImprovement ii;
+  Rng rng(1);
+  std::vector<PlanPtr> plans =
+      ii.Optimize(&fx.factory, &rng, Deadline::AfterMillis(100), nullptr);
+  ExpectValidFrontier(plans, fx.factory);
+}
+
+TEST(IterativeImprovementTest, IterationBudget) {
+  Fixture fx;
+  IiConfig config;
+  config.max_iterations = 5;
+  IterativeImprovement ii(config);
+  Rng rng(2);
+  int callbacks = 0;
+  ii.Optimize(&fx.factory, &rng, Deadline(),
+              [&](const std::vector<PlanPtr>&) { ++callbacks; });
+  EXPECT_GE(callbacks, 1);
+  EXPECT_LE(callbacks, 5);
+}
+
+TEST(IterativeImprovementTest, ResultsAreLocalOptima) {
+  Fixture fx(5);
+  IiConfig config;
+  config.max_iterations = 5;
+  IterativeImprovement ii(config);
+  Rng rng(3);
+  std::vector<PlanPtr> plans =
+      ii.Optimize(&fx.factory, &rng, Deadline(), nullptr);
+  for (const PlanPtr& p : plans) {
+    EXPECT_TRUE(IsLocalParetoOptimum(p, &fx.factory)) << p->ToString();
+  }
+}
+
+TEST(IterativeImprovementTest, NaiveClimbVariant) {
+  Fixture fx(5);
+  IiConfig config;
+  config.fast_climb = false;
+  config.max_iterations = 3;
+  IterativeImprovement ii(config);
+  Rng rng(4);
+  std::vector<PlanPtr> plans =
+      ii.Optimize(&fx.factory, &rng, Deadline(), nullptr);
+  ExpectValidFrontier(plans, fx.factory);
+}
+
+TEST(SimulatedAnnealingTest, AverageDeltaAndCost) {
+  CostVector a = {10.0, 20.0};
+  CostVector b = {20.0, 40.0};
+  EXPECT_DOUBLE_EQ(AverageDelta(a, b), 15.0);
+  EXPECT_DOUBLE_EQ(AverageDelta(b, a), -15.0);
+  EXPECT_DOUBLE_EQ(AverageCost(a), 15.0);
+}
+
+TEST(SimulatedAnnealingTest, ProducesValidFrontier) {
+  Fixture fx;
+  SimulatedAnnealing sa;
+  Rng rng(5);
+  std::vector<PlanPtr> plans =
+      sa.Optimize(&fx.factory, &rng, Deadline::AfterMillis(80), nullptr);
+  ExpectValidFrontier(plans, fx.factory);
+}
+
+TEST(SimulatedAnnealingTest, StartPlanRespected) {
+  Fixture fx;
+  Rng rng(6);
+  PlanPtr start = RandomPlan(&fx.factory, &rng);
+  SaConfig config;
+  config.start_plan = start;
+  SimulatedAnnealing sa(config);
+  bool start_archived = false;
+  std::vector<PlanPtr> plans = sa.Optimize(
+      &fx.factory, &rng, Deadline::AfterMillis(20),
+      [&](const std::vector<PlanPtr>& frontier) {
+        for (const PlanPtr& p : frontier) {
+          if (p == start) start_archived = true;
+        }
+      });
+  EXPECT_TRUE(start_archived || !plans.empty());
+}
+
+TEST(SimulatedAnnealingTest, NormalizedVariantAcceptsScaleFree) {
+  // The normalized variant must improve on the plain one for a moderate
+  // budget because acceptance no longer degenerates to a random walk.
+  Fixture fx(12, 7);
+  auto run = [&](bool normalize) {
+    SaConfig config;
+    config.normalize_delta = normalize;
+    SimulatedAnnealing sa(config);
+    Rng rng(7);
+    std::vector<PlanPtr> plans =
+        sa.Optimize(&fx.factory, &rng, Deadline::AfterMillis(120), nullptr);
+    double best = kMaxCost;
+    for (const PlanPtr& p : plans) best = std::min(best, p->cost().Sum());
+    return best;
+  };
+  double plain = run(false);
+  double normalized = run(true);
+  EXPECT_LE(normalized, plain * 1.5)
+      << "scale-free acceptance should not be drastically worse";
+}
+
+TEST(SimulatedAnnealingTest, CallbackBatchingDelivers) {
+  Fixture fx;
+  SimulatedAnnealing sa;
+  Rng rng(8);
+  int callbacks = 0;
+  sa.Optimize(&fx.factory, &rng, Deadline::AfterMillis(50),
+              [&](const std::vector<PlanPtr>&) { ++callbacks; });
+  EXPECT_GE(callbacks, 1);
+}
+
+TEST(TwoPhaseTest, ProducesValidFrontier) {
+  Fixture fx;
+  TwoPhase tp;
+  Rng rng(9);
+  std::vector<PlanPtr> plans =
+      tp.Optimize(&fx.factory, &rng, Deadline::AfterMillis(100), nullptr);
+  ExpectValidFrontier(plans, fx.factory);
+}
+
+TEST(TwoPhaseTest, PhaseOneChampionIsGood) {
+  // The 2P result must contain at least one plan no worse (in cost sum)
+  // than a median random plan — phase one climbs, after all.
+  Fixture fx(10);
+  TwoPhase tp;
+  Rng rng(10);
+  std::vector<PlanPtr> plans =
+      tp.Optimize(&fx.factory, &rng, Deadline::AfterMillis(100), nullptr);
+  ASSERT_FALSE(plans.empty());
+  double best = kMaxCost;
+  for (const PlanPtr& p : plans) best = std::min(best, p->cost().Sum());
+
+  Rng rng2(11);
+  std::vector<double> random_sums;
+  for (int i = 0; i < 21; ++i) {
+    random_sums.push_back(RandomPlan(&fx.factory, &rng2)->cost().Sum());
+  }
+  std::sort(random_sums.begin(), random_sums.end());
+  EXPECT_LE(best, random_sums[10]);
+}
+
+TEST(TwoPhaseTest, RespectsVeryShortDeadline) {
+  Fixture fx(30);
+  TwoPhase tp;
+  Rng rng(12);
+  // Must return promptly even when the deadline expires during phase one.
+  Stopwatch watch;
+  tp.Optimize(&fx.factory, &rng, Deadline::AfterMillis(30), nullptr);
+  EXPECT_LT(watch.ElapsedMillis(), 5000.0);
+}
+
+class BaselineDeadlineTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BaselineDeadlineTest, AllLocalSearchBaselinesHonorDeadline) {
+  Fixture fx(GetParam());
+  std::vector<std::unique_ptr<Optimizer>> algorithms;
+  algorithms.push_back(std::make_unique<IterativeImprovement>());
+  algorithms.push_back(std::make_unique<SimulatedAnnealing>());
+  algorithms.push_back(std::make_unique<TwoPhase>());
+  for (auto& alg : algorithms) {
+    Rng rng(13);
+    Stopwatch watch;
+    alg->Optimize(&fx.factory, &rng, Deadline::AfterMillis(60), nullptr);
+    // Generous margin: one climb on a large plan may overshoot briefly.
+    EXPECT_LT(watch.ElapsedMillis(), 10000.0) << alg->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BaselineDeadlineTest,
+                         ::testing::Values(5, 20, 60));
+
+}  // namespace
+}  // namespace moqo

@@ -1,0 +1,159 @@
+// Differential testing against brute-force plan enumeration.
+//
+// For tiny queries we can enumerate EVERY bushy plan (all ordered
+// partitions of every table subset x all operator labelings) and compute
+// the exact per-format Pareto frontiers directly. DP(1) must agree
+// exactly, and every optimizer's output must be covered by the
+// brute-force frontier. This is the strongest correctness oracle in the
+// suite: it validates the DP split enumeration, the pruning rules, and
+// the cost stamping in one shot.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+
+#include "baselines/dp.h"
+#include "core/rmq.h"
+#include "pareto/epsilon_indicator.h"
+#include "query/generator.h"
+
+namespace moqo {
+namespace {
+
+// Enumerates every plan joining exactly `rel` (all ordered binary
+// partitions, all operators). Exponential — for n <= 4 only.
+std::vector<PlanPtr> EnumerateAllPlans(PlanFactory* factory,
+                                       const TableSet& rel) {
+  std::vector<PlanPtr> out;
+  if (rel.Count() == 1) {
+    int table = rel.Min();
+    for (ScanAlgorithm op : factory->ApplicableScans(table)) {
+      out.push_back(factory->MakeScan(table, op));
+    }
+    return out;
+  }
+  // Enumerate proper non-empty subsets of rel as the outer operand.
+  std::vector<int> members;
+  rel.ForEach([&](int t) { members.push_back(t); });
+  int n = static_cast<int>(members.size());
+  for (int mask = 1; mask < (1 << n) - 1; ++mask) {
+    TableSet outer_rel;
+    for (int b = 0; b < n; ++b) {
+      if (mask & (1 << b)) outer_rel.Add(members[static_cast<size_t>(b)]);
+    }
+    TableSet inner_rel = rel.Minus(outer_rel);
+    std::vector<PlanPtr> outer_plans = EnumerateAllPlans(factory, outer_rel);
+    std::vector<PlanPtr> inner_plans = EnumerateAllPlans(factory, inner_rel);
+    for (const PlanPtr& o : outer_plans) {
+      for (const PlanPtr& i : inner_plans) {
+        for (JoinAlgorithm op : AllJoinAlgorithms()) {
+          out.push_back(factory->MakeJoin(o, i, op));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// Per-format Pareto filter over full plans (cost-only within a format).
+std::map<OutputFormat, std::vector<CostVector>> FormatFrontiers(
+    const std::vector<PlanPtr>& plans) {
+  std::map<OutputFormat, std::vector<CostVector>> by_format;
+  for (const PlanPtr& p : plans) {
+    by_format[p->format()].push_back(p->cost());
+  }
+  for (auto& [format, costs] : by_format) {
+    costs = ParetoFilter(std::move(costs));
+    // Canonical order for comparison.
+    std::sort(costs.begin(), costs.end(),
+              [](const CostVector& a, const CostVector& b) {
+                for (int i = 0; i < a.size(); ++i) {
+                  if (a[i] != b[i]) return a[i] < b[i];
+                }
+                return false;
+              });
+  }
+  return by_format;
+}
+
+class BruteForceTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(BruteForceTest, DpOneMatchesBruteForceFrontiers) {
+  auto [tables, seed] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  GeneratorConfig gen;
+  gen.num_tables = tables;
+  QueryPtr query = GenerateQuery(gen, &rng);
+  CostModel model({Metric::kTime, Metric::kBuffer});
+  PlanFactory factory(query, &model);
+
+  std::vector<PlanPtr> all = EnumerateAllPlans(&factory, query->AllTables());
+  ASSERT_FALSE(all.empty());
+  auto brute = FormatFrontiers(all);
+  auto dp = FormatFrontiers(ExactParetoSet(&factory));
+
+  ASSERT_EQ(brute.size(), dp.size());
+  for (const auto& [format, brute_costs] : brute) {
+    ASSERT_TRUE(dp.count(format)) << ToString(format);
+    const std::vector<CostVector>& dp_costs = dp.at(format);
+    ASSERT_EQ(brute_costs.size(), dp_costs.size()) << ToString(format);
+    for (size_t i = 0; i < brute_costs.size(); ++i) {
+      EXPECT_TRUE(brute_costs[i].EqualTo(dp_costs[i]))
+          << ToString(format) << " " << i << ": "
+          << brute_costs[i].ToString() << " vs " << dp_costs[i].ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BruteForceTest,
+    ::testing::Combine(::testing::Values(2, 3), ::testing::Values(1, 2, 3)));
+
+TEST(BruteForceTest, EveryOptimizerCoveredByBruteForce) {
+  // No optimizer may produce a plan that the brute-force frontier does not
+  // weakly dominate (it enumerates the whole space, after all).
+  Rng rng(9);
+  GeneratorConfig gen;
+  gen.num_tables = 3;
+  QueryPtr query = GenerateQuery(gen, &rng);
+  CostModel model({Metric::kTime, Metric::kBuffer, Metric::kDisk});
+  PlanFactory factory(query, &model);
+
+  std::vector<CostVector> reference;
+  for (const PlanPtr& p : EnumerateAllPlans(&factory, query->AllTables())) {
+    reference.push_back(p->cost());
+  }
+  reference = ParetoFilter(std::move(reference));
+
+  Rmq rmq;
+  Rng opt_rng(1);
+  for (const PlanPtr& p :
+       rmq.Optimize(&factory, &opt_rng, Deadline::AfterMillis(100), nullptr)) {
+    EXPECT_DOUBLE_EQ(AlphaError(reference, {p->cost()}), 1.0)
+        << p->ToString();
+  }
+}
+
+TEST(BruteForceTest, PlanSpaceSizeMatchesCatalanCounting) {
+  // Structural sanity: with one scan and one join operator the number of
+  // distinct plans for n tables equals the number of labeled binary trees:
+  // C(n-1) * n! (Catalan x leaf permutations) x operator labelings. We
+  // count for n = 3 with full operator sets: shapes = C(2) * 3! = 12
+  // orderings; each has 2 joins (8 ops each) and 3 leaves (1-2 scan ops).
+  Catalog catalog;
+  for (int i = 0; i < 3; ++i) catalog.AddTable({100.0, 50.0, false});
+  JoinGraph graph(3);
+  graph.AddEdge(0, 1, 0.1);
+  graph.AddEdge(1, 2, 0.1);
+  QueryPtr query = std::make_shared<Query>(std::move(catalog),
+                                           std::move(graph));
+  CostModel model({Metric::kTime});
+  PlanFactory factory(query, &model);
+  std::vector<PlanPtr> all = EnumerateAllPlans(&factory, query->AllTables());
+  // 12 join orders x 8^2 join-operator labelings x 1 scan op per table.
+  EXPECT_EQ(all.size(), 12u * 64u);
+}
+
+}  // namespace
+}  // namespace moqo

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/deadline.h"
+#include "common/flags.h"
+#include "common/rng.h"
+
+namespace moqo {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.UniformInt(0, 1000000) == b.UniformInt(0, 1000000)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int v = rng.UniformInt(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(7);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 4000; ++i) ++counts[static_cast<size_t>(rng.UniformInt(0, 3))];
+  for (int c : counts) EXPECT_GT(c, 700);  // roughly uniform
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyFair) {
+  Rng rng(5);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.Bernoulli(0.5) ? 1 : 0;
+  EXPECT_GT(heads, 4500);
+  EXPECT_LT(heads, 5500);
+}
+
+TEST(CombineSeedTest, SensitiveToEveryArgument) {
+  uint64_t base = CombineSeed(1, 2, 3, 4);
+  EXPECT_NE(base, CombineSeed(2, 2, 3, 4));
+  EXPECT_NE(base, CombineSeed(1, 3, 3, 4));
+  EXPECT_NE(base, CombineSeed(1, 2, 4, 4));
+  EXPECT_NE(base, CombineSeed(1, 2, 3, 5));
+  EXPECT_EQ(base, CombineSeed(1, 2, 3, 4));
+}
+
+TEST(DeadlineTest, DefaultNeverExpires) {
+  Deadline d;
+  EXPECT_FALSE(d.Expired());
+  EXPECT_EQ(d.RemainingMicros(), INT64_MAX);
+}
+
+TEST(DeadlineTest, ExpiresAfterBudget) {
+  Deadline d = Deadline::AfterMicros(1000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(d.Expired());
+  EXPECT_EQ(d.RemainingMicros(), 0);
+}
+
+TEST(DeadlineTest, NotExpiredImmediately) {
+  Deadline d = Deadline::AfterMillis(10000);
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.RemainingMicros(), 0);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(watch.ElapsedMicros(), 8000);
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedMicros(), 8000);
+}
+
+TEST(FlagsTest, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--timeout-ms=250", "--name=rmq"};
+  Flags flags(3, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("timeout-ms", 0), 250);
+  EXPECT_EQ(flags.GetString("name", ""), "rmq");
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Flags flags(1, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("missing", 77), 77);
+  EXPECT_EQ(flags.GetString("missing", "x"), "x");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("missing", 1.5), 1.5);
+  EXPECT_TRUE(flags.GetBool("missing", true));
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+TEST(FlagsTest, BooleanForms) {
+  const char* argv[] = {"prog", "--paper", "--verbose=false", "--x=1"};
+  Flags flags(4, const_cast<char**>(argv));
+  EXPECT_TRUE(flags.GetBool("paper", false));
+  EXPECT_FALSE(flags.GetBool("verbose", true));
+  EXPECT_TRUE(flags.GetBool("x", false));
+}
+
+TEST(FlagsTest, IntList) {
+  const char* argv[] = {"prog", "--sizes=10,25,50"};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetIntList("sizes", {}), (std::vector<int>{10, 25, 50}));
+  EXPECT_EQ(flags.GetIntList("other", {1}), (std::vector<int>{1}));
+}
+
+TEST(FlagsTest, SpaceSeparatedNumericValue) {
+  const char* argv[] = {"prog", "--reps", "12"};
+  Flags flags(3, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("reps", 0), 12);
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  const char* argv[] = {"prog", "run", "--x=1", "this"};
+  Flags flags(4, const_cast<char**>(argv));
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "run");
+  EXPECT_EQ(flags.positional()[1], "this");
+}
+
+}  // namespace
+}  // namespace moqo

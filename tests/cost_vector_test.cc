@@ -1,0 +1,167 @@
+#include "cost/cost_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+
+namespace moqo {
+namespace {
+
+TEST(CostVectorTest, ZeroConstruction) {
+  CostVector v(3);
+  EXPECT_EQ(v.size(), 3);
+  for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(v[i], 0.0);
+}
+
+TEST(CostVectorTest, InitializerList) {
+  CostVector v = {1.0, 2.0, 3.0};
+  EXPECT_EQ(v.size(), 3);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+}
+
+TEST(CostVectorTest, Addition) {
+  CostVector a = {1.0, 2.0};
+  CostVector b = {10.0, 20.0};
+  CostVector c = a + b;
+  EXPECT_DOUBLE_EQ(c[0], 11.0);
+  EXPECT_DOUBLE_EQ(c[1], 22.0);
+}
+
+TEST(CostVectorTest, AdditionClampsAtMaxCost) {
+  CostVector a = {kMaxCost, 1.0};
+  CostVector b = {kMaxCost, 1.0};
+  CostVector c = a + b;
+  EXPECT_DOUBLE_EQ(c[0], kMaxCost);
+  EXPECT_FALSE(std::isinf(c[0]));
+}
+
+TEST(CostVectorTest, WeakDominance) {
+  CostVector a = {1.0, 2.0};
+  CostVector b = {1.0, 3.0};
+  EXPECT_TRUE(a.WeakDominates(b));
+  EXPECT_FALSE(b.WeakDominates(a));
+  EXPECT_TRUE(a.WeakDominates(a));  // reflexive
+}
+
+TEST(CostVectorTest, StrictDominance) {
+  CostVector a = {1.0, 2.0};
+  CostVector b = {1.0, 3.0};
+  CostVector c = {0.5, 5.0};
+  EXPECT_TRUE(a.StrictlyDominates(b));
+  EXPECT_FALSE(a.StrictlyDominates(a));  // irreflexive
+  EXPECT_FALSE(a.StrictlyDominates(c));  // incomparable
+  EXPECT_FALSE(c.StrictlyDominates(a));
+}
+
+TEST(CostVectorTest, DominanceIsTransitive) {
+  CostVector a = {1.0, 1.0, 1.0};
+  CostVector b = {2.0, 1.0, 1.0};
+  CostVector c = {2.0, 2.0, 1.0};
+  EXPECT_TRUE(a.StrictlyDominates(b));
+  EXPECT_TRUE(b.StrictlyDominates(c));
+  EXPECT_TRUE(a.StrictlyDominates(c));
+}
+
+TEST(CostVectorTest, ApproxDominance) {
+  CostVector a = {10.0, 10.0};
+  CostVector b = {6.0, 6.0};
+  // a is within factor 2 of b but not within factor 1.5.
+  EXPECT_TRUE(a.ApproxDominates(b, 2.0));
+  EXPECT_FALSE(a.ApproxDominates(b, 1.5));
+  // Alpha = 1 reduces to weak dominance.
+  EXPECT_TRUE(b.ApproxDominates(a, 1.0));
+  EXPECT_FALSE(a.ApproxDominates(b, 1.0));
+}
+
+TEST(CostVectorTest, ApproxDominanceWithInfiniteAlpha) {
+  CostVector a = {1e100, 1e100};
+  CostVector b = {1.0, 1.0};
+  EXPECT_TRUE(
+      a.ApproxDominates(b, std::numeric_limits<double>::infinity()));
+}
+
+TEST(CostVectorTest, EqualTo) {
+  CostVector a = {1.0, 2.0};
+  CostVector b = {1.0, 2.0};
+  CostVector c = {1.0, 2.5};
+  EXPECT_TRUE(a.EqualTo(b));
+  EXPECT_FALSE(a.EqualTo(c));
+}
+
+TEST(CostVectorTest, Sum) {
+  CostVector a = {1.5, 2.5, 6.0};
+  EXPECT_DOUBLE_EQ(a.Sum(), 10.0);
+}
+
+TEST(CostVectorTest, MaxRatioOver) {
+  CostVector a = {10.0, 30.0};
+  CostVector r = {10.0, 10.0};
+  EXPECT_DOUBLE_EQ(a.MaxRatioOver(r), 3.0);
+}
+
+TEST(CostVectorTest, MaxRatioOverHandlesZeros) {
+  CostVector both_zero = {0.0, 5.0};
+  CostVector ref_zero = {0.0, 5.0};
+  EXPECT_DOUBLE_EQ(both_zero.MaxRatioOver(ref_zero), 1.0);
+
+  CostVector positive = {1.0, 5.0};
+  EXPECT_TRUE(std::isinf(positive.MaxRatioOver(ref_zero)));
+}
+
+TEST(CostVectorTest, ClampedRemovesNegativesAndNaN) {
+  CostVector v = {-1.0, 2.0};
+  v[0] = std::nan("");
+  CostVector c = v.Clamped();
+  EXPECT_DOUBLE_EQ(c[0], 0.0);
+  EXPECT_DOUBLE_EQ(c[1], 2.0);
+}
+
+TEST(CostVectorTest, ToStringFormat) {
+  CostVector v = {1.0, 2.5};
+  EXPECT_EQ(v.ToString(), "(1, 2.5)");
+}
+
+// Property sweep: strict dominance and approximate dominance must be
+// consistent for random vector pairs.
+class DominancePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DominancePropertyTest, StrictImpliesWeakImpliesApprox) {
+  unsigned seed = static_cast<unsigned>(GetParam());
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<double> dist(0.1, 100.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    CostVector a(3);
+    CostVector b(3);
+    for (int i = 0; i < 3; ++i) {
+      a[i] = dist(gen);
+      b[i] = dist(gen);
+    }
+    if (a.StrictlyDominates(b)) {
+      EXPECT_TRUE(a.WeakDominates(b));
+      EXPECT_FALSE(b.StrictlyDominates(a));  // antisymmetric
+    }
+    if (a.WeakDominates(b)) {
+      EXPECT_TRUE(a.ApproxDominates(b, 1.0));
+      EXPECT_TRUE(a.ApproxDominates(b, 7.5));
+      EXPECT_LE(a.MaxRatioOver(b), 1.0);
+    }
+    // ApproxDominates(alpha) is monotone in alpha.
+    if (a.ApproxDominates(b, 1.2)) {
+      EXPECT_TRUE(a.ApproxDominates(b, 2.0));
+    }
+    // MaxRatioOver is the tightest alpha.
+    double alpha = a.MaxRatioOver(b);
+    EXPECT_TRUE(a.ApproxDominates(b, alpha * 1.0000001));
+    EXPECT_FALSE(a.ApproxDominates(b, alpha * 0.99) &&
+                 alpha > 1e-9 && !a.WeakDominates(b) && alpha < 0.99);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DominancePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace moqo

@@ -1,0 +1,209 @@
+#include "baselines/dp.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "pareto/epsilon_indicator.h"
+#include "plan/random_plan.h"
+#include "query/generator.h"
+
+namespace moqo {
+namespace {
+
+struct Fixture {
+  QueryPtr query;
+  CostModel model;
+  PlanFactory factory;
+
+  explicit Fixture(int tables, int metrics = 2, uint64_t seed = 42)
+      : query([&] {
+          Rng rng(seed);
+          GeneratorConfig config;
+          config.num_tables = tables;
+          return GenerateQuery(config, &rng);
+        }()),
+        model([&] {
+          std::vector<Metric> ms = {Metric::kTime, Metric::kBuffer,
+                                    Metric::kDisk};
+          ms.resize(static_cast<size_t>(metrics));
+          return CostModel(ms);
+        }()),
+        factory(query, &model) {}
+};
+
+std::vector<CostVector> Costs(const std::vector<PlanPtr>& plans) {
+  std::vector<CostVector> out;
+  for (const PlanPtr& p : plans) out.push_back(p->cost());
+  return out;
+}
+
+TEST(DpTest, Names) {
+  DpConfig config;
+  config.alpha = 2.0;
+  EXPECT_EQ(DpOptimizer(config).name(), "DP(2)");
+  config.alpha = 1000.0;
+  EXPECT_EQ(DpOptimizer(config).name(), "DP(1000)");
+  config.alpha = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(DpOptimizer(config).name(), "DP(Infinity)");
+  config.alpha = 1.01;
+  EXPECT_EQ(DpOptimizer(config).name(), "DP(1.01)");
+}
+
+TEST(DpTest, ExactParetoSetOnTinyQuery) {
+  Fixture fx(4);
+  std::vector<PlanPtr> exact = ExactParetoSet(&fx.factory);
+  ASSERT_FALSE(exact.empty());
+  for (const PlanPtr& p : exact) {
+    EXPECT_EQ(p->rel(), fx.factory.query().AllTables());
+  }
+}
+
+TEST(DpTest, ExactSetDominatesEveryRandomPlan) {
+  // The exact Pareto frontier must weakly dominate any plan whatsoever.
+  Fixture fx(5, 3);
+  std::vector<CostVector> exact = Costs(ExactParetoSet(&fx.factory));
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    PlanPtr p = RandomPlan(&fx.factory, &rng);
+    double ratio = AlphaError(exact, {p->cost()});
+    EXPECT_DOUBLE_EQ(ratio, 1.0)
+        << "random plan " << p->ToString()
+        << " not covered by the exact frontier";
+  }
+}
+
+TEST(DpTest, AlphaGuaranteeHolds) {
+  // DP(alpha) output must alpha-approximate the exact frontier.
+  Fixture fx(5, 3);
+  std::vector<CostVector> exact = ParetoFilter(Costs(ExactParetoSet(&fx.factory)));
+  for (double alpha : {1.5, 2.0, 10.0, 1000.0}) {
+    DpConfig config;
+    config.alpha = alpha;
+    DpOptimizer dp(config);
+    Rng rng(2);
+    std::vector<PlanPtr> plans = dp.Optimize(&fx.factory, &rng, Deadline(), nullptr);
+    ASSERT_TRUE(dp.finished());
+    double err = AlphaError(Costs(plans), exact);
+    EXPECT_LE(err, alpha * 1.0001) << "DP(" << alpha << ")";
+  }
+}
+
+TEST(DpTest, CoarserAlphaYieldsFewerPlans) {
+  Fixture fx(6, 3);
+  size_t prev = std::numeric_limits<size_t>::max();
+  for (double alpha : {1.0, 2.0, 1000.0}) {
+    DpConfig config;
+    config.alpha = alpha;
+    DpOptimizer dp(config);
+    Rng rng(3);
+    size_t count = dp.Optimize(&fx.factory, &rng, Deadline(), nullptr).size();
+    EXPECT_LE(count, prev) << "alpha " << alpha;
+    prev = count;
+  }
+}
+
+TEST(DpTest, InfinityAlphaKeepsFormatsOnly) {
+  Fixture fx(4);
+  DpConfig config;
+  config.alpha = std::numeric_limits<double>::infinity();
+  DpOptimizer dp(config);
+  Rng rng(4);
+  std::vector<PlanPtr> plans = dp.Optimize(&fx.factory, &rng, Deadline(), nullptr);
+  // At most one plan per output data representation.
+  EXPECT_LE(plans.size(), 2u);
+  EXPECT_GE(plans.size(), 1u);
+}
+
+TEST(DpTest, GivesUpBeyondMaxTables) {
+  Fixture fx(25);
+  DpConfig config;
+  config.alpha = 2.0;
+  config.max_tables = 20;
+  DpOptimizer dp(config);
+  Rng rng(5);
+  Stopwatch watch;
+  std::vector<PlanPtr> plans =
+      dp.Optimize(&fx.factory, &rng, Deadline::AfterMillis(200), nullptr);
+  EXPECT_TRUE(plans.empty());
+  EXPECT_FALSE(dp.finished());
+  EXPECT_LT(watch.ElapsedMillis(), 100.0);  // immediate give-up
+}
+
+TEST(DpTest, DeadlineAbortsMidSearch) {
+  Fixture fx(14, 3);
+  DpConfig config;
+  config.alpha = 1.0;  // exact: way too slow for 14 tables
+  DpOptimizer dp(config);
+  Rng rng(6);
+  Stopwatch watch;
+  std::vector<PlanPtr> plans =
+      dp.Optimize(&fx.factory, &rng, Deadline::AfterMillis(100), nullptr);
+  EXPECT_TRUE(plans.empty());
+  EXPECT_FALSE(dp.finished());
+  EXPECT_LT(watch.ElapsedMillis(), 5000.0);
+}
+
+TEST(DpTest, CallbackOnceOnCompletion) {
+  Fixture fx(4);
+  DpConfig config;
+  config.alpha = 2.0;
+  DpOptimizer dp(config);
+  Rng rng(7);
+  int calls = 0;
+  dp.Optimize(&fx.factory, &rng, Deadline(),
+              [&](const std::vector<PlanPtr>& frontier) {
+                ++calls;
+                EXPECT_FALSE(frontier.empty());
+              });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(DpTest, SingleTableQuery) {
+  Fixture fx(1);
+  std::vector<PlanPtr> plans = ExactParetoSet(&fx.factory);
+  ASSERT_FALSE(plans.empty());
+  EXPECT_FALSE(plans.front()->IsJoin());
+}
+
+TEST(DpTest, TwoTableQueryExploresBothOrders) {
+  // The exact frontier for two tables must not be worse than any manually
+  // constructed plan in either operand order.
+  Fixture fx(2, 3, 9);
+  std::vector<CostVector> exact = Costs(ExactParetoSet(&fx.factory));
+  for (ScanAlgorithm s0 : fx.factory.ApplicableScans(0)) {
+    for (ScanAlgorithm s1 : fx.factory.ApplicableScans(1)) {
+      for (JoinAlgorithm op : AllJoinAlgorithms()) {
+        PlanPtr a = fx.factory.MakeJoin(fx.factory.MakeScan(0, s0),
+                                        fx.factory.MakeScan(1, s1), op);
+        PlanPtr b = fx.factory.MakeJoin(fx.factory.MakeScan(1, s1),
+                                        fx.factory.MakeScan(0, s0), op);
+        EXPECT_DOUBLE_EQ(AlphaError(exact, {a->cost()}), 1.0);
+        EXPECT_DOUBLE_EQ(AlphaError(exact, {b->cost()}), 1.0);
+      }
+    }
+  }
+}
+
+class DpSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DpSizeTest, FinishesAndCoversRandomPlans) {
+  Fixture fx(GetParam(), 2);
+  DpConfig config;
+  config.alpha = 1.0;
+  DpOptimizer dp(config);
+  Rng rng(8);
+  std::vector<PlanPtr> plans = dp.Optimize(&fx.factory, &rng, Deadline(), nullptr);
+  ASSERT_TRUE(dp.finished());
+  std::vector<CostVector> frontier = Costs(plans);
+  Rng sample_rng(9);
+  for (int i = 0; i < 20; ++i) {
+    PlanPtr p = RandomPlan(&fx.factory, &sample_rng);
+    EXPECT_DOUBLE_EQ(AlphaError(frontier, {p->cost()}), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DpSizeTest, ::testing::Values(2, 3, 4, 5, 6, 7));
+
+}  // namespace
+}  // namespace moqo

@@ -1,0 +1,276 @@
+// Tests for the execution substrate: dataset generation, operator
+// correctness (all physical join algorithms agree), plan-equivalence of
+// different join orders, and cardinality-estimate validation.
+#include "exec/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rmq.h"
+#include "plan/random_plan.h"
+#include "plan/transformations.h"
+#include "query/generator.h"
+
+namespace moqo {
+namespace {
+
+struct Fixture {
+  QueryPtr query;
+  CostModel model;
+  PlanFactory factory;
+  Dataset dataset;
+
+  explicit Fixture(int tables = 4, uint64_t seed = 42, double scale = 0.02)
+      : query([&] {
+          Rng rng(seed);
+          GeneratorConfig config;
+          config.num_tables = tables;
+          return GenerateQuery(config, &rng);
+        }()),
+        model({Metric::kTime, Metric::kBuffer}),
+        factory(query, &model),
+        dataset(query, [] { static Rng rng(7); return &rng; }(), scale,
+                400) {}
+};
+
+TEST(DatasetTest, RowCountsScaledAndClamped) {
+  Fixture fx(5, 1, 0.01);
+  for (int t = 0; t < 5; ++t) {
+    int rows = fx.dataset.RowsOf(t);
+    EXPECT_GE(rows, 1);
+    EXPECT_LE(rows, 400);
+    double expected = fx.query->catalog().Cardinality(t) * 0.01;
+    EXPECT_LE(rows, std::max(1.0, expected) + 1.0);
+  }
+}
+
+TEST(DatasetTest, KeyColumnsPresentForIncidentEdges) {
+  Fixture fx(5);
+  const auto& edges = fx.query->graph().Edges();
+  for (size_t e = 0; e < edges.size(); ++e) {
+    for (int endpoint : {edges[e].left, edges[e].right}) {
+      const TableData& data = fx.dataset.table(endpoint);
+      auto it = data.key_columns.find(static_cast<int>(e));
+      ASSERT_NE(it, data.key_columns.end());
+      EXPECT_EQ(it->second.size(), static_cast<size_t>(data.num_rows));
+      for (int64_t key : it->second) {
+        EXPECT_GE(key, 0);
+        EXPECT_LT(key, fx.dataset.DomainOf(static_cast<int>(e)));
+      }
+    }
+  }
+}
+
+TEST(DatasetTest, DomainApproximatesInverseSelectivity) {
+  Fixture fx(6, 3);
+  const auto& edges = fx.query->graph().Edges();
+  for (size_t e = 0; e < edges.size(); ++e) {
+    double inv = 1.0 / edges[e].selectivity;
+    EXPECT_NEAR(static_cast<double>(fx.dataset.DomainOf(static_cast<int>(e))),
+                inv, inv * 0.5 + 1.0);
+  }
+}
+
+TEST(ExecutorTest, ScanReturnsAllRows) {
+  Fixture fx;
+  Executor exec(&fx.dataset);
+  PlanPtr scan = fx.factory.MakeScan(0, ScanAlgorithm::kFullScan);
+  auto result = exec.Execute(scan);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->NumRows(), fx.dataset.RowsOf(0));
+  EXPECT_EQ(result->tables, std::vector<int>{0});
+}
+
+TEST(ExecutorTest, AllJoinAlgorithmsProduceSameResult) {
+  Fixture fx(3, 11);
+  Executor exec(&fx.dataset);
+  PlanPtr s0 = fx.factory.MakeScan(0, ScanAlgorithm::kFullScan);
+  PlanPtr s1 = fx.factory.MakeScan(1, ScanAlgorithm::kFullScan);
+
+  std::optional<ResultSet> reference;
+  for (JoinAlgorithm op : AllJoinAlgorithms()) {
+    PlanPtr join = fx.factory.MakeJoin(s0, s1, op);
+    auto result = exec.Execute(join);
+    ASSERT_TRUE(result.has_value()) << ToString(op);
+    if (!reference.has_value()) {
+      reference = result;
+    } else {
+      EXPECT_TRUE(SameResult(*reference, *result)) << ToString(op);
+    }
+  }
+}
+
+TEST(ExecutorTest, JoinOrderDoesNotChangeResult) {
+  // Every join order and operator labeling of the same query computes the
+  // same multiset of result tuples — execution-level validation of the
+  // whole transformation rule set.
+  Fixture fx(4, 13);
+  Executor exec(&fx.dataset, 2000000);
+  Rng rng(5);
+  std::optional<ResultSet> reference;
+  for (int i = 0; i < 8; ++i) {
+    PlanPtr plan = RandomPlan(&fx.factory, &rng);
+    auto result = exec.Execute(plan);
+    ASSERT_TRUE(result.has_value()) << plan->ToString();
+    if (!reference.has_value()) {
+      reference = result;
+    } else {
+      EXPECT_TRUE(SameResult(*reference, *result)) << plan->ToString();
+    }
+  }
+}
+
+TEST(ExecutorTest, NeighborsComputeSameResult) {
+  Fixture fx(4, 17);
+  Executor exec(&fx.dataset, 2000000);
+  Rng rng(7);
+  PlanPtr plan = RandomPlan(&fx.factory, &rng);
+  auto reference = exec.Execute(plan);
+  ASSERT_TRUE(reference.has_value());
+  for (const PlanPtr& neighbor : AllNeighbors(plan, &fx.factory)) {
+    auto result = exec.Execute(neighbor);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_TRUE(SameResult(*reference, *result)) << neighbor->ToString();
+  }
+}
+
+TEST(ExecutorTest, CrossProductCount) {
+  // Two tables with no connecting predicate: result = |A| * |B| rows.
+  Catalog catalog;
+  catalog.AddTable({20.0, 100.0, false});
+  catalog.AddTable({30.0, 100.0, false});
+  JoinGraph graph(2);
+  QueryPtr query =
+      std::make_shared<Query>(std::move(catalog), std::move(graph));
+  CostModel model({Metric::kTime});
+  PlanFactory factory(query, &model);
+  Rng rng(1);
+  Dataset dataset(query, &rng, 1.0, 1000);
+  Executor exec(&dataset);
+  for (JoinAlgorithm op :
+       {JoinAlgorithm::kHashSmall, JoinAlgorithm::kNestedLoop,
+        JoinAlgorithm::kSortMergeSmall}) {
+    PlanPtr plan = factory.MakeJoin(
+        factory.MakeScan(0, ScanAlgorithm::kFullScan),
+        factory.MakeScan(1, ScanAlgorithm::kFullScan), op);
+    auto result = exec.Execute(plan);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->NumRows(), 600) << ToString(op);
+  }
+}
+
+TEST(ExecutorTest, IntermediateCapAborts) {
+  Fixture fx(4, 19);
+  Executor exec(&fx.dataset, /*max_intermediate_rows=*/10);
+  Rng rng(9);
+  PlanPtr plan = RandomPlan(&fx.factory, &rng);
+  // A tiny cap forces an abort on any non-trivial join result.
+  auto result = exec.Execute(plan);
+  if (result.has_value()) {
+    EXPECT_LE(result->NumRows(), 10);
+  }
+}
+
+TEST(ExecutorTest, StatsPopulated) {
+  Fixture fx(3, 23);
+  Executor exec(&fx.dataset);
+  Rng rng(11);
+  PlanPtr plan = RandomPlan(&fx.factory, &rng);
+  ExecStats stats;
+  auto result = exec.Execute(plan, &stats);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(stats.rows_out, result->NumRows());
+  EXPECT_GT(stats.comparisons, 0);
+  EXPECT_GE(stats.max_intermediate, result->NumRows());
+}
+
+TEST(ExecutorTest, ActualCardinalityTracksEstimate) {
+  // The optimizer's estimate for the full join should be within an order
+  // of magnitude of the executed cardinality when the dataset is generated
+  // at matching scale (keys are independent uniform — exactly the cost
+  // model's assumption).
+  Catalog catalog;
+  catalog.AddTable({300.0, 100.0, false});
+  catalog.AddTable({400.0, 100.0, false});
+  catalog.AddTable({200.0, 100.0, false});
+  JoinGraph graph(3);
+  graph.AddEdge(0, 1, 0.01);
+  graph.AddEdge(1, 2, 0.02);
+  QueryPtr query =
+      std::make_shared<Query>(std::move(catalog), std::move(graph));
+  CostModel model({Metric::kTime});
+  PlanFactory factory(query, &model);
+  Rng rng(31);
+  Dataset dataset(query, &rng, 1.0, 1000);
+  Executor exec(&dataset, 10000000);
+
+  PlanPtr plan = factory.MakeJoin(
+      factory.MakeJoin(factory.MakeScan(0, ScanAlgorithm::kFullScan),
+                       factory.MakeScan(1, ScanAlgorithm::kFullScan),
+                       JoinAlgorithm::kHashLarge),
+      factory.MakeScan(2, ScanAlgorithm::kFullScan),
+      JoinAlgorithm::kHashLarge);
+  auto result = exec.Execute(plan);
+  ASSERT_TRUE(result.has_value());
+  double estimated = factory.Cardinality(query->AllTables());
+  double actual = static_cast<double>(result->NumRows());
+  EXPECT_GT(actual, 0.0);
+  EXPECT_LT(std::abs(std::log10(actual) - std::log10(estimated)), 1.0)
+      << "estimated " << estimated << " vs actual " << actual;
+}
+
+TEST(ExecutorTest, OptimizedPlanBoundsIntermediateResults) {
+  // Build a query whose catalog matches the materialized dataset exactly
+  // (scale 1, no clamping) so the optimizer's estimates and the executed
+  // data agree. The cheapest RMQ plan must then materialize intermediate
+  // results no larger than the median random plan does — the point of
+  // join-order optimization.
+  Catalog catalog;
+  catalog.AddTable({150.0, 100.0, false});
+  catalog.AddTable({300.0, 100.0, false});
+  catalog.AddTable({80.0, 100.0, false});
+  catalog.AddTable({250.0, 100.0, false});
+  catalog.AddTable({120.0, 100.0, false});
+  JoinGraph graph(5);
+  graph.AddEdge(0, 1, 0.01);
+  graph.AddEdge(1, 2, 0.02);
+  graph.AddEdge(2, 3, 0.005);
+  graph.AddEdge(3, 4, 0.01);
+  QueryPtr query =
+      std::make_shared<Query>(std::move(catalog), std::move(graph));
+  CostModel model({Metric::kTime, Metric::kBuffer});
+  PlanFactory factory(query, &model);
+  Rng data_rng(31);
+  Dataset dataset(query, &data_rng, 1.0, 100000);
+  Executor exec(&dataset, 50000000);
+
+  Rmq rmq;
+  Rng opt_rng(1);
+  std::vector<PlanPtr> frontier =
+      rmq.Optimize(&factory, &opt_rng, Deadline::AfterMillis(200), nullptr);
+  ASSERT_FALSE(frontier.empty());
+  PlanPtr best = frontier.front();
+  for (const PlanPtr& p : frontier) {
+    if (p->cost()[0] < best->cost()[0]) best = p;
+  }
+  ExecStats best_stats;
+  ASSERT_TRUE(exec.Execute(best, &best_stats).has_value());
+
+  Rng rnd(2);
+  std::vector<int64_t> random_intermediate;
+  for (int i = 0; i < 9; ++i) {
+    ExecStats stats;
+    if (exec.Execute(RandomPlan(&factory, &rnd), &stats).has_value()) {
+      random_intermediate.push_back(stats.max_intermediate);
+    } else {
+      random_intermediate.push_back(INT64_MAX);  // aborted: blew the cap
+    }
+  }
+  std::sort(random_intermediate.begin(), random_intermediate.end());
+  EXPECT_LE(best_stats.max_intermediate,
+            random_intermediate[random_intermediate.size() / 2]);
+}
+
+}  // namespace
+}  // namespace moqo

@@ -1,0 +1,197 @@
+#include "query/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace moqo {
+namespace {
+
+TEST(GeneratorTest, ToStringNames) {
+  EXPECT_EQ(ToString(GraphType::kChain), "chain");
+  EXPECT_EQ(ToString(GraphType::kCycle), "cycle");
+  EXPECT_EQ(ToString(GraphType::kStar), "star");
+  EXPECT_EQ(ToString(GraphType::kRandom), "random");
+  EXPECT_EQ(ToString(SelectivityModel::kSteinbrunn), "steinbrunn");
+  EXPECT_EQ(ToString(SelectivityModel::kMinMax), "minmax");
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  GeneratorConfig config;
+  config.num_tables = 12;
+  Rng a(99);
+  Rng b(99);
+  QueryPtr qa = GenerateQuery(config, &a);
+  QueryPtr qb = GenerateQuery(config, &b);
+  ASSERT_EQ(qa->NumTables(), qb->NumTables());
+  for (int t = 0; t < qa->NumTables(); ++t) {
+    EXPECT_DOUBLE_EQ(qa->catalog().Cardinality(t),
+                     qb->catalog().Cardinality(t));
+  }
+  ASSERT_EQ(qa->graph().Edges().size(), qb->graph().Edges().size());
+  for (size_t e = 0; e < qa->graph().Edges().size(); ++e) {
+    EXPECT_DOUBLE_EQ(qa->graph().Edges()[e].selectivity,
+                     qb->graph().Edges()[e].selectivity);
+  }
+}
+
+TEST(GeneratorTest, CardinalitiesInSteinbrunnStrata) {
+  Rng rng(1);
+  GeneratorConfig config;
+  config.num_tables = 40;
+  QueryPtr q = GenerateQuery(config, &rng);
+  for (int t = 0; t < q->NumTables(); ++t) {
+    double c = q->catalog().Cardinality(t);
+    EXPECT_GE(c, 10.0);
+    EXPECT_LE(c, 100000.0);
+  }
+}
+
+TEST(GeneratorTest, StratifiedMixesSmallAndLargeTables) {
+  Rng rng(2);
+  GeneratorConfig config;
+  config.num_tables = 40;
+  QueryPtr q = GenerateQuery(config, &rng);
+  int small = 0;
+  int large = 0;
+  for (int t = 0; t < q->NumTables(); ++t) {
+    double c = q->catalog().Cardinality(t);
+    if (c < 1000.0) ++small;
+    if (c >= 10000.0) ++large;
+  }
+  // Stratified sampling guarantees ~10 per decade for 40 tables.
+  EXPECT_GE(small, 10);
+  EXPECT_GE(large, 5);
+}
+
+struct GraphCase {
+  GraphType type;
+  int tables;
+  size_t expected_edges;
+};
+
+class GraphStructureTest : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(GraphStructureTest, EdgeCountMatchesTopology) {
+  GraphCase c = GetParam();
+  Rng rng(7);
+  GeneratorConfig config;
+  config.num_tables = c.tables;
+  config.graph_type = c.type;
+  config.random_extra_edge_probability = 0.0;
+  QueryPtr q = GenerateQuery(config, &rng);
+  EXPECT_EQ(q->graph().Edges().size(), c.expected_edges);
+  // Every generated query's full table set must be connected.
+  EXPECT_TRUE(q->graph().InducedConnected(q->AllTables()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, GraphStructureTest,
+    ::testing::Values(GraphCase{GraphType::kChain, 10, 9},
+                      GraphCase{GraphType::kChain, 2, 1},
+                      GraphCase{GraphType::kCycle, 10, 10},
+                      GraphCase{GraphType::kCycle, 3, 3},
+                      GraphCase{GraphType::kStar, 10, 9},
+                      GraphCase{GraphType::kStar, 4, 3},
+                      GraphCase{GraphType::kRandom, 10, 9},
+                      GraphCase{GraphType::kChain, 100, 99},
+                      GraphCase{GraphType::kStar, 100, 99}));
+
+TEST(GeneratorTest, CycleOfTwoHasSingleEdge) {
+  // A 2-cycle would duplicate the (0,1) edge; the generator avoids that.
+  Rng rng(3);
+  GeneratorConfig config;
+  config.num_tables = 2;
+  config.graph_type = GraphType::kCycle;
+  QueryPtr q = GenerateQuery(config, &rng);
+  EXPECT_EQ(q->graph().Edges().size(), 1u);
+}
+
+TEST(GeneratorTest, StarCenterIsTableZero) {
+  Rng rng(5);
+  GeneratorConfig config;
+  config.num_tables = 8;
+  config.graph_type = GraphType::kStar;
+  QueryPtr q = GenerateQuery(config, &rng);
+  for (const JoinEdge& e : q->graph().Edges()) {
+    EXPECT_TRUE(e.left == 0 || e.right == 0);
+  }
+  EXPECT_EQ(q->graph().Neighbors(0).Count(), 7);
+}
+
+TEST(GeneratorTest, SteinbrunnSelectivitiesInRange) {
+  Rng rng(11);
+  GeneratorConfig config;
+  config.num_tables = 30;
+  config.selectivity_model = SelectivityModel::kSteinbrunn;
+  QueryPtr q = GenerateQuery(config, &rng);
+  for (const JoinEdge& e : q->graph().Edges()) {
+    EXPECT_GT(e.selectivity, 0.0);
+    EXPECT_LE(e.selectivity, 1.0);
+    EXPECT_GE(e.selectivity, 1e-4 * 0.999);
+  }
+}
+
+TEST(GeneratorTest, MinMaxJoinsLieBetweenInputCardinalities) {
+  Rng rng(13);
+  GeneratorConfig config;
+  config.num_tables = 30;
+  config.selectivity_model = SelectivityModel::kMinMax;
+  QueryPtr q = GenerateQuery(config, &rng);
+  for (const JoinEdge& e : q->graph().Edges()) {
+    double ca = q->catalog().Cardinality(e.left);
+    double cb = q->catalog().Cardinality(e.right);
+    double out = ca * cb * e.selectivity;
+    EXPECT_GE(out, std::min(ca, cb) * 0.999);
+    EXPECT_LE(out, std::max(ca, cb) * 1.001);
+  }
+}
+
+TEST(GeneratorTest, IndexProbabilityExtremes) {
+  Rng rng(17);
+  GeneratorConfig config;
+  config.num_tables = 20;
+  config.index_probability = 0.0;
+  QueryPtr q0 = GenerateQuery(config, &rng);
+  for (int t = 0; t < 20; ++t) EXPECT_FALSE(q0->catalog().Table(t).has_index);
+
+  config.index_probability = 1.0;
+  QueryPtr q1 = GenerateQuery(config, &rng);
+  for (int t = 0; t < 20; ++t) EXPECT_TRUE(q1->catalog().Table(t).has_index);
+}
+
+TEST(GeneratorTest, RandomGraphIsConnectedWithExtraEdges) {
+  Rng rng(19);
+  GeneratorConfig config;
+  config.num_tables = 25;
+  config.graph_type = GraphType::kRandom;
+  config.random_extra_edge_probability = 0.2;
+  QueryPtr q = GenerateQuery(config, &rng);
+  EXPECT_TRUE(q->graph().InducedConnected(q->AllTables()));
+  EXPECT_GE(q->graph().Edges().size(), 24u);
+}
+
+TEST(GeneratorTest, SingleTableQuery) {
+  Rng rng(23);
+  GeneratorConfig config;
+  config.num_tables = 1;
+  QueryPtr q = GenerateQuery(config, &rng);
+  EXPECT_EQ(q->NumTables(), 1);
+  EXPECT_TRUE(q->graph().Edges().empty());
+}
+
+TEST(SampleCardinalityTest, StrataBounds) {
+  Rng rng(29);
+  for (int s = 0; s < 4; ++s) {
+    double lo = std::pow(10.0, s + 1);
+    for (int i = 0; i < 50; ++i) {
+      double c = SampleCardinality(&rng, s);
+      EXPECT_GE(c, lo * 0.999) << "stratum " << s;
+      EXPECT_LE(c, lo * 10.0) << "stratum " << s;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace moqo

@@ -1,0 +1,295 @@
+// Tests for the evaluation harness: anytime recording, metric sampling,
+// medians, suites, experiment runner, and report formatting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+
+#include "core/rmq.h"
+#include "harness/anytime.h"
+#include "harness/csv.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "harness/suite.h"
+#include "plan/random_plan.h"
+#include "query/generator.h"
+
+namespace moqo {
+namespace {
+
+struct Fixture {
+  QueryPtr query;
+  CostModel model;
+  PlanFactory factory;
+
+  explicit Fixture(int tables = 6)
+      : query([&] {
+          Rng rng(42);
+          GeneratorConfig config;
+          config.num_tables = tables;
+          return GenerateQuery(config, &rng);
+        }()),
+        model({Metric::kTime, Metric::kBuffer}),
+        factory(query, &model) {}
+};
+
+TEST(AnytimeRecorderTest, RecordsSnapshotsInOrder) {
+  Fixture fx;
+  AnytimeRecorder recorder;
+  recorder.Start();
+  Rng rng(1);
+  AnytimeCallback cb = recorder.MakeCallback();
+  cb({RandomPlan(&fx.factory, &rng)});
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  cb({RandomPlan(&fx.factory, &rng), RandomPlan(&fx.factory, &rng)});
+  ASSERT_EQ(recorder.snapshots().size(), 2u);
+  EXPECT_LE(recorder.snapshots()[0].elapsed_micros,
+            recorder.snapshots()[1].elapsed_micros);
+  EXPECT_EQ(recorder.snapshots()[0].frontier.size(), 1u);
+  EXPECT_EQ(recorder.snapshots()[1].frontier.size(), 2u);
+}
+
+TEST(AnytimeRecorderTest, SkipsIdenticalSnapshots) {
+  Fixture fx;
+  AnytimeRecorder recorder;
+  recorder.Start();
+  Rng rng(2);
+  PlanPtr p = RandomPlan(&fx.factory, &rng);
+  AnytimeCallback cb = recorder.MakeCallback();
+  cb({p});
+  cb({p});
+  cb({p});
+  EXPECT_EQ(recorder.snapshots().size(), 1u);
+}
+
+TEST(AnytimeRecorderTest, FrontierAtReplaysHistory) {
+  Fixture fx;
+  AnytimeRecorder recorder;
+  recorder.Start();
+  Rng rng(3);
+  AnytimeCallback cb = recorder.MakeCallback();
+  cb({RandomPlan(&fx.factory, &rng)});
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  cb({RandomPlan(&fx.factory, &rng), RandomPlan(&fx.factory, &rng)});
+
+  int64_t t0 = recorder.snapshots()[0].elapsed_micros;
+  int64_t t1 = recorder.snapshots()[1].elapsed_micros;
+  EXPECT_TRUE(recorder.FrontierAt(t0 - 1).empty());
+  EXPECT_EQ(recorder.FrontierAt(t0).size(), 1u);
+  EXPECT_EQ(recorder.FrontierAt((t0 + t1) / 2).size(), 1u);
+  EXPECT_EQ(recorder.FrontierAt(t1 + 1000000).size(), 2u);
+  EXPECT_EQ(recorder.FinalFrontier().size(), 2u);
+}
+
+TEST(AnytimeRecorderTest, EmptyRecorder) {
+  AnytimeRecorder recorder;
+  EXPECT_TRUE(recorder.FinalFrontier().empty());
+  EXPECT_TRUE(recorder.FrontierAt(1000000).empty());
+}
+
+TEST(SampleMetricsTest, SizesAndDistinctness) {
+  Rng rng(4);
+  for (int l = 1; l <= 3; ++l) {
+    std::vector<Metric> m = SampleMetrics(l, &rng);
+    ASSERT_EQ(m.size(), static_cast<size_t>(l));
+    std::set<Metric> distinct(m.begin(), m.end());
+    EXPECT_EQ(distinct.size(), m.size());
+  }
+}
+
+TEST(SampleMetricsTest, CoversAllMetricsAcrossDraws) {
+  Rng rng(5);
+  std::set<Metric> seen;
+  for (int i = 0; i < 100; ++i) {
+    for (Metric m : SampleMetrics(1, &rng)) seen.insert(m);
+  }
+  EXPECT_EQ(seen.size(), DefaultMetricPool().size());
+}
+
+TEST(MedianTest, OddEvenEmpty) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({1.0, 2.0, 3.0, 4.0}), 2.5);
+  EXPECT_TRUE(std::isinf(Median({})));
+  double inf = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(std::isinf(Median({1.0, inf})));
+  EXPECT_DOUBLE_EQ(Median({1.0, 2.0, inf}), 2.0);
+}
+
+TEST(SuiteTest, StandardSuiteComposition) {
+  std::vector<AlgorithmSpec> suite = StandardSuite();
+  ASSERT_EQ(suite.size(), 8u);
+  EXPECT_EQ(suite[0].name, "DP(Infinity)");
+  EXPECT_EQ(suite[1].name, "DP(1000)");
+  EXPECT_EQ(suite[2].name, "DP(2)");
+  EXPECT_EQ(suite[3].name, "SA");
+  EXPECT_EQ(suite[4].name, "2P");
+  EXPECT_EQ(suite[5].name, "NSGA-II");
+  EXPECT_EQ(suite[6].name, "II");
+  EXPECT_EQ(suite[7].name, "RMQ");
+  for (const AlgorithmSpec& spec : suite) {
+    std::unique_ptr<Optimizer> opt = spec.make();
+    ASSERT_NE(opt, nullptr);
+    EXPECT_EQ(opt->name(), spec.name);
+  }
+}
+
+TEST(SuiteTest, SpecByName) {
+  AlgorithmSpec rmq = SpecByName("RMQ");
+  ASSERT_NE(rmq.make, nullptr);
+  EXPECT_EQ(rmq.make()->name(), "RMQ");
+  AlgorithmSpec unknown = SpecByName("nope");
+  EXPECT_EQ(unknown.make, nullptr);
+}
+
+TEST(FormatAlphaTest, Ranges) {
+  EXPECT_EQ(FormatAlpha(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(FormatAlpha(1.0), "1.000");
+  EXPECT_EQ(FormatAlpha(2.5), "2.500");
+  EXPECT_EQ(FormatAlpha(1e6), "1e6.0");
+  EXPECT_EQ(FormatAlpha(1e40), "1e40.0");
+}
+
+TEST(ExperimentTest, SmokeRunProducesFullGrid) {
+  ExperimentConfig config;
+  config.title = "test";
+  config.graphs = {GraphType::kChain};
+  config.sizes = {4, 6};
+  config.num_metrics = 2;
+  config.queries_per_point = 2;
+  config.timeout_ms = 20;
+  config.num_checkpoints = 3;
+  std::vector<AlgorithmSpec> suite = {SpecByName("II"), SpecByName("RMQ")};
+  ExperimentResult result = RunExperiment(config, suite);
+
+  ASSERT_EQ(result.cells.size(), 2u);
+  ASSERT_EQ(result.checkpoint_micros.size(), 3u);
+  for (const CellResult& cell : result.cells) {
+    ASSERT_EQ(cell.series.size(), 2u);
+    for (const CellSeries& s : cell.series) {
+      ASSERT_EQ(s.median_alpha.size(), 3u);
+      for (double a : s.median_alpha) {
+        EXPECT_GE(a, 1.0);
+      }
+      // Alpha is non-increasing over time for anytime algorithms.
+      for (size_t c = 1; c < s.median_alpha.size(); ++c) {
+        EXPECT_LE(s.median_alpha[c], s.median_alpha[c - 1] * 1.0001);
+      }
+    }
+  }
+}
+
+TEST(ExperimentTest, ClippingBoundsAlpha) {
+  ExperimentConfig config;
+  config.title = "clip";
+  config.graphs = {GraphType::kStar};
+  config.sizes = {10};
+  config.queries_per_point = 1;
+  config.timeout_ms = 20;
+  config.num_checkpoints = 2;
+  config.clip_alpha = 100.0;
+  std::vector<AlgorithmSpec> suite = {SpecByName("SA"), SpecByName("RMQ")};
+  ExperimentResult result = RunExperiment(config, suite);
+  for (const CellResult& cell : result.cells) {
+    for (const CellSeries& s : cell.series) {
+      for (double a : s.median_alpha) {
+        EXPECT_LE(a, 100.0);
+      }
+    }
+  }
+}
+
+TEST(ExperimentTest, DpReferenceModeOnSmallQuery) {
+  ExperimentConfig config;
+  config.title = "dpref";
+  config.graphs = {GraphType::kChain};
+  config.sizes = {4};
+  config.queries_per_point = 1;
+  config.timeout_ms = 50;
+  config.num_checkpoints = 2;
+  config.reference = ReferenceMode::kDpReference;
+  config.dp_reference_alpha = 1.01;
+  config.dp_reference_timeout_ms = 20000;
+  std::vector<AlgorithmSpec> suite = {SpecByName("RMQ")};
+  ExperimentResult result = RunExperiment(config, suite);
+  ASSERT_EQ(result.cells.size(), 1u);
+  // With a formal reference the error is finite and >= 1.
+  double final_alpha = result.cells[0].series[0].median_alpha.back();
+  EXPECT_GE(final_alpha, 1.0);
+  EXPECT_LT(final_alpha, 1e6);
+}
+
+TEST(ReportTest, PrintExperimentRendersAllSections) {
+  ExperimentConfig config;
+  config.title = "render";
+  config.graphs = {GraphType::kChain};
+  config.sizes = {4};
+  config.queries_per_point = 1;
+  config.timeout_ms = 10;
+  config.num_checkpoints = 2;
+  std::vector<AlgorithmSpec> suite = {SpecByName("II"), SpecByName("RMQ")};
+  ExperimentResult result = RunExperiment(config, suite);
+  std::ostringstream out;
+  PrintExperiment(result, out);
+  std::string text = out.str();
+  EXPECT_NE(text.find("render"), std::string::npos);
+  EXPECT_NE(text.find("chain, 4 tables"), std::string::npos);
+  EXPECT_NE(text.find("II"), std::string::npos);
+  EXPECT_NE(text.find("RMQ"), std::string::npos);
+  EXPECT_NE(text.find("winner@final"), std::string::npos);
+}
+
+TEST(CsvTest, WritesOneRowPerSeriesPoint) {
+  ExperimentConfig config;
+  config.title = "csv";
+  config.graphs = {GraphType::kChain};
+  config.sizes = {4};
+  config.queries_per_point = 1;
+  config.timeout_ms = 10;
+  config.num_checkpoints = 3;
+  std::vector<AlgorithmSpec> suite = {SpecByName("II"), SpecByName("RMQ")};
+  ExperimentResult result = RunExperiment(config, suite);
+  std::ostringstream out;
+  WriteExperimentCsv(result, out);
+  std::string csv = out.str();
+  EXPECT_EQ(csv.rfind("graph,tables,algorithm,time_ms,median_alpha\n", 0),
+            0u);
+  // Header + cells x algorithms x checkpoints rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 1 + 1 * 2 * 3);
+  EXPECT_NE(csv.find("chain,4,RMQ,"), std::string::npos);
+}
+
+TEST(CsvTest, InfiniteAlphaRendered) {
+  ExperimentResult result;
+  result.config.title = "inf";
+  result.checkpoint_micros = {1000};
+  CellResult cell;
+  cell.graph = GraphType::kStar;
+  cell.size = 9;
+  CellSeries series;
+  series.algorithm = "DP(2)";
+  series.median_alpha = {std::numeric_limits<double>::infinity()};
+  cell.series.push_back(series);
+  result.cells.push_back(cell);
+  std::ostringstream out;
+  WriteExperimentCsv(result, out);
+  EXPECT_NE(out.str().find("star,9,DP(2),1,inf"), std::string::npos);
+}
+
+TEST(ExperimentTest, DeterministicAcrossRuns) {
+  ExperimentConfig config;
+  config.title = "determinism";
+  config.graphs = {GraphType::kChain};
+  config.sizes = {5};
+  config.queries_per_point = 1;
+  config.timeout_ms = 0;  // zero budget: nothing runs, all inf
+  config.num_checkpoints = 2;
+  std::vector<AlgorithmSpec> suite = {SpecByName("RMQ")};
+  ExperimentResult a = RunExperiment(config, suite);
+  ExperimentResult b = RunExperiment(config, suite);
+  EXPECT_EQ(a.cells[0].series[0].median_alpha.size(),
+            b.cells[0].series[0].median_alpha.size());
+}
+
+}  // namespace
+}  // namespace moqo

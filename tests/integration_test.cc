@@ -1,0 +1,261 @@
+// Cross-module integration and end-to-end property tests.
+//
+// These tests exercise the full stack — query generation, cost model, plan
+// space, every optimizer, and the evaluation machinery — and verify the
+// system-level invariants the paper relies on:
+//
+//  * the principle of optimality (replacing a sub-plan by a dominating
+//    same-format plan never worsens the full plan);
+//  * every optimizer emits structurally valid complete plans;
+//  * all randomized optimizers converge toward the exact frontier on small
+//    queries;
+//  * RMQ scales to 100-table queries within modest time budgets.
+#include <gtest/gtest.h>
+
+#include "baselines/dp.h"
+#include "baselines/iterative_improvement.h"
+#include "baselines/nsga2.h"
+#include "baselines/simulated_annealing.h"
+#include "baselines/two_phase.h"
+#include "core/rmq.h"
+#include "harness/suite.h"
+#include "pareto/epsilon_indicator.h"
+#include "plan/random_plan.h"
+#include "plan/transformations.h"
+#include "query/generator.h"
+
+namespace moqo {
+namespace {
+
+struct Fixture {
+  QueryPtr query;
+  CostModel model;
+  PlanFactory factory;
+
+  Fixture(int tables, int metrics, uint64_t seed,
+          GraphType graph = GraphType::kChain)
+      : query([&] {
+          Rng rng(seed);
+          GeneratorConfig config;
+          config.num_tables = tables;
+          config.graph_type = graph;
+          return GenerateQuery(config, &rng);
+        }()),
+        model([&] {
+          std::vector<Metric> ms = {Metric::kTime, Metric::kBuffer,
+                                    Metric::kDisk};
+          ms.resize(static_cast<size_t>(metrics));
+          return CostModel(ms);
+        }()),
+        factory(query, &model) {}
+};
+
+std::vector<CostVector> Costs(const std::vector<PlanPtr>& plans) {
+  std::vector<CostVector> out;
+  for (const PlanPtr& p : plans) out.push_back(p->cost());
+  return out;
+}
+
+// Replaces the outer child of a join with a same-format plan that weakly
+// dominates it and checks the rebuilt plan weakly dominates the original.
+TEST(PrincipleOfOptimalityTest, DominatingSubPlanNeverWorsensWholePlan) {
+  Fixture fx(8, 3, 42);
+  Rng rng(1);
+  int checked = 0;
+  for (int trial = 0; trial < 200 && checked < 50; ++trial) {
+    PlanPtr p = RandomPlan(&fx.factory, &rng);
+    if (!p->IsJoin() || !p->outer()->IsJoin()) continue;
+    // Climb the outer sub-plan only; result weakly dominates it.
+    PlanPtr improved_outer = p->outer();
+    for (const PlanPtr& m : RootMutations(p->outer(), &fx.factory)) {
+      if (SameOutput(*m, *p->outer()) &&
+          m->cost().WeakDominates(p->outer()->cost())) {
+        improved_outer = m;
+        break;
+      }
+    }
+    if (improved_outer == p->outer()) continue;
+    PlanPtr rebuilt =
+        fx.factory.MakeJoin(improved_outer, p->inner(), p->join_op());
+    EXPECT_TRUE(rebuilt->cost().WeakDominates(p->cost()))
+        << "principle of optimality violated for " << p->ToString();
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(AllOptimizersTest, EmitValidCompletePlans) {
+  Fixture fx(10, 3, 7);
+  for (const AlgorithmSpec& spec : StandardSuite()) {
+    std::unique_ptr<Optimizer> opt = spec.make();
+    Rng rng(11);
+    std::vector<PlanPtr> plans = opt->Optimize(
+        &fx.factory, &rng, Deadline::AfterMillis(100), nullptr);
+    // DP variants may time out on 10 tables; everything else must deliver.
+    if (spec.name.rfind("DP", 0) != 0) {
+      ASSERT_FALSE(plans.empty()) << spec.name;
+    }
+    for (const PlanPtr& p : plans) {
+      EXPECT_EQ(p->rel(), fx.factory.query().AllTables()) << spec.name;
+      EXPECT_EQ(p->NodeCount(), 2 * 10 - 1) << spec.name;
+    }
+  }
+}
+
+TEST(AllOptimizersTest, CallbacksNeverReportDominatedFrontiers) {
+  Fixture fx(8, 2, 13);
+  for (const AlgorithmSpec& spec : {SpecByName("II"), SpecByName("RMQ"),
+                                    SpecByName("NSGA-II")}) {
+    std::unique_ptr<Optimizer> opt = spec.make();
+    Rng rng(17);
+    opt->Optimize(&fx.factory, &rng, Deadline::AfterMillis(60),
+                  [&](const std::vector<PlanPtr>& frontier) {
+                    for (const PlanPtr& a : frontier) {
+                      for (const PlanPtr& b : frontier) {
+                        if (a == b) continue;
+                        if (spec.name == "RMQ" && !SameOutput(*a, *b)) {
+                          continue;  // RMQ prunes per format
+                        }
+                        EXPECT_FALSE(
+                            a->cost().StrictlyDominates(b->cost()))
+                            << spec.name;
+                      }
+                    }
+                  });
+  }
+}
+
+TEST(ConvergenceTest, RandomizedAlgorithmsApproachExactFrontier) {
+  // On a 4-table query every randomized algorithm should come within a
+  // modest factor of the exact frontier given a generous budget.
+  Fixture fx(4, 2, 19);
+  std::vector<CostVector> exact =
+      ParetoFilter(Costs(ExactParetoSet(&fx.factory)));
+  ASSERT_FALSE(exact.empty());
+
+  struct Expectation {
+    const char* name;
+    double max_alpha;
+  };
+  // SA/2P explore via absolute-delta random walks and II/NSGA-II via
+  // restarts; all must land within a loose bound on this tiny query. RMQ
+  // gets a tighter bound.
+  for (const Expectation& e : {Expectation{"II", 100.0},
+                               Expectation{"NSGA-II", 100.0},
+                               Expectation{"RMQ", 30.0}}) {
+    AlgorithmSpec spec = SpecByName(e.name);
+    std::unique_ptr<Optimizer> opt = spec.make();
+    Rng rng(23);
+    std::vector<PlanPtr> plans = opt->Optimize(
+        &fx.factory, &rng, Deadline::AfterMillis(400), nullptr);
+    double alpha = AlphaError(Costs(plans), exact);
+    EXPECT_LE(alpha, e.max_alpha) << e.name;
+  }
+}
+
+TEST(ScalabilityTest, RmqHandlesHundredTables) {
+  Fixture fx(100, 3, 29, GraphType::kStar);
+  Rmq rmq;
+  Rng rng(31);
+  std::vector<PlanPtr> plans =
+      rmq.Optimize(&fx.factory, &rng, Deadline::AfterMillis(1500), nullptr);
+  ASSERT_FALSE(plans.empty());
+  EXPECT_GE(rmq.stats().iterations, 1);
+  for (const PlanPtr& p : plans) {
+    EXPECT_EQ(p->rel().Count(), 100);
+  }
+}
+
+TEST(ScalabilityTest, DpCannotHandleTwentyFiveTables) {
+  // Reproduces the paper's headline observation: DP produces nothing for
+  // 25-table queries within an interactive budget while RMQ does.
+  Fixture fx(25, 2, 37);
+  DpConfig config;
+  config.alpha = 1000.0;
+  DpOptimizer dp(config);
+  Rng rng(41);
+  EXPECT_TRUE(
+      dp.Optimize(&fx.factory, &rng, Deadline::AfterMillis(300), nullptr)
+          .empty());
+
+  Rmq rmq;
+  Rng rng2(43);
+  EXPECT_FALSE(
+      rmq.Optimize(&fx.factory, &rng2, Deadline::AfterMillis(300), nullptr)
+          .empty());
+}
+
+TEST(SharedFactoryTest, AlgorithmsShareOneFactorySafely) {
+  // The experiment harness runs all algorithms against one PlanFactory;
+  // interleaving optimizers must not corrupt memoized statistics.
+  Fixture fx(8, 2, 47);
+  double card_before = fx.factory.Cardinality(fx.factory.query().AllTables());
+  for (const AlgorithmSpec& spec :
+       {SpecByName("SA"), SpecByName("RMQ"), SpecByName("II")}) {
+    std::unique_ptr<Optimizer> opt = spec.make();
+    Rng rng(53);
+    opt->Optimize(&fx.factory, &rng, Deadline::AfterMillis(30), nullptr);
+  }
+  EXPECT_DOUBLE_EQ(
+      fx.factory.Cardinality(fx.factory.query().AllTables()), card_before);
+}
+
+TEST(MetricSubsetTest, SingleMetricDegeneratesToClassicOptimization) {
+  // With l = 1 all Pareto sets collapse to (near-)single plans.
+  Fixture fx(6, 1, 59);
+  std::vector<PlanPtr> exact = ExactParetoSet(&fx.factory);
+  ASSERT_FALSE(exact.empty());
+  // DP keeps one plan per output representation; after a cost-only Pareto
+  // filter a single scalar optimum remains.
+  std::vector<CostVector> filtered = ParetoFilter(Costs(exact));
+  ASSERT_EQ(filtered.size(), 1u);
+  double optimum = filtered.front()[0];
+
+  Rmq rmq;
+  Rng rng(61);
+  std::vector<PlanPtr> plans =
+      rmq.Optimize(&fx.factory, &rng, Deadline::AfterMillis(300), nullptr);
+  ASSERT_FALSE(plans.empty());
+  double best_found = plans.front()->cost()[0];
+  for (const PlanPtr& p : plans) {
+    best_found = std::min(best_found, p->cost()[0]);
+  }
+  // Within a small factor of the optimum.
+  EXPECT_LE(best_found, optimum * 30.0);
+}
+
+class EndToEndGridTest
+    : public ::testing::TestWithParam<std::tuple<GraphType, int>> {};
+
+TEST_P(EndToEndGridTest, RmqBeatsRandomSamplingEverywhere) {
+  auto [graph, tables] = GetParam();
+  Fixture fx(tables, 3, 67, graph);
+
+  // Baseline: pure random sampling archive for the same plan count.
+  Rmq rmq;
+  Rng rng(71);
+  std::vector<PlanPtr> rmq_plans =
+      rmq.Optimize(&fx.factory, &rng, Deadline::AfterMillis(150), nullptr);
+  ASSERT_FALSE(rmq_plans.empty());
+
+  Rng rnd_rng(73);
+  std::vector<CostVector> random_costs;
+  for (int i = 0; i < 200; ++i) {
+    random_costs.push_back(RandomPlan(&fx.factory, &rnd_rng)->cost());
+  }
+  std::vector<CostVector> reference =
+      UnionFrontier({Costs(rmq_plans), random_costs});
+  double rmq_alpha = AlphaError(Costs(rmq_plans), reference);
+  double random_alpha = AlphaError(ParetoFilter(random_costs), reference);
+  EXPECT_LE(rmq_alpha, random_alpha)
+      << ToString(graph) << " " << tables << " tables";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EndToEndGridTest,
+    ::testing::Combine(::testing::Values(GraphType::kChain, GraphType::kStar,
+                                         GraphType::kCycle),
+                       ::testing::Values(10, 30)));
+
+}  // namespace
+}  // namespace moqo

@@ -1,0 +1,217 @@
+#include "baselines/nsga2.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "query/generator.h"
+
+namespace moqo {
+namespace {
+
+struct Fixture {
+  QueryPtr query;
+  CostModel model;
+  PlanFactory factory;
+
+  explicit Fixture(int tables = 8, uint64_t seed = 42)
+      : query([&] {
+          Rng rng(seed);
+          GeneratorConfig config;
+          config.num_tables = tables;
+          return GenerateQuery(config, &rng);
+        }()),
+        model({Metric::kTime, Metric::kBuffer}),
+        factory(query, &model) {}
+};
+
+TEST(FastNonDominatedSortTest, SimpleFronts) {
+  std::vector<CostVector> costs = {
+      {1.0, 1.0},  // front 0
+      {2.0, 2.0},  // front 1 (dominated by #0)
+      {1.0, 3.0},  // front 0? dominated by none: (1,1) dominates (1,3)
+      {3.0, 3.0},  // dominated by all above
+  };
+  std::vector<int> ranks = FastNonDominatedSort(costs);
+  EXPECT_EQ(ranks[0], 0);
+  EXPECT_EQ(ranks[1], 1);
+  EXPECT_EQ(ranks[1], 1);
+  EXPECT_EQ(ranks[3], 2);
+}
+
+TEST(FastNonDominatedSortTest, AllIncomparableIsOneFront) {
+  std::vector<CostVector> costs = {{1.0, 9.0}, {5.0, 5.0}, {9.0, 1.0}};
+  for (int r : FastNonDominatedSort(costs)) EXPECT_EQ(r, 0);
+}
+
+TEST(FastNonDominatedSortTest, ChainOfDominance) {
+  std::vector<CostVector> costs;
+  for (int i = 0; i < 5; ++i) {
+    costs.push_back({1.0 + i, 1.0 + i});
+  }
+  std::vector<int> ranks = FastNonDominatedSort(costs);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(ranks[static_cast<size_t>(i)], i);
+}
+
+TEST(FastNonDominatedSortTest, EqualVectorsShareFrontZero) {
+  std::vector<CostVector> costs = {{2.0, 2.0}, {2.0, 2.0}};
+  std::vector<int> ranks = FastNonDominatedSort(costs);
+  EXPECT_EQ(ranks[0], 0);
+  EXPECT_EQ(ranks[1], 0);
+}
+
+TEST(CrowdingDistancesTest, BoundariesInfinite) {
+  std::vector<CostVector> costs = {{1.0, 9.0}, {5.0, 5.0}, {9.0, 1.0}};
+  std::vector<int> front = {0, 1, 2};
+  std::vector<double> d = CrowdingDistances(costs, front);
+  EXPECT_TRUE(std::isinf(d[0]));
+  EXPECT_TRUE(std::isinf(d[2]));
+  EXPECT_FALSE(std::isinf(d[1]));
+  EXPECT_GT(d[1], 0.0);
+}
+
+TEST(CrowdingDistancesTest, DenserPointsLowerDistance) {
+  std::vector<CostVector> costs = {
+      {1.0, 10.0}, {2.0, 8.0}, {2.5, 7.5}, {3.0, 7.0}, {10.0, 1.0}};
+  std::vector<int> front = {0, 1, 2, 3, 4};
+  std::vector<double> d = CrowdingDistances(costs, front);
+  // Point 2 sits in the densest area.
+  EXPECT_LT(d[2], d[1]);
+}
+
+TEST(CrowdingDistancesTest, EmptyAndSingleton) {
+  std::vector<CostVector> costs = {{1.0, 1.0}};
+  EXPECT_TRUE(CrowdingDistances(costs, {}).empty());
+  std::vector<double> d = CrowdingDistances(costs, {0});
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_TRUE(std::isinf(d[0]));
+}
+
+TEST(GenomeTest, RandomGenomeInBounds) {
+  Fixture fx(10);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    Nsga2Genome g = RandomGenome(&fx.factory, &rng);
+    ASSERT_EQ(g.order.size(), 10u);
+    ASSERT_EQ(g.scan_ops.size(), 10u);
+    ASSERT_EQ(g.join_ops.size(), 9u);
+    for (int k = 0; k < 10; ++k) {
+      EXPECT_GE(g.order[static_cast<size_t>(k)], 0);
+      EXPECT_LE(g.order[static_cast<size_t>(k)], 9 - k);
+    }
+  }
+}
+
+TEST(GenomeTest, DecodeProducesValidLeftDeepPlan) {
+  Fixture fx(10);
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    Nsga2Genome g = RandomGenome(&fx.factory, &rng);
+    PlanPtr p = DecodeGenome(g, &fx.factory);
+    EXPECT_EQ(p->rel(), fx.factory.query().AllTables());
+    PlanPtr node = p;
+    while (node->IsJoin()) {
+      EXPECT_FALSE(node->inner()->IsJoin());
+      node = node->outer();
+    }
+  }
+}
+
+TEST(GenomeTest, DecodeDeterministic) {
+  Fixture fx(8);
+  Rng rng(3);
+  Nsga2Genome g = RandomGenome(&fx.factory, &rng);
+  PlanPtr a = DecodeGenome(g, &fx.factory);
+  PlanPtr b = DecodeGenome(g, &fx.factory);
+  EXPECT_EQ(a->ToString(), b->ToString());
+  EXPECT_TRUE(a->cost().EqualTo(b->cost()));
+}
+
+TEST(GenomeTest, OrderGenesSelectDistinctTables) {
+  Fixture fx(6);
+  Nsga2Genome g;
+  g.order = {0, 0, 0, 0, 0, 0};  // always pick the first remaining table
+  g.scan_ops = std::vector<int>(6, 0);
+  g.join_ops = std::vector<int>(5, 3);
+  PlanPtr p = DecodeGenome(g, &fx.factory);
+  EXPECT_EQ(p->rel().Count(), 6);
+}
+
+TEST(Nsga2Test, OptimizeProducesValidFrontier) {
+  Fixture fx(8);
+  Nsga2Config config;
+  config.population_size = 40;
+  config.max_generations = 5;
+  Nsga2 nsga(config);
+  Rng rng(4);
+  std::vector<PlanPtr> plans =
+      nsga.Optimize(&fx.factory, &rng, Deadline(), nullptr);
+  ASSERT_FALSE(plans.empty());
+  for (const PlanPtr& p : plans) {
+    EXPECT_EQ(p->rel(), fx.factory.query().AllTables());
+  }
+  for (const PlanPtr& a : plans) {
+    for (const PlanPtr& b : plans) {
+      if (a == b) continue;
+      EXPECT_FALSE(a->cost().StrictlyDominates(b->cost()));
+    }
+  }
+}
+
+TEST(Nsga2Test, ImprovesOverGenerations) {
+  Fixture fx(12, 7);
+  auto best_sum_after = [&](int generations) {
+    Nsga2Config config;
+    config.population_size = 50;
+    config.max_generations = generations;
+    Nsga2 nsga(config);
+    Rng rng(5);
+    std::vector<PlanPtr> plans =
+        nsga.Optimize(&fx.factory, &rng, Deadline(), nullptr);
+    double best = kMaxCost;
+    for (const PlanPtr& p : plans) best = std::min(best, p->cost().Sum());
+    return best;
+  };
+  double gen1 = best_sum_after(1);
+  double gen30 = best_sum_after(30);
+  EXPECT_LE(gen30, gen1);
+}
+
+TEST(Nsga2Test, CallbackPerGeneration) {
+  Fixture fx(6);
+  Nsga2Config config;
+  config.population_size = 20;
+  config.max_generations = 4;
+  Nsga2 nsga(config);
+  Rng rng(6);
+  int calls = 0;
+  nsga.Optimize(&fx.factory, &rng, Deadline(),
+                [&](const std::vector<PlanPtr>&) { ++calls; });
+  // Initial population callback + one per generation.
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(Nsga2Test, HonorsDeadline) {
+  Fixture fx(40);
+  Nsga2 nsga;
+  Rng rng(7);
+  Stopwatch watch;
+  nsga.Optimize(&fx.factory, &rng, Deadline::AfterMillis(60), nullptr);
+  EXPECT_LT(watch.ElapsedMillis(), 5000.0);
+}
+
+TEST(Nsga2Test, SingleTableQuery) {
+  Fixture fx(1);
+  Nsga2Config config;
+  config.population_size = 8;
+  config.max_generations = 2;
+  Nsga2 nsga(config);
+  Rng rng(8);
+  std::vector<PlanPtr> plans =
+      nsga.Optimize(&fx.factory, &rng, Deadline(), nullptr);
+  ASSERT_FALSE(plans.empty());
+  EXPECT_FALSE(plans.front()->IsJoin());
+}
+
+}  // namespace
+}  // namespace moqo

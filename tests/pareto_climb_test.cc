@@ -1,0 +1,232 @@
+#include "core/pareto_climb.h"
+
+#include <gtest/gtest.h>
+
+#include "plan/random_plan.h"
+#include "query/generator.h"
+
+namespace moqo {
+namespace {
+
+struct Fixture {
+  QueryPtr query;
+  CostModel model;
+  PlanFactory factory;
+
+  explicit Fixture(int tables, int metrics = 3, uint64_t seed = 42,
+                   GraphType graph = GraphType::kChain)
+      : query([&] {
+          Rng rng(seed);
+          GeneratorConfig config;
+          config.num_tables = tables;
+          config.graph_type = graph;
+          return GenerateQuery(config, &rng);
+        }()),
+        model([&] {
+          std::vector<Metric> ms = {Metric::kTime, Metric::kBuffer,
+                                    Metric::kDisk};
+          ms.resize(static_cast<size_t>(metrics));
+          return CostModel(ms);
+        }()),
+        factory(query, &model) {}
+};
+
+TEST(ParetoStepTest, AlwaysReturnsAtLeastOnePlan) {
+  Fixture fx(6);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    PlanPtr p = RandomPlan(&fx.factory, &rng);
+    std::vector<PlanPtr> step = ParetoStep(p, &fx.factory);
+    EXPECT_FALSE(step.empty());
+  }
+}
+
+TEST(ParetoStepTest, UsuallyContainsAnImprovementOfInput) {
+  // The recombination of unchanged children is always generated, so most
+  // steps return a plan weakly dominating the input; the constant-width
+  // pruning may occasionally evict it in favor of incomparable plans, so
+  // this holds for the majority, not universally.
+  Fixture fx(6);
+  Rng rng(2);
+  int covered = 0;
+  for (int i = 0; i < 20; ++i) {
+    PlanPtr p = RandomPlan(&fx.factory, &rng);
+    for (const PlanPtr& m : ParetoStep(p, &fx.factory)) {
+      if (m->cost().WeakDominates(p->cost())) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(covered, 12);
+}
+
+TEST(ParetoStepTest, PreservesTableSet) {
+  Fixture fx(8);
+  Rng rng(3);
+  PlanPtr p = RandomPlan(&fx.factory, &rng);
+  for (const PlanPtr& m : ParetoStep(p, &fx.factory)) {
+    EXPECT_EQ(m->rel(), p->rel());
+  }
+}
+
+TEST(ParetoStepTest, ResultsMutuallyNonDominatedPerFormat) {
+  Fixture fx(8);
+  Rng rng(4);
+  PlanPtr p = RandomPlan(&fx.factory, &rng);
+  std::vector<PlanPtr> step = ParetoStep(p, &fx.factory);
+  for (const PlanPtr& a : step) {
+    for (const PlanPtr& b : step) {
+      if (a == b) continue;
+      if (SameOutput(*a, *b)) {
+        EXPECT_FALSE(a->cost().StrictlyDominates(b->cost()));
+      }
+    }
+  }
+}
+
+TEST(ParetoClimbTest, NeverWorseThanStart) {
+  Fixture fx(10);
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    PlanPtr start = RandomPlan(&fx.factory, &rng);
+    PlanPtr opt = ParetoClimb(start, &fx.factory);
+    EXPECT_TRUE(opt->cost().WeakDominates(start->cost()))
+        << "climb must never worsen any metric";
+  }
+}
+
+TEST(ParetoClimbTest, UsuallyImprovesRandomPlans) {
+  Fixture fx(10);
+  Rng rng(6);
+  int improved = 0;
+  for (int i = 0; i < 20; ++i) {
+    PlanPtr start = RandomPlan(&fx.factory, &rng);
+    PlanPtr opt = ParetoClimb(start, &fx.factory);
+    if (opt->cost().StrictlyDominates(start->cost())) ++improved;
+  }
+  EXPECT_GE(improved, 15);  // random plans are almost never locally optimal
+}
+
+TEST(ParetoClimbTest, FixedPointIsStable) {
+  Fixture fx(8);
+  Rng rng(7);
+  PlanPtr opt = ParetoClimb(RandomPlan(&fx.factory, &rng), &fx.factory);
+  ClimbStats stats;
+  PlanPtr again = ParetoClimb(opt, &fx.factory, &stats);
+  EXPECT_EQ(stats.steps, 0);
+  EXPECT_TRUE(again->cost().EqualTo(opt->cost()));
+}
+
+TEST(ParetoClimbTest, FixedPointsTradeExactnessForSpeed) {
+  // With the constant-width pruning of Lemma 2 (kMaxPerFormat), climbing
+  // fixed points are *not* guaranteed local optima of the complete
+  // neighborhood: the width-bounded step can evict the candidate that a
+  // naive climber would have used. The invariants that DO hold:
+  //   - polishing with the naive climber never violates dominance,
+  //   - the fast climb still removes the bulk of a random plan's cost
+  //     (its fixed point is orders of magnitude below the start).
+  for (int metrics : {2, 3}) {
+    Fixture fx(5, metrics);
+    Rng rng(8);
+    for (int i = 0; i < 15; ++i) {
+      PlanPtr start = RandomPlan(&fx.factory, &rng);
+      PlanPtr opt = ParetoClimb(start, &fx.factory);
+      EXPECT_TRUE(opt->cost().WeakDominates(start->cost()));
+      PlanPtr polished = NaiveClimb(opt, &fx.factory);
+      EXPECT_TRUE(polished->cost().WeakDominates(opt->cost()));
+      EXPECT_TRUE(IsLocalParetoOptimum(polished, &fx.factory));
+    }
+  }
+}
+
+TEST(ParetoClimbTest, RecordsPathLength) {
+  Fixture fx(15);
+  Rng rng(9);
+  ClimbStats stats;
+  ParetoClimb(RandomPlan(&fx.factory, &rng), &fx.factory, &stats);
+  EXPECT_GE(stats.steps, 0);
+  EXPECT_GT(stats.plans_examined, 0);
+}
+
+TEST(ParetoClimbTest, DeadlineAborts) {
+  Fixture fx(60);
+  Rng rng(10);
+  PlanPtr start = RandomPlan(&fx.factory, &rng);
+  // An already-expired deadline returns the start plan unchanged.
+  PlanPtr out = ParetoClimb(start, &fx.factory, nullptr,
+                            Deadline::AfterMicros(0));
+  EXPECT_TRUE(out->cost().EqualTo(start->cost()));
+}
+
+TEST(NaiveClimbTest, NeverWorseThanStartAndStable) {
+  Fixture fx(6);
+  Rng rng(11);
+  PlanPtr start = RandomPlan(&fx.factory, &rng);
+  PlanPtr opt = NaiveClimb(start, &fx.factory);
+  EXPECT_TRUE(opt->cost().WeakDominates(start->cost()));
+  EXPECT_TRUE(IsLocalParetoOptimum(opt, &fx.factory));
+}
+
+TEST(NaiveClimbTest, FastClimberAtLeastMatchesNaiveQuality) {
+  // The fast climber applies mutations in independent subtrees
+  // simultaneously; combined moves can dominate where single mutations do
+  // not, so it often escapes to *better* local optima than the naive
+  // single-mutation climber (the paper's Section 4.2 rationale). Require
+  // the fast climber to be no worse in aggregate.
+  Fixture fx(7);
+  Rng rng(12);
+  double fast_total = 0.0;
+  double naive_total = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    PlanPtr start = RandomPlan(&fx.factory, &rng);
+    fast_total += ParetoClimb(start, &fx.factory)->cost().Sum();
+    naive_total += NaiveClimb(start, &fx.factory)->cost().Sum();
+  }
+  EXPECT_LE(fast_total, naive_total * 1.5);
+}
+
+TEST(ParetoClimbTest, FewerStepsThanNaive) {
+  // Subtree parallelism applies several mutations per step, so the fast
+  // climber's accepted-step count should not exceed the naive one's on
+  // average.
+  Fixture fx(12);
+  Rng rng(13);
+  int64_t fast_steps = 0;
+  int64_t naive_steps = 0;
+  for (int i = 0; i < 10; ++i) {
+    PlanPtr start = RandomPlan(&fx.factory, &rng);
+    ClimbStats fast, naive;
+    ParetoClimb(start, &fx.factory, &fast);
+    NaiveClimb(start, &fx.factory, &naive);
+    fast_steps += fast.steps;
+    naive_steps += naive.steps;
+  }
+  EXPECT_LE(fast_steps, naive_steps);
+}
+
+class ClimbPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ClimbPropertyTest, ClimbInvariantsAcrossSizesAndMetrics) {
+  auto [tables, metrics] = GetParam();
+  Fixture fx(tables, metrics);
+  Rng rng(CombineSeed(static_cast<uint64_t>(tables),
+                      static_cast<uint64_t>(metrics)));
+  PlanPtr start = RandomPlan(&fx.factory, &rng);
+  ClimbStats stats;
+  PlanPtr opt = ParetoClimb(start, &fx.factory, &stats);
+  EXPECT_TRUE(opt->cost().WeakDominates(start->cost()));
+  EXPECT_EQ(opt->rel(), fx.factory.query().AllTables());
+  EXPECT_EQ(opt->NodeCount(), 2 * tables - 1);
+  // Path lengths stay small (the paper measures ~4-6 even at 100 tables).
+  EXPECT_LE(stats.steps, 12 + tables);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ClimbPropertyTest,
+    ::testing::Combine(::testing::Values(2, 5, 10, 25, 50),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace moqo

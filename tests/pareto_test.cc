@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <random>
+
+#include "pareto/epsilon_indicator.h"
+#include "pareto/pareto_archive.h"
+#include "plan/random_plan.h"
+#include "query/generator.h"
+
+namespace moqo {
+namespace {
+
+struct Fixture {
+  QueryPtr query;
+  CostModel model;
+  PlanFactory factory;
+
+  explicit Fixture(int tables = 6)
+      : query([&] {
+          Rng rng(42);
+          GeneratorConfig config;
+          config.num_tables = tables;
+          return GenerateQuery(config, &rng);
+        }()),
+        model({Metric::kTime, Metric::kBuffer}),
+        factory(query, &model) {}
+};
+
+TEST(ParetoArchiveTest, InsertAndDominate) {
+  Fixture fx;
+  ParetoArchive archive;
+  Rng rng(1);
+  PlanPtr p = RandomPlan(&fx.factory, &rng);
+  EXPECT_TRUE(archive.Insert(p));
+  EXPECT_EQ(archive.size(), 1u);
+  // Re-inserting the same plan (equal cost) is rejected.
+  EXPECT_FALSE(archive.Insert(p));
+  EXPECT_EQ(archive.size(), 1u);
+}
+
+TEST(ParetoArchiveTest, ArchiveIsMutuallyNonDominated) {
+  Fixture fx;
+  ParetoArchive archive;
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) archive.Insert(RandomPlan(&fx.factory, &rng));
+  const auto& plans = archive.plans();
+  for (size_t i = 0; i < plans.size(); ++i) {
+    for (size_t j = 0; j < plans.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(plans[i]->cost().StrictlyDominates(plans[j]->cost()));
+    }
+  }
+  EXPECT_GE(archive.size(), 1u);
+}
+
+TEST(ParetoArchiveTest, DominatedInsertRejectedAndEviction) {
+  // Deterministic tiny query: both inputs fit the small buffer budget, so
+  // the in-memory hash join strictly dominates the sort-merge join at the
+  // same budget (it skips the sort phases) on (time, buffer).
+  Catalog catalog;
+  catalog.AddTable({1000.0, 100.0, false});
+  catalog.AddTable({1000.0, 100.0, false});
+  JoinGraph graph(2);
+  graph.AddEdge(0, 1, 0.1);
+  QueryPtr query =
+      std::make_shared<Query>(std::move(catalog), std::move(graph));
+  CostModel model({Metric::kTime, Metric::kBuffer});
+  PlanFactory factory(query, &model);
+
+  PlanPtr s0 = factory.MakeScan(0, ScanAlgorithm::kFullScan);
+  PlanPtr s1 = factory.MakeScan(1, ScanAlgorithm::kFullScan);
+  PlanPtr good = factory.MakeJoin(s0, s1, JoinAlgorithm::kHashSmall);
+  PlanPtr bad = factory.MakeJoin(s0, s1, JoinAlgorithm::kSortMergeSmall);
+  ASSERT_TRUE(good->cost().StrictlyDominates(bad->cost()))
+      << "fixture assumption: hash dominates sort-merge at equal budget";
+
+  ParetoArchive archive;
+  EXPECT_TRUE(archive.Insert(bad));
+  EXPECT_TRUE(archive.Insert(good));  // evicts bad
+  EXPECT_EQ(archive.size(), 1u);
+  EXPECT_FALSE(archive.Insert(bad));  // rejected now
+}
+
+TEST(ParetoArchiveTest, FrontierMatchesPlans) {
+  Fixture fx;
+  ParetoArchive archive;
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) archive.Insert(RandomPlan(&fx.factory, &rng));
+  std::vector<CostVector> frontier = archive.Frontier();
+  ASSERT_EQ(frontier.size(), archive.size());
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    EXPECT_TRUE(frontier[i].EqualTo(archive.plans()[i]->cost()));
+  }
+}
+
+TEST(ParetoArchiveTest, Clear) {
+  Fixture fx;
+  ParetoArchive archive;
+  Rng rng(4);
+  archive.Insert(RandomPlan(&fx.factory, &rng));
+  archive.Clear();
+  EXPECT_TRUE(archive.empty());
+}
+
+TEST(ParetoFilterTest, RemovesDominatedAndDuplicates) {
+  std::vector<CostVector> input = {
+      {1.0, 5.0}, {2.0, 2.0}, {5.0, 1.0},
+      {3.0, 3.0},          // dominated by (2,2)
+      {2.0, 2.0},          // duplicate
+      {1.0, 5.0},          // duplicate
+  };
+  std::vector<CostVector> out = ParetoFilter(input);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(ParetoFilterTest, EmptyInput) {
+  EXPECT_TRUE(ParetoFilter({}).empty());
+}
+
+TEST(ParetoFilterTest, KeepsIncomparableVectors) {
+  std::vector<CostVector> input = {{1.0, 9.0}, {9.0, 1.0}, {4.0, 4.0}};
+  EXPECT_EQ(ParetoFilter(input).size(), 3u);
+}
+
+TEST(AlphaErrorTest, PerfectApproximationIsOne) {
+  std::vector<CostVector> frontier = {{1.0, 5.0}, {5.0, 1.0}};
+  EXPECT_DOUBLE_EQ(AlphaError(frontier, frontier), 1.0);
+}
+
+TEST(AlphaErrorTest, EmptyApproxIsInfinite) {
+  std::vector<CostVector> reference = {{1.0, 1.0}};
+  EXPECT_TRUE(std::isinf(AlphaError({}, reference)));
+}
+
+TEST(AlphaErrorTest, EmptyReferenceIsOne) {
+  std::vector<CostVector> approx = {{1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(AlphaError(approx, {}), 1.0);
+}
+
+TEST(AlphaErrorTest, SingleFactorOff) {
+  std::vector<CostVector> reference = {{10.0, 10.0}};
+  std::vector<CostVector> approx = {{20.0, 15.0}};
+  EXPECT_DOUBLE_EQ(AlphaError(approx, reference), 2.0);
+}
+
+TEST(AlphaErrorTest, BestApproximatorPerReferencePoint) {
+  std::vector<CostVector> reference = {{10.0, 10.0}, {100.0, 1.0}};
+  std::vector<CostVector> approx = {{10.0, 10.0}, {110.0, 1.0}};
+  // First point matched exactly; second within factor 1.1.
+  EXPECT_NEAR(AlphaError(approx, reference), 1.1, 1e-12);
+}
+
+TEST(AlphaErrorTest, NeverBelowOne) {
+  // Approximation strictly better than the reference still yields 1.
+  std::vector<CostVector> reference = {{10.0, 10.0}};
+  std::vector<CostVector> approx = {{1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(AlphaError(approx, reference), 1.0);
+}
+
+TEST(AlphaErrorTest, SupersetHasNoError) {
+  std::vector<CostVector> reference = {{1.0, 5.0}, {5.0, 1.0}};
+  std::vector<CostVector> approx = {{1.0, 5.0}, {5.0, 1.0}, {3.0, 3.0}};
+  EXPECT_DOUBLE_EQ(AlphaError(approx, reference), 1.0);
+}
+
+TEST(UnionFrontierTest, MergesAndFilters) {
+  std::vector<std::vector<CostVector>> frontiers = {
+      {{1.0, 5.0}, {4.0, 4.0}},
+      {{5.0, 1.0}, {2.0, 2.0}},
+  };
+  std::vector<CostVector> merged = UnionFrontier(frontiers);
+  // (4,4) is dominated by (2,2).
+  EXPECT_EQ(merged.size(), 3u);
+}
+
+// Property: AlphaError of any subset of a frontier against the full
+// frontier is >= 1, and adding points can only lower it.
+class AlphaErrorPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlphaErrorPropertyTest, MonotoneInApproximationSet) {
+  std::mt19937 gen(static_cast<unsigned>(GetParam()));
+  std::uniform_real_distribution<double> dist(1.0, 1000.0);
+  std::vector<CostVector> reference;
+  for (int i = 0; i < 30; ++i) {
+    CostVector v(3);
+    for (int k = 0; k < 3; ++k) v[k] = dist(gen);
+    reference.push_back(v);
+  }
+  reference = ParetoFilter(reference);
+
+  std::vector<CostVector> approx;
+  double prev = std::numeric_limits<double>::infinity();
+  for (const CostVector& v : reference) {
+    approx.push_back(v);
+    double alpha = AlphaError(approx, reference);
+    EXPECT_GE(alpha, 1.0);
+    EXPECT_LE(alpha, prev + 1e-9);  // adding points never hurts
+    prev = alpha;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);  // full set approximates itself perfectly
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlphaErrorPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace moqo

@@ -1,0 +1,161 @@
+#include "core/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "plan/plan_factory.h"
+#include "plan/random_plan.h"
+#include "query/generator.h"
+
+namespace moqo {
+namespace {
+
+struct Fixture {
+  QueryPtr query;
+  CostModel model;
+  PlanFactory factory;
+
+  explicit Fixture(int tables = 6)
+      : query([&] {
+          Rng rng(42);
+          GeneratorConfig config;
+          config.num_tables = tables;
+          return GenerateQuery(config, &rng);
+        }()),
+        model({Metric::kTime, Metric::kBuffer}),
+        factory(query, &model) {}
+};
+
+TEST(PlanCacheTest, InsertAndLookup) {
+  Fixture fx;
+  PlanCache cache;
+  PlanPtr scan = fx.factory.MakeScan(0, ScanAlgorithm::kFullScan);
+  EXPECT_TRUE(cache.Insert(scan->rel(), scan, 1.0));
+  EXPECT_EQ(cache.Lookup(scan->rel()).size(), 1u);
+  EXPECT_EQ(cache.NumTableSets(), 1u);
+  EXPECT_EQ(cache.TotalPlans(), 1u);
+}
+
+TEST(PlanCacheTest, LookupUnknownSetIsEmpty) {
+  PlanCache cache;
+  EXPECT_TRUE(cache.Lookup(TableSet::FirstN(3)).empty());
+}
+
+TEST(PlanCacheTest, DuplicateInsertRejected) {
+  Fixture fx;
+  PlanCache cache;
+  PlanPtr scan = fx.factory.MakeScan(0, ScanAlgorithm::kFullScan);
+  EXPECT_TRUE(cache.Insert(scan->rel(), scan, 1.0));
+  // Identical cost and format: approx-dominated by the cached plan.
+  EXPECT_FALSE(cache.Insert(scan->rel(), scan, 1.0));
+  EXPECT_EQ(cache.TotalPlans(), 1u);
+}
+
+TEST(PlanCacheTest, DifferentFormatsCoexist) {
+  // Table 0 of seed-42 catalog may or may not have an index; build a
+  // deterministic catalog instead.
+  Catalog catalog;
+  catalog.AddTable({1000.0, 100.0, true});
+  JoinGraph graph(1);
+  QueryPtr query =
+      std::make_shared<Query>(std::move(catalog), std::move(graph));
+  CostModel model({Metric::kTime, Metric::kBuffer});
+  PlanFactory factory(query, &model);
+  PlanCache cache;
+  PlanPtr full = factory.MakeScan(0, ScanAlgorithm::kFullScan);
+  PlanPtr index = factory.MakeScan(0, ScanAlgorithm::kIndexScan);
+  EXPECT_TRUE(cache.Insert(full->rel(), full, 1e9));
+  // Even with a huge alpha, the index scan has a different output format
+  // and is therefore kept.
+  EXPECT_TRUE(cache.Insert(index->rel(), index, 1e9));
+  EXPECT_EQ(cache.TotalPlans(), 2u);
+}
+
+TEST(PlanCacheTest, CoarseAlphaPrunesAggressively) {
+  Fixture fx(8);
+  PlanCache coarse;
+  PlanCache fine;
+  Rng rng(7);
+  TableSet all = fx.factory.query().AllTables();
+  for (int i = 0; i < 200; ++i) {
+    PlanPtr p = RandomPlan(&fx.factory, &rng);
+    coarse.Insert(all, p, 1e6);
+    fine.Insert(all, p, 1.0);
+  }
+  EXPECT_LE(coarse.Lookup(all).size(), fine.Lookup(all).size());
+}
+
+TEST(PlanCacheTest, CachedPlansMutuallyNonDominatedSameFormat) {
+  Fixture fx(8);
+  PlanCache cache;
+  Rng rng(9);
+  TableSet all = fx.factory.query().AllTables();
+  for (int i = 0; i < 200; ++i) {
+    cache.Insert(all, RandomPlan(&fx.factory, &rng), 1.0);
+  }
+  const std::vector<PlanPtr>& plans = cache.Lookup(all);
+  for (const PlanPtr& a : plans) {
+    for (const PlanPtr& b : plans) {
+      if (a == b) continue;
+      if (SameOutput(*a, *b)) {
+        // With alpha = 1 the Prune rule guarantees plain non-dominance.
+        EXPECT_FALSE(a->cost().WeakDominates(b->cost()) &&
+                     !a->cost().EqualTo(b->cost()));
+      }
+    }
+  }
+}
+
+TEST(PlanCacheTest, NewPlanEvictsDominated) {
+  // Insert a sort-merge join first, then the strictly dominating hash join
+  // (same build as the pareto_archive test): the former must be evicted
+  // only if formats match — they do not here (sorted vs unsorted), so both
+  // stay.
+  Catalog catalog;
+  catalog.AddTable({1000.0, 100.0, false});
+  catalog.AddTable({1000.0, 100.0, false});
+  JoinGraph graph(2);
+  graph.AddEdge(0, 1, 0.1);
+  QueryPtr query =
+      std::make_shared<Query>(std::move(catalog), std::move(graph));
+  CostModel model({Metric::kTime, Metric::kBuffer});
+  PlanFactory factory(query, &model);
+
+  PlanPtr s0 = factory.MakeScan(0, ScanAlgorithm::kFullScan);
+  PlanPtr s1 = factory.MakeScan(1, ScanAlgorithm::kFullScan);
+  PlanPtr sm = factory.MakeJoin(s0, s1, JoinAlgorithm::kSortMergeSmall);
+  PlanPtr hj = factory.MakeJoin(s0, s1, JoinAlgorithm::kHashSmall);
+  PlanCache cache;
+  EXPECT_TRUE(cache.Insert(sm->rel(), sm, 1.0));
+  EXPECT_TRUE(cache.Insert(hj->rel(), hj, 1.0));
+  EXPECT_EQ(cache.Lookup(sm->rel()).size(), 2u);
+
+  // A second, more expensive unsorted join IS evicted by the hash join.
+  PlanPtr bnl = factory.MakeJoin(s0, s1, JoinAlgorithm::kNestedLoop);
+  EXPECT_FALSE(hj->cost().WeakDominates(bnl->cost()) &&
+               cache.Insert(bnl->rel(), bnl, 1.0));
+}
+
+TEST(PlanCacheTest, SeparateEntriesPerTableSet) {
+  Fixture fx;
+  PlanCache cache;
+  PlanPtr s0 = fx.factory.MakeScan(0, ScanAlgorithm::kFullScan);
+  PlanPtr s1 = fx.factory.MakeScan(1, ScanAlgorithm::kFullScan);
+  cache.Insert(s0->rel(), s0, 1.0);
+  cache.Insert(s1->rel(), s1, 1.0);
+  EXPECT_EQ(cache.NumTableSets(), 2u);
+  EXPECT_EQ(cache.Lookup(s0->rel()).size(), 1u);
+  EXPECT_EQ(cache.Lookup(s1->rel()).size(), 1u);
+}
+
+TEST(PlanCacheTest, ClearEmptiesEverything) {
+  Fixture fx;
+  PlanCache cache;
+  PlanPtr s0 = fx.factory.MakeScan(0, ScanAlgorithm::kFullScan);
+  cache.Insert(s0->rel(), s0, 1.0);
+  cache.Clear();
+  EXPECT_EQ(cache.NumTableSets(), 0u);
+  EXPECT_EQ(cache.TotalPlans(), 0u);
+}
+
+}  // namespace
+}  // namespace moqo

@@ -1,0 +1,101 @@
+#include "plan/plan_export.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rmq.h"
+#include "query/generator.h"
+
+namespace moqo {
+namespace {
+
+struct Fixture {
+  QueryPtr query;
+  CostModel model;
+  PlanFactory factory;
+
+  Fixture()
+      : query([&] {
+          Rng rng(42);
+          GeneratorConfig config;
+          config.num_tables = 4;
+          return GenerateQuery(config, &rng);
+        }()),
+        model({Metric::kTime, Metric::kBuffer}),
+        factory(query, &model) {}
+};
+
+TEST(PlanExportTest, ScanJson) {
+  Fixture fx;
+  PlanPtr scan = fx.factory.MakeScan(2, ScanAlgorithm::kFullScan);
+  std::string json = PlanToJson(scan);
+  EXPECT_NE(json.find("\"op\":\"full-scan\""), std::string::npos);
+  EXPECT_NE(json.find("\"table\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"cost\":["), std::string::npos);
+  EXPECT_NE(json.find("\"format\":\"unsorted\""), std::string::npos);
+}
+
+TEST(PlanExportTest, JoinJsonNests) {
+  Fixture fx;
+  PlanPtr join = fx.factory.MakeJoin(
+      fx.factory.MakeScan(0, ScanAlgorithm::kFullScan),
+      fx.factory.MakeScan(1, ScanAlgorithm::kFullScan),
+      JoinAlgorithm::kHashMedium);
+  std::string json = PlanToJson(join);
+  EXPECT_NE(json.find("\"op\":\"hash-join(medium)\""), std::string::npos);
+  EXPECT_NE(json.find("\"outer\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"inner\":{"), std::string::npos);
+  // Balanced braces.
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(PlanExportTest, FrontierJsonIsArray) {
+  Fixture fx;
+  Rmq rmq;
+  Rng rng(1);
+  std::vector<PlanPtr> frontier =
+      rmq.Optimize(&fx.factory, &rng, Deadline::AfterMillis(50), nullptr);
+  ASSERT_FALSE(frontier.empty());
+  std::string json = FrontierToJson(frontier);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  // One object per plan.
+  size_t count = 0;
+  for (size_t pos = 0; (pos = json.find("\"outer\"", pos)) != std::string::npos;
+       ++pos) {
+  }
+  count = 0;
+  for (size_t pos = 0; (pos = json.find("{\"op\"", pos)) != std::string::npos;
+       ++pos) {
+    ++count;
+  }
+  EXPECT_GE(count, frontier.size());
+}
+
+TEST(PlanExportTest, CsvHeaderAndRows) {
+  Fixture fx;
+  std::vector<PlanPtr> plans = {
+      fx.factory.MakeScan(0, ScanAlgorithm::kFullScan),
+      fx.factory.MakeScan(1, ScanAlgorithm::kFullScan),
+  };
+  std::string csv =
+      FrontierToCsv(plans, {Metric::kTime, Metric::kBuffer});
+  EXPECT_EQ(csv.rfind("time,buffer,plan\n", 0), 0u);
+  // Header + one line per plan.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+  EXPECT_NE(csv.find("\"T0\""), std::string::npos);
+}
+
+TEST(PlanExportTest, EmptyFrontier) {
+  EXPECT_EQ(FrontierToJson({}), "[]");
+  std::string csv = FrontierToCsv({}, {Metric::kTime});
+  EXPECT_EQ(csv, "time,plan\n");
+}
+
+}  // namespace
+}  // namespace moqo

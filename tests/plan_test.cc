@@ -1,0 +1,192 @@
+#include "plan/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "plan/plan_factory.h"
+#include "query/generator.h"
+
+namespace moqo {
+namespace {
+
+// Hand-built 3-table chain query with deterministic statistics.
+QueryPtr TinyQuery() {
+  Catalog catalog;
+  catalog.AddTable({1000.0, 100.0, true});
+  catalog.AddTable({2000.0, 50.0, false});
+  catalog.AddTable({500.0, 80.0, true});
+  JoinGraph graph(3);
+  graph.AddEdge(0, 1, 0.01);
+  graph.AddEdge(1, 2, 0.1);
+  return std::make_shared<Query>(std::move(catalog), std::move(graph));
+}
+
+class PlanTest : public ::testing::Test {
+ protected:
+  PlanTest()
+      : query_(TinyQuery()),
+        model_({Metric::kTime, Metric::kBuffer, Metric::kDisk}),
+        factory_(query_, &model_) {}
+
+  QueryPtr query_;
+  CostModel model_;
+  PlanFactory factory_;
+};
+
+TEST_F(PlanTest, ScanProperties) {
+  PlanPtr scan = factory_.MakeScan(0, ScanAlgorithm::kFullScan);
+  EXPECT_FALSE(scan->IsJoin());
+  EXPECT_EQ(scan->table(), 0);
+  EXPECT_EQ(scan->scan_op(), ScanAlgorithm::kFullScan);
+  EXPECT_EQ(scan->rel(), TableSet::Singleton(0));
+  EXPECT_DOUBLE_EQ(scan->cardinality(), 1000.0);
+  EXPECT_DOUBLE_EQ(scan->tuple_bytes(), 100.0);
+  EXPECT_EQ(scan->format(), OutputFormat::kUnsorted);
+  EXPECT_EQ(scan->NodeCount(), 1);
+  EXPECT_EQ(scan->cost().size(), 3);
+}
+
+TEST_F(PlanTest, IndexScanSorted) {
+  PlanPtr scan = factory_.MakeScan(2, ScanAlgorithm::kIndexScan);
+  EXPECT_EQ(scan->format(), OutputFormat::kSorted);
+}
+
+TEST_F(PlanTest, JoinProperties) {
+  PlanPtr s0 = factory_.MakeScan(0, ScanAlgorithm::kFullScan);
+  PlanPtr s1 = factory_.MakeScan(1, ScanAlgorithm::kFullScan);
+  PlanPtr join = factory_.MakeJoin(s0, s1, JoinAlgorithm::kHashLarge);
+  EXPECT_TRUE(join->IsJoin());
+  EXPECT_EQ(join->join_op(), JoinAlgorithm::kHashLarge);
+  EXPECT_EQ(join->rel().Count(), 2);
+  EXPECT_EQ(join->NodeCount(), 3);
+  // |T0 join T1| = 1000 * 2000 * 0.01.
+  EXPECT_DOUBLE_EQ(join->cardinality(), 20000.0);
+  EXPECT_DOUBLE_EQ(join->tuple_bytes(), 150.0);
+  EXPECT_EQ(join->outer(), s0);
+  EXPECT_EQ(join->inner(), s1);
+}
+
+TEST_F(PlanTest, JoinCostCombinesChildren) {
+  PlanPtr s0 = factory_.MakeScan(0, ScanAlgorithm::kFullScan);
+  PlanPtr s1 = factory_.MakeScan(1, ScanAlgorithm::kFullScan);
+  PlanPtr join = factory_.MakeJoin(s0, s1, JoinAlgorithm::kHashLarge);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GT(join->cost()[i], s0->cost()[i]);
+    EXPECT_GT(join->cost()[i], s1->cost()[i]);
+  }
+}
+
+TEST_F(PlanTest, CardinalityOrderIndependent) {
+  PlanPtr s0 = factory_.MakeScan(0, ScanAlgorithm::kFullScan);
+  PlanPtr s1 = factory_.MakeScan(1, ScanAlgorithm::kFullScan);
+  PlanPtr s2 = factory_.MakeScan(2, ScanAlgorithm::kFullScan);
+  PlanPtr left = factory_.MakeJoin(factory_.MakeJoin(s0, s1, JoinAlgorithm::kHashSmall),
+                                   s2, JoinAlgorithm::kHashSmall);
+  PlanPtr right = factory_.MakeJoin(s0, factory_.MakeJoin(s1, s2, JoinAlgorithm::kNestedLoop),
+                                    JoinAlgorithm::kSortMergeLarge);
+  EXPECT_DOUBLE_EQ(left->cardinality(), right->cardinality());
+  EXPECT_EQ(left->rel(), right->rel());
+}
+
+TEST_F(PlanTest, CrossProductSelectivityOne) {
+  // Tables 0 and 2 share no predicate: pure cross product.
+  PlanPtr s0 = factory_.MakeScan(0, ScanAlgorithm::kFullScan);
+  PlanPtr s2 = factory_.MakeScan(2, ScanAlgorithm::kFullScan);
+  PlanPtr cross = factory_.MakeJoin(s0, s2, JoinAlgorithm::kHashLarge);
+  EXPECT_DOUBLE_EQ(cross->cardinality(), 1000.0 * 500.0);
+}
+
+TEST_F(PlanTest, SortMergeOutputSorted) {
+  PlanPtr s0 = factory_.MakeScan(0, ScanAlgorithm::kFullScan);
+  PlanPtr s1 = factory_.MakeScan(1, ScanAlgorithm::kFullScan);
+  PlanPtr sm = factory_.MakeJoin(s0, s1, JoinAlgorithm::kSortMergeSmall);
+  EXPECT_EQ(sm->format(), OutputFormat::kSorted);
+  PlanPtr hj = factory_.MakeJoin(s0, s1, JoinAlgorithm::kHashSmall);
+  EXPECT_EQ(hj->format(), OutputFormat::kUnsorted);
+}
+
+TEST_F(PlanTest, SortedInputsMakeSortMergeCheaper) {
+  PlanPtr sorted0 = factory_.MakeScan(0, ScanAlgorithm::kIndexScan);
+  PlanPtr plain0 = factory_.MakeScan(0, ScanAlgorithm::kFullScan);
+  PlanPtr s1 = factory_.MakeScan(1, ScanAlgorithm::kFullScan);
+  PlanPtr from_sorted =
+      factory_.MakeJoin(sorted0, s1, JoinAlgorithm::kSortMergeSmall);
+  PlanPtr from_plain =
+      factory_.MakeJoin(plain0, s1, JoinAlgorithm::kSortMergeSmall);
+  // Subtract child costs to compare the operator-local time share.
+  double op_time_sorted = from_sorted->cost()[0] - sorted0->cost()[0] - s1->cost()[0];
+  double op_time_plain = from_plain->cost()[0] - plain0->cost()[0] - s1->cost()[0];
+  EXPECT_LT(op_time_sorted, op_time_plain);
+}
+
+TEST_F(PlanTest, RebuildReproducesCostExactly) {
+  PlanPtr s0 = factory_.MakeScan(0, ScanAlgorithm::kIndexScan);
+  PlanPtr s1 = factory_.MakeScan(1, ScanAlgorithm::kFullScan);
+  PlanPtr s2 = factory_.MakeScan(2, ScanAlgorithm::kFullScan);
+  PlanPtr p = factory_.MakeJoin(
+      factory_.MakeJoin(s0, s1, JoinAlgorithm::kSortMergeSmall), s2,
+      JoinAlgorithm::kBlockNestedLoopLarge);
+  PlanPtr rebuilt = factory_.Rebuild(p);
+  EXPECT_TRUE(p->cost().EqualTo(rebuilt->cost()));
+  EXPECT_EQ(p->ToString(), rebuilt->ToString());
+}
+
+TEST_F(PlanTest, ApplicableScansRespectIndexes) {
+  EXPECT_EQ(factory_.ApplicableScans(0).size(), 2u);  // has index
+  EXPECT_EQ(factory_.ApplicableScans(1).size(), 1u);  // no index
+}
+
+TEST_F(PlanTest, ToStringRendersTree) {
+  PlanPtr s0 = factory_.MakeScan(0, ScanAlgorithm::kFullScan);
+  PlanPtr s1 = factory_.MakeScan(1, ScanAlgorithm::kFullScan);
+  PlanPtr join = factory_.MakeJoin(s0, s1, JoinAlgorithm::kHashSmall);
+  EXPECT_EQ(join->ToString(), "(T0 HJs T1)");
+  PlanPtr idx = factory_.MakeScan(2, ScanAlgorithm::kIndexScan);
+  EXPECT_EQ(idx->ToString(), "T2i");
+}
+
+TEST_F(PlanTest, BetterPlanRequiresSameOutputAndStrictDominance) {
+  PlanPtr s0a = factory_.MakeScan(0, ScanAlgorithm::kFullScan);
+  PlanPtr s0b = factory_.MakeScan(0, ScanAlgorithm::kIndexScan);
+  // Different formats: never comparable regardless of cost.
+  EXPECT_FALSE(BetterPlan(*s0a, *s0b));
+  EXPECT_FALSE(BetterPlan(*s0b, *s0a));
+  // Same plan: no strict dominance.
+  EXPECT_FALSE(BetterPlan(*s0a, *s0a));
+}
+
+TEST_F(PlanTest, SigBetterPlanUsesAlpha) {
+  PlanPtr s1 = factory_.MakeScan(1, ScanAlgorithm::kFullScan);
+  PlanPtr s0 = factory_.MakeScan(0, ScanAlgorithm::kFullScan);
+  // Same format; with a huge alpha each approx-dominates the other.
+  EXPECT_TRUE(SigBetterPlan(*s1, *s0, 1e12));
+  EXPECT_TRUE(SigBetterPlan(*s0, *s1, 1e12));
+}
+
+TEST_F(PlanTest, PlansBuiltCounter) {
+  int64_t before = factory_.plans_built();
+  factory_.MakeScan(0, ScanAlgorithm::kFullScan);
+  EXPECT_EQ(factory_.plans_built(), before + 1);
+}
+
+TEST_F(PlanTest, CardinalityMemoization) {
+  TableSet s = TableSet::FirstN(3);
+  double first = factory_.Cardinality(s);
+  double second = factory_.Cardinality(s);
+  EXPECT_DOUBLE_EQ(first, second);
+  // 1000 * 2000 * 500 * 0.01 * 0.1 = 1e9 * 1e-3.
+  EXPECT_DOUBLE_EQ(first, 1e6);
+}
+
+TEST_F(PlanTest, CardinalityCapped) {
+  // A synthetic query whose cross product overflows the cap.
+  Catalog catalog;
+  for (int i = 0; i < 100; ++i) catalog.AddTable({1e5, 100.0, false});
+  JoinGraph graph(100);
+  QueryPtr big = std::make_shared<Query>(std::move(catalog), std::move(graph));
+  CostModel model({Metric::kTime});
+  PlanFactory factory(big, &model);
+  EXPECT_LE(factory.Cardinality(TableSet::FirstN(100)), kMaxCardinality);
+}
+
+}  // namespace
+}  // namespace moqo

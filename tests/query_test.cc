@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "query/catalog.h"
+#include "query/join_graph.h"
+#include "query/query.h"
+
+namespace moqo {
+namespace {
+
+TEST(CatalogTest, AddAndAccess) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.NumTables(), 0);
+  int id = catalog.AddTable({5000.0, 64.0, true});
+  EXPECT_EQ(id, 0);
+  EXPECT_EQ(catalog.NumTables(), 1);
+  EXPECT_DOUBLE_EQ(catalog.Cardinality(0), 5000.0);
+  EXPECT_DOUBLE_EQ(catalog.Table(0).tuple_bytes, 64.0);
+  EXPECT_TRUE(catalog.Table(0).has_index);
+}
+
+TEST(CatalogTest, ConstructFromVector) {
+  Catalog catalog({{10.0, 8.0, false}, {20.0, 16.0, true}});
+  EXPECT_EQ(catalog.NumTables(), 2);
+  EXPECT_DOUBLE_EQ(catalog.Cardinality(1), 20.0);
+}
+
+JoinGraph ChainGraph(int n, double sel) {
+  JoinGraph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1, sel);
+  return g;
+}
+
+TEST(JoinGraphTest, EdgesAndNeighbors) {
+  JoinGraph g = ChainGraph(4, 0.1);
+  EXPECT_EQ(g.NumTables(), 4);
+  EXPECT_EQ(g.Edges().size(), 3u);
+  EXPECT_EQ(g.Neighbors(0), TableSet::Singleton(1));
+  TableSet n1 = g.Neighbors(1);
+  EXPECT_TRUE(n1.Contains(0));
+  EXPECT_TRUE(n1.Contains(2));
+  EXPECT_EQ(n1.Count(), 2);
+}
+
+TEST(JoinGraphTest, SelectivityBetweenCrossProductIsOne) {
+  JoinGraph g = ChainGraph(4, 0.1);
+  // Tables 0 and 2 share no predicate.
+  EXPECT_DOUBLE_EQ(
+      g.SelectivityBetween(TableSet::Singleton(0), TableSet::Singleton(2)),
+      1.0);
+  EXPECT_FALSE(g.Connected(TableSet::Singleton(0), TableSet::Singleton(2)));
+}
+
+TEST(JoinGraphTest, SelectivityBetweenMultipliesCrossingEdges) {
+  JoinGraph g = ChainGraph(4, 0.1);
+  TableSet left;  // {0, 1}
+  left.Add(0);
+  left.Add(1);
+  TableSet right;  // {2, 3}
+  right.Add(2);
+  right.Add(3);
+  // Only edge (1,2) crosses.
+  EXPECT_DOUBLE_EQ(g.SelectivityBetween(left, right), 0.1);
+  EXPECT_TRUE(g.Connected(left, right));
+}
+
+TEST(JoinGraphTest, SelectivityWithin) {
+  JoinGraph g = ChainGraph(4, 0.1);
+  TableSet s = TableSet::FirstN(3);  // edges (0,1) and (1,2) inside
+  EXPECT_NEAR(g.SelectivityWithin(s), 0.01, 1e-12);
+  EXPECT_DOUBLE_EQ(g.SelectivityWithin(TableSet::Singleton(0)), 1.0);
+}
+
+TEST(JoinGraphTest, CycleSelectivityWithinIncludesClosingEdge) {
+  JoinGraph g(3);
+  g.AddEdge(0, 1, 0.5);
+  g.AddEdge(1, 2, 0.5);
+  g.AddEdge(2, 0, 0.5);
+  EXPECT_NEAR(g.SelectivityWithin(TableSet::FirstN(3)), 0.125, 1e-12);
+}
+
+TEST(JoinGraphTest, InducedConnected) {
+  JoinGraph g = ChainGraph(5, 0.1);
+  EXPECT_TRUE(g.InducedConnected(TableSet::FirstN(5)));
+  EXPECT_TRUE(g.InducedConnected(TableSet::Singleton(2)));
+  EXPECT_TRUE(g.InducedConnected(TableSet()));
+  TableSet disconnected;
+  disconnected.Add(0);
+  disconnected.Add(2);
+  EXPECT_FALSE(g.InducedConnected(disconnected));
+}
+
+TEST(JoinGraphTest, StarInducedConnectivityRequiresCenter) {
+  JoinGraph g(5);
+  for (int t = 1; t < 5; ++t) g.AddEdge(0, t, 0.2);
+  TableSet leaves;
+  leaves.Add(1);
+  leaves.Add(2);
+  EXPECT_FALSE(g.InducedConnected(leaves));
+  leaves.Add(0);
+  EXPECT_TRUE(g.InducedConnected(leaves));
+}
+
+TEST(QueryTest, BasicAccessors) {
+  Catalog catalog({{100.0, 8.0, false}, {200.0, 8.0, false},
+                   {300.0, 8.0, true}});
+  JoinGraph graph = ChainGraph(3, 0.5);
+  Query query(std::move(catalog), std::move(graph));
+  EXPECT_EQ(query.NumTables(), 3);
+  EXPECT_EQ(query.AllTables(), TableSet::FirstN(3));
+  EXPECT_DOUBLE_EQ(query.catalog().Cardinality(2), 300.0);
+  EXPECT_EQ(query.graph().Edges().size(), 2u);
+}
+
+}  // namespace
+}  // namespace moqo

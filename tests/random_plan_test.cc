@@ -1,0 +1,178 @@
+#include "plan/random_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "query/generator.h"
+
+namespace moqo {
+namespace {
+
+struct Fixture {
+  QueryPtr query;
+  CostModel model;
+  PlanFactory factory;
+
+  explicit Fixture(int tables, uint64_t seed = 42)
+      : query([&] {
+          Rng rng(seed);
+          GeneratorConfig config;
+          config.num_tables = tables;
+          return GenerateQuery(config, &rng);
+        }()),
+        model({Metric::kTime, Metric::kBuffer}),
+        factory(query, &model) {}
+};
+
+// Checks structural validity: every leaf is a distinct table, every join
+// combines disjoint table sets, and the root joins all query tables.
+void CheckValid(const PlanPtr& p, const Query& query) {
+  EXPECT_EQ(p->rel(), query.AllTables());
+  std::vector<PlanPtr> stack = {p};
+  int leaves = 0;
+  while (!stack.empty()) {
+    PlanPtr node = stack.back();
+    stack.pop_back();
+    if (node->IsJoin()) {
+      EXPECT_TRUE(node->outer()->rel().DisjointWith(node->inner()->rel()));
+      EXPECT_EQ(node->outer()->rel().Union(node->inner()->rel()), node->rel());
+      stack.push_back(node->outer());
+      stack.push_back(node->inner());
+    } else {
+      ++leaves;
+      EXPECT_EQ(node->rel(), TableSet::Singleton(node->table()));
+    }
+  }
+  EXPECT_EQ(leaves, query.NumTables());
+}
+
+class RandomPlanSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPlanSizeTest, ProducesValidPlans) {
+  Fixture fx(GetParam());
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    PlanPtr p = RandomPlan(&fx.factory, &rng);
+    CheckValid(p, fx.factory.query());
+    EXPECT_EQ(p->NodeCount(), 2 * GetParam() - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomPlanSizeTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 30, 100, 200));
+
+TEST(RandomPlanTest, DeterministicForSameSeed) {
+  Fixture fx(10);
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(RandomPlan(&fx.factory, &a)->ToString(),
+              RandomPlan(&fx.factory, &b)->ToString());
+  }
+}
+
+TEST(RandomPlanTest, GeneratesDiversePlans) {
+  Fixture fx(8);
+  Rng rng(5);
+  std::set<std::string> seen;
+  for (int i = 0; i < 50; ++i) {
+    seen.insert(RandomPlan(&fx.factory, &rng)->ToString());
+  }
+  EXPECT_GT(seen.size(), 40u);  // almost all draws distinct
+}
+
+TEST(RandomPlanTest, GeneratesBushyShapes) {
+  // With 4+ tables, uniform tree sampling must produce at least one bushy
+  // plan (both root children are joins) within a reasonable sample.
+  Fixture fx(6);
+  Rng rng(11);
+  bool bushy = false;
+  for (int i = 0; i < 100 && !bushy; ++i) {
+    PlanPtr p = RandomPlan(&fx.factory, &rng);
+    bushy = p->outer()->IsJoin() && p->inner()->IsJoin();
+  }
+  EXPECT_TRUE(bushy);
+}
+
+TEST(RandomPlanTest, ShapeDistributionNotDegenerate) {
+  // For 3 leaves there are 12 shapes x leaf assignments of the join tree
+  // (2 shapes x 6 permutations); check both shapes appear.
+  Fixture fx(3);
+  Rng rng(13);
+  int left_deep = 0;
+  int right_deep = 0;
+  for (int i = 0; i < 200; ++i) {
+    PlanPtr p = RandomPlan(&fx.factory, &rng);
+    if (p->outer()->IsJoin()) ++left_deep;
+    if (p->inner()->IsJoin()) ++right_deep;
+  }
+  EXPECT_GT(left_deep, 40);
+  EXPECT_GT(right_deep, 40);
+}
+
+TEST(RandomPlanTest, UsesVariedOperators) {
+  Fixture fx(10);
+  Rng rng(17);
+  std::set<JoinAlgorithm> join_ops;
+  for (int i = 0; i < 30; ++i) {
+    std::vector<PlanPtr> stack = {RandomPlan(&fx.factory, &rng)};
+    while (!stack.empty()) {
+      PlanPtr node = stack.back();
+      stack.pop_back();
+      if (node->IsJoin()) {
+        join_ops.insert(node->join_op());
+        stack.push_back(node->outer());
+        stack.push_back(node->inner());
+      }
+    }
+  }
+  EXPECT_EQ(join_ops.size(), AllJoinAlgorithms().size());
+}
+
+TEST(RandomPlanTest, LeftDeepPlansAreLeftDeep) {
+  Fixture fx(12);
+  Rng rng(19);
+  for (int i = 0; i < 10; ++i) {
+    PlanPtr p = RandomLeftDeepPlan(&fx.factory, &rng);
+    CheckValid(p, fx.factory.query());
+    PlanPtr node = p;
+    while (node->IsJoin()) {
+      EXPECT_FALSE(node->inner()->IsJoin());  // inner is always a scan
+      node = node->outer();
+    }
+  }
+}
+
+TEST(RandomPlanTest, SingleTablePlan) {
+  Fixture fx(1);
+  Rng rng(23);
+  PlanPtr p = RandomPlan(&fx.factory, &rng);
+  EXPECT_FALSE(p->IsJoin());
+  EXPECT_EQ(p->NodeCount(), 1);
+}
+
+TEST(RandomPlanTest, RandomScanOpRespectsApplicability) {
+  // Force a catalog without indexes: only full scans may appear.
+  Catalog catalog;
+  for (int i = 0; i < 4; ++i) catalog.AddTable({1000.0, 100.0, false});
+  JoinGraph graph(4);
+  for (int i = 0; i + 1 < 4; ++i) graph.AddEdge(i, i + 1, 0.1);
+  QueryPtr query = std::make_shared<Query>(std::move(catalog), std::move(graph));
+  CostModel model({Metric::kTime, Metric::kBuffer});
+  PlanFactory factory(query, &model);
+  Rng rng(29);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(RandomScanOp(&factory, i % 4, &rng), ScanAlgorithm::kFullScan);
+  }
+}
+
+TEST(RandomPlanTest, RandomJoinOpCoversAllAlgorithms) {
+  Rng rng(31);
+  std::set<JoinAlgorithm> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(RandomJoinOp(&rng));
+  EXPECT_EQ(seen.size(), AllJoinAlgorithms().size());
+}
+
+}  // namespace
+}  // namespace moqo

@@ -1,0 +1,243 @@
+#include "core/rmq.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/dp.h"
+#include "pareto/epsilon_indicator.h"
+#include "query/generator.h"
+
+namespace moqo {
+namespace {
+
+struct Fixture {
+  QueryPtr query;
+  CostModel model;
+  PlanFactory factory;
+
+  explicit Fixture(int tables, int metrics = 2, uint64_t seed = 42,
+                   GraphType graph = GraphType::kChain)
+      : query([&] {
+          Rng rng(seed);
+          GeneratorConfig config;
+          config.num_tables = tables;
+          config.graph_type = graph;
+          return GenerateQuery(config, &rng);
+        }()),
+        model([&] {
+          std::vector<Metric> ms = {Metric::kTime, Metric::kBuffer,
+                                    Metric::kDisk};
+          ms.resize(static_cast<size_t>(metrics));
+          return CostModel(ms);
+        }()),
+        factory(query, &model) {}
+};
+
+std::vector<CostVector> Costs(const std::vector<PlanPtr>& plans) {
+  std::vector<CostVector> out;
+  for (const PlanPtr& p : plans) out.push_back(p->cost());
+  return out;
+}
+
+TEST(RmqTest, ProducesCompleteValidPlans) {
+  Fixture fx(8);
+  Rmq rmq;
+  Rng rng(1);
+  std::vector<PlanPtr> plans =
+      rmq.Optimize(&fx.factory, &rng, Deadline::AfterMillis(100), nullptr);
+  ASSERT_FALSE(plans.empty());
+  for (const PlanPtr& p : plans) {
+    EXPECT_EQ(p->rel(), fx.factory.query().AllTables());
+  }
+}
+
+TEST(RmqTest, IterationBudgetRespected) {
+  Fixture fx(6);
+  RmqConfig config;
+  config.max_iterations = 7;
+  Rmq rmq(config);
+  Rng rng(2);
+  rmq.Optimize(&fx.factory, &rng, Deadline(), nullptr);
+  EXPECT_EQ(rmq.stats().iterations, 7);
+  EXPECT_EQ(rmq.stats().path_lengths.size(), 7u);
+}
+
+TEST(RmqTest, CallbackInvokedEveryIteration) {
+  Fixture fx(6);
+  RmqConfig config;
+  config.max_iterations = 5;
+  Rmq rmq(config);
+  Rng rng(3);
+  int calls = 0;
+  rmq.Optimize(&fx.factory, &rng, Deadline(),
+               [&](const std::vector<PlanPtr>& frontier) {
+                 ++calls;
+                 EXPECT_FALSE(frontier.empty());
+               });
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(RmqTest, ResultFrontierMutuallyNonDominatedPerFormat) {
+  Fixture fx(8, 3);
+  RmqConfig config;
+  config.max_iterations = 50;
+  Rmq rmq(config);
+  Rng rng(4);
+  std::vector<PlanPtr> plans =
+      rmq.Optimize(&fx.factory, &rng, Deadline(), nullptr);
+  for (const PlanPtr& a : plans) {
+    for (const PlanPtr& b : plans) {
+      if (a == b || !SameOutput(*a, *b)) continue;
+      EXPECT_FALSE(a->cost().StrictlyDominates(b->cost()));
+    }
+  }
+}
+
+TEST(RmqTest, ConvergesToExactFrontierOnSmallQuery) {
+  // With enough iterations the alpha schedule reaches 1 and the cache
+  // converges toward the exact Pareto set; require a tight approximation.
+  Fixture fx(4, 2, 7);
+  std::vector<CostVector> exact = Costs(ExactParetoSet(&fx.factory));
+  ASSERT_FALSE(exact.empty());
+
+  // The paper's alpha schedule reaches exact pruning (alpha = 1) only
+  // after ~8000 iterations (25 * 0.99^(i/25) < 1 <=> i > 8050).
+  RmqConfig config;
+  config.max_iterations = 12000;
+  Rmq rmq(config);
+  Rng rng(5);
+  std::vector<PlanPtr> plans =
+      rmq.Optimize(&fx.factory, &rng, Deadline::AfterMillis(60000), nullptr);
+  double alpha = AlphaError(Costs(plans), ParetoFilter(exact));
+  EXPECT_LE(alpha, 1.25) << "RMQ should closely approximate the exact "
+                            "frontier on a 4-table query";
+}
+
+TEST(RmqTest, FixedAlphaOneFindsOptimaFast) {
+  // With fixed alpha = 1 and a few hundred iterations on a tiny query, the
+  // result should essentially match the exact frontier.
+  Fixture fx(3, 2, 13);
+  std::vector<CostVector> exact = Costs(ExactParetoSet(&fx.factory));
+
+  RmqConfig config;
+  config.fixed_alpha = 1.0;
+  config.max_iterations = 300;
+  Rmq rmq(config);
+  Rng rng(6);
+  std::vector<PlanPtr> plans =
+      rmq.Optimize(&fx.factory, &rng, Deadline::AfterMillis(20000), nullptr);
+  EXPECT_LE(AlphaError(Costs(plans), ParetoFilter(exact)), 1.05);
+}
+
+TEST(RmqTest, StatsPopulated) {
+  Fixture fx(10, 3);
+  RmqConfig config;
+  config.max_iterations = 10;
+  Rmq rmq(config);
+  Rng rng(7);
+  std::vector<PlanPtr> plans =
+      rmq.Optimize(&fx.factory, &rng, Deadline(), nullptr);
+  const RmqStats& stats = rmq.stats();
+  EXPECT_EQ(stats.iterations, 10);
+  EXPECT_GT(stats.frontier_insertions, 0);
+  EXPECT_EQ(stats.final_frontier_size, plans.size());
+  for (int len : stats.path_lengths) {
+    EXPECT_GE(len, 0);
+    EXPECT_LT(len, 100);
+  }
+}
+
+TEST(RmqTest, NoClimbVariantStillProducesPlans) {
+  Fixture fx(8);
+  RmqConfig config;
+  config.use_climb = false;
+  config.max_iterations = 20;
+  Rmq rmq(config);
+  Rng rng(8);
+  std::vector<PlanPtr> plans =
+      rmq.Optimize(&fx.factory, &rng, Deadline(), nullptr);
+  EXPECT_FALSE(plans.empty());
+  EXPECT_TRUE(rmq.stats().path_lengths.empty());  // no climbs recorded
+}
+
+TEST(RmqTest, NoCacheVariantStillProducesPlans) {
+  Fixture fx(8);
+  RmqConfig config;
+  config.share_cache = false;
+  config.max_iterations = 20;
+  Rmq rmq(config);
+  Rng rng(9);
+  std::vector<PlanPtr> plans =
+      rmq.Optimize(&fx.factory, &rng, Deadline(), nullptr);
+  EXPECT_FALSE(plans.empty());
+}
+
+TEST(RmqTest, NamesReflectConfiguration) {
+  EXPECT_EQ(Rmq().name(), "RMQ");
+  RmqConfig no_climb;
+  no_climb.use_climb = false;
+  EXPECT_EQ(Rmq(no_climb).name(), "RMQ[-climb]");
+  RmqConfig no_cache;
+  no_cache.share_cache = false;
+  EXPECT_EQ(Rmq(no_cache).name(), "RMQ[-cache]");
+}
+
+TEST(RmqTest, DeterministicForSameSeed) {
+  Fixture fx(7, 2);
+  RmqConfig config;
+  config.max_iterations = 30;
+  std::vector<CostVector> a, b;
+  {
+    Rmq rmq(config);
+    Rng rng(11);
+    a = Costs(rmq.Optimize(&fx.factory, &rng, Deadline(), nullptr));
+  }
+  {
+    Rmq rmq(config);
+    Rng rng(11);
+    b = Costs(rmq.Optimize(&fx.factory, &rng, Deadline(), nullptr));
+  }
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_TRUE(a[i].EqualTo(b[i]));
+}
+
+TEST(RmqTest, ExpiredDeadlineYieldsEmptyResultGracefully) {
+  Fixture fx(8);
+  Rmq rmq;
+  Rng rng(12);
+  std::vector<PlanPtr> plans =
+      rmq.Optimize(&fx.factory, &rng, Deadline::AfterMicros(0), nullptr);
+  EXPECT_TRUE(plans.empty());
+  EXPECT_EQ(rmq.stats().iterations, 0);
+}
+
+class RmqScaleTest : public ::testing::TestWithParam<
+                         std::tuple<int, int, GraphType>> {};
+
+TEST_P(RmqScaleTest, HandlesSizeMetricGraphGrid) {
+  auto [tables, metrics, graph] = GetParam();
+  Fixture fx(tables, metrics, 42, graph);
+  RmqConfig config;
+  config.max_iterations = 3;
+  Rmq rmq(config);
+  Rng rng(13);
+  std::vector<PlanPtr> plans =
+      rmq.Optimize(&fx.factory, &rng, Deadline::AfterMillis(30000), nullptr);
+  ASSERT_FALSE(plans.empty());
+  for (const PlanPtr& p : plans) {
+    EXPECT_EQ(p->rel(), fx.factory.query().AllTables());
+    for (int i = 0; i < p->cost().size(); ++i) {
+      EXPECT_GT(p->cost()[i], 0.0);
+      EXPECT_LE(p->cost()[i], kMaxCost);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RmqScaleTest,
+    ::testing::Combine(::testing::Values(2, 10, 40, 100),
+                       ::testing::Values(2, 3),
+                       ::testing::Values(GraphType::kChain, GraphType::kStar,
+                                         GraphType::kCycle)));
+
+}  // namespace
+}  // namespace moqo

@@ -1,0 +1,157 @@
+#include "common/table_set.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace moqo {
+namespace {
+
+TEST(TableSetTest, EmptyByDefault) {
+  TableSet s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Count(), 0);
+  EXPECT_EQ(s.Min(), -1);
+  EXPECT_EQ(s.Max(), -1);
+  EXPECT_EQ(s.ToString(), "{}");
+}
+
+TEST(TableSetTest, AddRemoveContains) {
+  TableSet s;
+  s.Add(5);
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.Count(), 1);
+  s.Remove(5);
+  EXPECT_FALSE(s.Contains(5));
+  EXPECT_TRUE(s.Empty());
+}
+
+TEST(TableSetTest, ContainsOutOfRangeIsFalse) {
+  TableSet s = TableSet::FirstN(10);
+  EXPECT_FALSE(s.Contains(-1));
+  EXPECT_FALSE(s.Contains(TableSet::kCapacity));
+  EXPECT_FALSE(s.Contains(1000));
+}
+
+TEST(TableSetTest, SingletonAndFirstN) {
+  TableSet s = TableSet::Singleton(77);
+  EXPECT_EQ(s.Count(), 1);
+  EXPECT_TRUE(s.Contains(77));
+
+  TableSet f = TableSet::FirstN(100);
+  EXPECT_EQ(f.Count(), 100);
+  EXPECT_TRUE(f.Contains(0));
+  EXPECT_TRUE(f.Contains(99));
+  EXPECT_FALSE(f.Contains(100));
+}
+
+TEST(TableSetTest, WorksAcrossWordBoundaries) {
+  TableSet s;
+  for (int t : {0, 63, 64, 127, 128, 191, 192, 255}) s.Add(t);
+  EXPECT_EQ(s.Count(), 8);
+  for (int t : {0, 63, 64, 127, 128, 191, 192, 255}) {
+    EXPECT_TRUE(s.Contains(t)) << t;
+  }
+  EXPECT_EQ(s.Min(), 0);
+  EXPECT_EQ(s.Max(), 255);
+}
+
+TEST(TableSetTest, UnionIntersectMinus) {
+  TableSet a = TableSet::FirstN(10);   // {0..9}
+  TableSet b;
+  for (int i = 5; i < 15; ++i) b.Add(i);  // {5..14}
+
+  TableSet u = a.Union(b);
+  EXPECT_EQ(u.Count(), 15);
+
+  TableSet i = a.Intersect(b);
+  EXPECT_EQ(i.Count(), 5);
+  EXPECT_TRUE(i.Contains(5));
+  EXPECT_FALSE(i.Contains(4));
+
+  TableSet m = a.Minus(b);
+  EXPECT_EQ(m.Count(), 5);
+  EXPECT_TRUE(m.Contains(0));
+  EXPECT_FALSE(m.Contains(5));
+}
+
+TEST(TableSetTest, SubsetAndDisjoint) {
+  TableSet a = TableSet::FirstN(5);
+  TableSet b = TableSet::FirstN(10);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+
+  TableSet c;
+  c.Add(200);
+  EXPECT_TRUE(a.DisjointWith(c));
+  EXPECT_FALSE(a.DisjointWith(b));
+}
+
+TEST(TableSetTest, MinMax) {
+  TableSet s;
+  s.Add(42);
+  s.Add(17);
+  s.Add(130);
+  EXPECT_EQ(s.Min(), 17);
+  EXPECT_EQ(s.Max(), 130);
+}
+
+TEST(TableSetTest, ForEachVisitsInIncreasingOrder) {
+  TableSet s;
+  for (int t : {3, 70, 140, 9, 255}) s.Add(t);
+  std::vector<int> seen;
+  s.ForEach([&](int t) { seen.push_back(t); });
+  EXPECT_EQ(seen, (std::vector<int>{3, 9, 70, 140, 255}));
+}
+
+TEST(TableSetTest, EqualityAndHash) {
+  TableSet a = TableSet::FirstN(20);
+  TableSet b = TableSet::FirstN(20);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  b.Add(100);
+  EXPECT_NE(a, b);
+}
+
+TEST(TableSetTest, HashDistributesDistinctSingletons) {
+  std::unordered_set<size_t> hashes;
+  for (int t = 0; t < TableSet::kCapacity; ++t) {
+    hashes.insert(TableSet::Singleton(t).Hash());
+  }
+  // All 256 singleton hashes should be distinct for a reasonable mixer.
+  EXPECT_EQ(hashes.size(), static_cast<size_t>(TableSet::kCapacity));
+}
+
+TEST(TableSetTest, ToStringFormat) {
+  TableSet s;
+  s.Add(0);
+  s.Add(3);
+  s.Add(7);
+  EXPECT_EQ(s.ToString(), "{0,3,7}");
+}
+
+class TableSetSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TableSetSizeTest, FirstNInvariants) {
+  int n = GetParam();
+  TableSet s = TableSet::FirstN(n);
+  EXPECT_EQ(s.Count(), n);
+  if (n > 0) {
+    EXPECT_EQ(s.Min(), 0);
+    EXPECT_EQ(s.Max(), n - 1);
+  }
+  EXPECT_TRUE(s.IsSubsetOf(TableSet::FirstN(TableSet::kCapacity)));
+  // Union with itself is identity; intersection with empty is empty.
+  EXPECT_EQ(s.Union(s), s);
+  EXPECT_TRUE(s.Intersect(TableSet()).Empty());
+  EXPECT_EQ(s.Minus(TableSet()), s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TableSetSizeTest,
+                         ::testing::Values(0, 1, 2, 63, 64, 65, 100, 128, 200,
+                                           255, 256));
+
+}  // namespace
+}  // namespace moqo

@@ -1,0 +1,146 @@
+// Property tests for the paper's Section 5 complexity claims, checked
+// empirically against the implementation:
+//
+//  * Lemma 6 / Theorem 4 — with approximation factor alpha, the number of
+//    plans the cache stores per table set is bounded by a polynomial
+//    ~ (n log_alpha m)^(l-1);
+//  * Theorem 5 — accumulated cache size grows at most linearly in
+//    iterations x query size;
+//  * Lemma 5 (qualitatively) — random plans are almost never local Pareto
+//    optima, and the probability drops with query size.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/frontier_approximation.h"
+#include "core/pareto_climb.h"
+#include "core/plan_cache.h"
+#include "core/rmq.h"
+#include "plan/random_plan.h"
+#include "query/generator.h"
+
+namespace moqo {
+namespace {
+
+struct Fixture {
+  QueryPtr query;
+  CostModel model;
+  PlanFactory factory;
+
+  Fixture(int tables, int metrics, uint64_t seed = 42)
+      : query([&] {
+          Rng rng(seed);
+          GeneratorConfig config;
+          config.num_tables = tables;
+          return GenerateQuery(config, &rng);
+        }()),
+        model([&] {
+          std::vector<Metric> ms = {Metric::kTime, Metric::kBuffer,
+                                    Metric::kDisk};
+          ms.resize(static_cast<size_t>(metrics));
+          return CostModel(ms);
+        }()),
+        factory(query, &model) {}
+};
+
+class CacheBoundTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(CacheBoundTest, Lemma6CacheEntriesPolynomiallyBounded) {
+  auto [tables, metrics] = GetParam();
+  Fixture fx(tables, metrics);
+  const double alpha = 2.0;
+
+  PlanCache cache;
+  Rng rng(7);
+  for (int i = 0; i < 30; ++i) {
+    PlanPtr plan = ParetoClimb(RandomPlan(&fx.factory, &rng), &fx.factory);
+    ApproximateFrontiers(plan, &cache, alpha, &fx.factory);
+  }
+
+  // Lemma 6 bound: O((n log_alpha m)^(l-1)) plans per table set; our cost
+  // components are bounded by kMaxCost, so log_alpha(m) <= log_alpha of
+  // the largest representable cost. Check against the bound with a
+  // generous constant (the output-format dimension adds a factor 2).
+  double log_m = std::log(kMaxCost) / std::log(alpha);
+  double bound =
+      8.0 * std::pow(tables * log_m, metrics - 1) + 16.0;
+  TableSet all = fx.factory.query().AllTables();
+  EXPECT_LE(static_cast<double>(cache.Lookup(all).size()), bound);
+  // Also check a few random cached sets.
+  EXPECT_LE(static_cast<double>(cache.TotalPlans()),
+            bound * static_cast<double>(cache.NumTableSets()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CacheBoundTest,
+    ::testing::Combine(::testing::Values(4, 8, 12),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(TheoremFiveTest, CacheGrowthLinearInIterations) {
+  // Theorem 5: space is O(i * n * b(n)). Each iteration adds at most O(n)
+  // table sets; verify the *set count* growth is at most linear with a
+  // small constant.
+  Fixture fx(12, 3);
+  PlanCache cache;
+  Rng rng(11);
+  size_t prev_sets = 0;
+  for (int i = 1; i <= 20; ++i) {
+    PlanPtr plan = ParetoClimb(RandomPlan(&fx.factory, &rng), &fx.factory);
+    ApproximateFrontiers(plan, &cache, 4.0, &fx.factory);
+    size_t sets = cache.NumTableSets();
+    // One plan contributes at most 2n - 1 = 23 table sets.
+    EXPECT_LE(sets - prev_sets, static_cast<size_t>(2 * 12 - 1));
+    prev_sets = sets;
+  }
+  EXPECT_LE(prev_sets, static_cast<size_t>(20 * (2 * 12 - 1)));
+}
+
+TEST(LemmaFiveTest, RandomPlansRarelyLocallyOptimal) {
+  // Lemma 5: P(random plan is a local Pareto optimum) decays
+  // exponentially in the neighbor count. Even for 6-table plans the rate
+  // should be low; for 10-table plans lower still.
+  auto measure = [](int tables) {
+    Fixture fx(tables, 3, 99);
+    Rng rng(13);
+    int local = 0;
+    const int kTrials = 40;
+    for (int i = 0; i < kTrials; ++i) {
+      if (IsLocalParetoOptimum(RandomPlan(&fx.factory, &rng), &fx.factory)) {
+        ++local;
+      }
+    }
+    return local;
+  };
+  int local6 = measure(6);
+  EXPECT_LE(local6, 8);  // <= 20% (model predicts far less)
+  int local12 = measure(12);
+  EXPECT_LE(local12, local6 + 2);  // non-increasing modulo noise
+}
+
+TEST(ScheduleTest, PaperScheduleReachesExactPruning) {
+  // The alpha schedule reaches 1 after finitely many iterations
+  // (25 * 0.99^(i/25) < 1 for i > ~8000) and the Rmq helper honors both
+  // the schedule and the fixed override.
+  RmqConfig config;
+  Rmq rmq(config);
+  EXPECT_DOUBLE_EQ(rmq.AlphaFor(1), 25.0);
+  EXPECT_GT(rmq.AlphaFor(4000), 1.0);
+  EXPECT_DOUBLE_EQ(rmq.AlphaFor(9000), 1.0);
+
+  RmqConfig fast;
+  fast.alpha_decay = 0.5;
+  fast.alpha_step = 1;
+  Rmq fast_rmq(fast);
+  EXPECT_DOUBLE_EQ(fast_rmq.AlphaFor(1), 12.5);
+  EXPECT_DOUBLE_EQ(fast_rmq.AlphaFor(10), 1.0);
+
+  RmqConfig fixed;
+  fixed.fixed_alpha = 3.0;
+  Rmq fixed_rmq(fixed);
+  EXPECT_DOUBLE_EQ(fixed_rmq.AlphaFor(1), 3.0);
+  EXPECT_DOUBLE_EQ(fixed_rmq.AlphaFor(100000), 3.0);
+}
+
+}  // namespace
+}  // namespace moqo

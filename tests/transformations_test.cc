@@ -1,0 +1,206 @@
+#include "plan/transformations.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "plan/random_plan.h"
+#include "query/generator.h"
+
+namespace moqo {
+namespace {
+
+struct Fixture {
+  QueryPtr query;
+  CostModel model;
+  PlanFactory factory;
+
+  explicit Fixture(int tables, uint64_t seed = 42)
+      : query([&] {
+          Rng rng(seed);
+          GeneratorConfig config;
+          config.num_tables = tables;
+          return GenerateQuery(config, &rng);
+        }()),
+        model({Metric::kTime, Metric::kBuffer, Metric::kDisk}),
+        factory(query, &model) {}
+};
+
+TEST(TransformationsTest, ScanMutationsAreOperatorSwaps) {
+  Fixture fx(5, 1);  // seed 1: mixed index availability
+  for (int t = 0; t < 5; ++t) {
+    PlanPtr scan = fx.factory.MakeScan(t, ScanAlgorithm::kFullScan);
+    std::vector<PlanPtr> muts = RootMutations(scan, &fx.factory);
+    size_t applicable = fx.factory.ApplicableScans(t).size();
+    EXPECT_EQ(muts.size(), applicable - 1);
+    for (const PlanPtr& m : muts) {
+      EXPECT_FALSE(m->IsJoin());
+      EXPECT_EQ(m->table(), t);
+      EXPECT_NE(m->scan_op(), ScanAlgorithm::kFullScan);
+    }
+  }
+}
+
+TEST(TransformationsTest, JoinRootMutationCountForScanChildren) {
+  Fixture fx(5);
+  PlanPtr s0 = fx.factory.MakeScan(0, ScanAlgorithm::kFullScan);
+  PlanPtr s1 = fx.factory.MakeScan(1, ScanAlgorithm::kFullScan);
+  PlanPtr join = fx.factory.MakeJoin(s0, s1, JoinAlgorithm::kHashSmall);
+  std::vector<PlanPtr> muts = RootMutations(join, &fx.factory);
+  // 7 operator swaps + 1 commutativity; no associativity (children are
+  // scans).
+  EXPECT_EQ(muts.size(), 8u);
+}
+
+TEST(TransformationsTest, MutationsPreserveTableSet) {
+  Fixture fx(8);
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    PlanPtr p = RandomPlan(&fx.factory, &rng);
+    for (const PlanPtr& m : RootMutations(p, &fx.factory)) {
+      EXPECT_EQ(m->rel(), p->rel());
+      EXPECT_EQ(m->NodeCount(), p->NodeCount());
+      EXPECT_DOUBLE_EQ(m->cardinality(), p->cardinality());
+    }
+  }
+}
+
+TEST(TransformationsTest, CommutativityIsAnInvolution) {
+  Fixture fx(4);
+  PlanPtr s0 = fx.factory.MakeScan(0, ScanAlgorithm::kFullScan);
+  PlanPtr s1 = fx.factory.MakeScan(1, ScanAlgorithm::kFullScan);
+  PlanPtr join = fx.factory.MakeJoin(s0, s1, JoinAlgorithm::kHashSmall);
+  // Find the commuted mutation and commute it again.
+  for (const PlanPtr& m : RootMutations(join, &fx.factory)) {
+    if (m->join_op() == join->join_op() && m->outer() == s1) {
+      for (const PlanPtr& mm : RootMutations(m, &fx.factory)) {
+        if (mm->join_op() == join->join_op() && mm->outer() == s0) {
+          EXPECT_TRUE(mm->cost().EqualTo(join->cost()));
+          return;
+        }
+      }
+    }
+  }
+  FAIL() << "commutativity mutation not found";
+}
+
+TEST(TransformationsTest, AssociativityRulesPresent) {
+  Fixture fx(6);
+  PlanPtr s0 = fx.factory.MakeScan(0, ScanAlgorithm::kFullScan);
+  PlanPtr s1 = fx.factory.MakeScan(1, ScanAlgorithm::kFullScan);
+  PlanPtr s2 = fx.factory.MakeScan(2, ScanAlgorithm::kFullScan);
+  PlanPtr left = fx.factory.MakeJoin(s0, s1, JoinAlgorithm::kHashSmall);
+  PlanPtr top = fx.factory.MakeJoin(left, s2, JoinAlgorithm::kHashMedium);
+
+  bool saw_assoc = false;      // (0 (1 2))
+  bool saw_exchange = false;   // ((0 2) 1)
+  for (const PlanPtr& m : RootMutations(top, &fx.factory)) {
+    if (!m->IsJoin()) continue;
+    if (!m->outer()->IsJoin() && m->inner()->IsJoin() &&
+        m->outer()->rel() == TableSet::Singleton(0)) {
+      saw_assoc = true;
+    }
+    if (m->outer()->IsJoin() && !m->inner()->IsJoin() &&
+        m->inner()->rel() == TableSet::Singleton(1)) {
+      saw_exchange = true;
+    }
+  }
+  EXPECT_TRUE(saw_assoc);
+  EXPECT_TRUE(saw_exchange);
+}
+
+TEST(TransformationsTest, RightSideRulesPresent) {
+  Fixture fx(6);
+  PlanPtr s0 = fx.factory.MakeScan(0, ScanAlgorithm::kFullScan);
+  PlanPtr s1 = fx.factory.MakeScan(1, ScanAlgorithm::kFullScan);
+  PlanPtr s2 = fx.factory.MakeScan(2, ScanAlgorithm::kFullScan);
+  PlanPtr right = fx.factory.MakeJoin(s1, s2, JoinAlgorithm::kHashSmall);
+  PlanPtr top = fx.factory.MakeJoin(s0, right, JoinAlgorithm::kHashMedium);
+
+  bool saw_right_assoc = false;  // ((0 1) 2)
+  bool saw_right_exchange = false;  // (1 (0 2))
+  for (const PlanPtr& m : RootMutations(top, &fx.factory)) {
+    if (!m->IsJoin()) continue;
+    if (m->outer()->IsJoin() && !m->inner()->IsJoin() &&
+        m->inner()->rel() == TableSet::Singleton(2)) {
+      saw_right_assoc = true;
+    }
+    if (!m->outer()->IsJoin() && m->inner()->IsJoin() &&
+        m->outer()->rel() == TableSet::Singleton(1)) {
+      saw_right_exchange = true;
+    }
+  }
+  EXPECT_TRUE(saw_right_assoc);
+  EXPECT_TRUE(saw_right_exchange);
+}
+
+TEST(TransformationsTest, AllNeighborsCoversEveryNode) {
+  Fixture fx(6);
+  Rng rng(5);
+  PlanPtr p = RandomPlan(&fx.factory, &rng);
+  std::vector<PlanPtr> neighbors = AllNeighbors(p, &fx.factory);
+  // Each of the 11 nodes contributes at least one mutation (joins: >= 8,
+  // scans: >= 0), so the neighborhood is substantial.
+  EXPECT_GE(neighbors.size(), 8u * 5u);
+  for (const PlanPtr& n : neighbors) {
+    EXPECT_EQ(n->rel(), p->rel());
+  }
+}
+
+TEST(TransformationsTest, AllNeighborsProducesDistinctPlans) {
+  Fixture fx(5);
+  Rng rng(7);
+  PlanPtr p = RandomPlan(&fx.factory, &rng);
+  std::set<std::string> shapes;
+  for (const PlanPtr& n : AllNeighbors(p, &fx.factory)) {
+    shapes.insert(n->ToString());
+  }
+  EXPECT_GT(shapes.size(), 10u);
+}
+
+TEST(TransformationsTest, RandomNeighborValidOrNull) {
+  Fixture fx(10);
+  Rng rng(9);
+  PlanPtr p = RandomPlan(&fx.factory, &rng);
+  int non_null = 0;
+  for (int i = 0; i < 100; ++i) {
+    PlanPtr n = RandomNeighbor(p, &fx.factory, &rng);
+    if (n != nullptr) {
+      ++non_null;
+      EXPECT_EQ(n->rel(), p->rel());
+      EXPECT_NE(n->ToString(), p->ToString());
+    }
+  }
+  // Join mutations always exist; only index-less scan nodes return null.
+  EXPECT_GT(non_null, 50);
+}
+
+TEST(TransformationsTest, NeighborhoodIsSymmetricOnJoinOrders) {
+  // If B is a neighbor of A via commutativity, A must be a neighbor of B.
+  Fixture fx(4);
+  Rng rng(11);
+  PlanPtr a = RandomPlan(&fx.factory, &rng);
+  for (const PlanPtr& b : AllNeighbors(a, &fx.factory)) {
+    if (b->ToString() == a->ToString()) continue;
+    bool back = false;
+    for (const PlanPtr& c : AllNeighbors(b, &fx.factory)) {
+      if (c->ToString() == a->ToString()) {
+        back = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(back) << "no way back from " << b->ToString() << " to "
+                      << a->ToString();
+  }
+}
+
+TEST(TransformationsTest, CountNodesMatchesPlanNodeCount) {
+  Fixture fx(7);
+  Rng rng(13);
+  PlanPtr p = RandomPlan(&fx.factory, &rng);
+  EXPECT_EQ(CountNodes(p), p->NodeCount());
+  EXPECT_EQ(CountNodes(p), 13);
+}
+
+}  // namespace
+}  // namespace moqo

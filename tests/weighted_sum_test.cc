@@ -1,0 +1,108 @@
+#include "baselines/weighted_sum.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/dp.h"
+#include "pareto/epsilon_indicator.h"
+#include "query/generator.h"
+
+namespace moqo {
+namespace {
+
+struct Fixture {
+  QueryPtr query;
+  CostModel model;
+  PlanFactory factory;
+
+  explicit Fixture(int tables = 8, uint64_t seed = 42)
+      : query([&] {
+          Rng rng(seed);
+          GeneratorConfig config;
+          config.num_tables = tables;
+          return GenerateQuery(config, &rng);
+        }()),
+        model({Metric::kTime, Metric::kBuffer, Metric::kDisk}),
+        factory(query, &model) {}
+};
+
+TEST(WeightedSumTest, ProducesValidNonDominatedPlans) {
+  Fixture fx;
+  WeightedSum ws;
+  Rng rng(1);
+  std::vector<PlanPtr> plans =
+      ws.Optimize(&fx.factory, &rng, Deadline::AfterMillis(120), nullptr);
+  ASSERT_FALSE(plans.empty());
+  for (const PlanPtr& p : plans) {
+    EXPECT_EQ(p->rel(), fx.factory.query().AllTables());
+  }
+  for (const PlanPtr& a : plans) {
+    for (const PlanPtr& b : plans) {
+      if (a == b) continue;
+      EXPECT_FALSE(a->cost().StrictlyDominates(b->cost()));
+    }
+  }
+}
+
+TEST(WeightedSumTest, FindsPerMetricExtremesWell) {
+  // Axis-aligned weight vectors are part of the sweep, so the scalarized
+  // climber should find plans close to the per-metric minima of the exact
+  // frontier on a small query.
+  Fixture fx(4, 7);
+  std::vector<CostVector> exact;
+  for (const PlanPtr& p : ExactParetoSet(&fx.factory)) {
+    exact.push_back(p->cost());
+  }
+  exact = ParetoFilter(exact);
+
+  WeightedSum ws;
+  Rng rng(2);
+  std::vector<PlanPtr> plans =
+      ws.Optimize(&fx.factory, &rng, Deadline::AfterMillis(300), nullptr);
+  for (int m = 0; m < 3; ++m) {
+    double exact_min = kMaxCost;
+    for (const CostVector& c : exact) exact_min = std::min(exact_min, c[m]);
+    double found_min = kMaxCost;
+    for (const PlanPtr& p : plans) {
+      found_min = std::min(found_min, p->cost()[m]);
+    }
+    EXPECT_LE(found_min, exact_min * 3.0) << "metric " << m;
+  }
+}
+
+TEST(WeightedSumTest, CallbackFires) {
+  Fixture fx;
+  WeightedSum ws;
+  Rng rng(3);
+  int calls = 0;
+  ws.Optimize(&fx.factory, &rng, Deadline::AfterMillis(60),
+              [&](const std::vector<PlanPtr>&) { ++calls; });
+  EXPECT_GE(calls, 1);
+}
+
+TEST(WeightedSumTest, HonorsDeadline) {
+  Fixture fx(40);
+  WeightedSum ws;
+  Rng rng(4);
+  Stopwatch watch;
+  ws.Optimize(&fx.factory, &rng, Deadline::AfterMillis(50), nullptr);
+  EXPECT_LT(watch.ElapsedMillis(), 10000.0);
+}
+
+TEST(MoneyMetricTest, MoneyTradesOffAgainstTime) {
+  // The monetary metric prices buffer steeply: a big-memory hash join is
+  // fast but expensive, a small block-nested-loop is slow but cheap.
+  CostModel m({Metric::kTime, Metric::kMoney});
+  double card = 2e4;
+  CostVector fast = m.JoinCost(JoinAlgorithm::kHashLarge, card, 100.0,
+                               OutputFormat::kUnsorted, card, 100.0,
+                               OutputFormat::kUnsorted, card);
+  CostVector cheap = m.JoinCost(JoinAlgorithm::kBlockNestedLoopSmall, card,
+                                100.0, OutputFormat::kUnsorted, card, 100.0,
+                                OutputFormat::kUnsorted, card);
+  EXPECT_LT(fast[0], cheap[0]);   // hash is faster
+  EXPECT_LT(cheap[1], fast[1]);   // BNL is cheaper
+  EXPECT_EQ(ToString(Metric::kMoney), "money");
+}
+
+}  // namespace
+}  // namespace moqo
