@@ -1,0 +1,79 @@
+// Batch-optimization throughput: wall-clock scaling of the thread-pool
+// service over a latency-bound batch of optimization windows.
+//
+// Each query in the batch is granted a fixed wall-clock optimization window
+// (the paper's anytime setting: the budget is time, not work) and a fixed
+// RMQ iteration budget small enough to always finish inside the window, so
+// per-query frontiers are bitwise identical across thread counts. With
+// hold_full_window the service occupies one slot per window, so batch
+// wall-clock measures how well windows overlap — the service-level speedup
+// a deployment gets from concurrent admission, independent of core count.
+//
+//   $ ./bench/batch_throughput [--queries=32] [--tables=8] [--iterations=40]
+//         [--window-ms=150] [--threads=1,2,4,8] [--seed=2016]
+//
+// Prints one line per thread count and a final PASS/FAIL verdict on
+// (a) >= 3x speedup at the highest thread count and (b) bitwise-identical
+// frontiers across all thread counts.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/flags.h"
+#include "core/rmq.h"
+#include "service/batch_optimizer.h"
+
+using namespace moqo;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int queries = static_cast<int>(flags.GetInt("queries", 32));
+  const int tables = static_cast<int>(flags.GetInt("tables", 8));
+  const int iterations = static_cast<int>(flags.GetInt("iterations", 40));
+  const int64_t window_ms = flags.GetInt("window-ms", 150);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 2016));
+  const std::vector<int> thread_counts =
+      flags.GetIntList("threads", {1, 2, 4, 8});
+
+  GeneratorConfig generator;
+  generator.num_tables = tables;
+  std::vector<BatchTask> tasks =
+      GenerateBatch(queries, generator, seed, window_ms * 1000);
+
+  OptimizerFactory make_rmq = [iterations] {
+    RmqConfig config;
+    config.max_iterations = iterations;
+    return std::make_unique<Rmq>(config);
+  };
+
+  std::printf(
+      "batch_throughput: %d queries x %d tables, %d RMQ iterations, "
+      "%lld ms window\n\n",
+      queries, tables, iterations, static_cast<long long>(window_ms));
+  std::printf("%8s %12s %10s %10s %10s %10s\n", "threads", "wall_ms",
+              "speedup", "identical", "max_alpha", "frontier");
+
+  BatchReport reference;
+  bool all_identical = true;
+  double last_speedup = 0.0;
+  for (size_t i = 0; i < thread_counts.size(); ++i) {
+    BatchConfig config;
+    config.num_threads = thread_counts[i];
+    config.hold_full_window = true;
+    BatchReport report = BatchOptimizer(config, make_rmq).Run(tasks);
+    if (i == 0) reference = report;
+    BatchComparison cmp = CompareToReference(reference, report);
+    all_identical = all_identical && cmp.identical;
+    last_speedup = cmp.speedup;
+    std::printf("%8d %12.1f %9.2fx %10s %10.4f %10.1f\n", report.num_threads,
+                report.wall_millis, cmp.speedup,
+                cmp.identical ? "yes" : "NO", cmp.max_alpha,
+                report.mean_frontier);
+  }
+
+  const bool pass = all_identical && last_speedup >= 3.0;
+  std::printf("\n%s: %.2fx speedup at %d threads, frontiers %s\n",
+              pass ? "PASS" : "FAIL", last_speedup, thread_counts.back(),
+              all_identical ? "bitwise identical" : "DIVERGED");
+  return pass ? 0 : 1;
+}

@@ -41,8 +41,8 @@ inline void ApplyFlags(const Flags& flags, ExperimentConfig* config) {
   config->timeout_ms = flags.GetInt("timeout-ms", config->timeout_ms);
   config->num_checkpoints = static_cast<int>(
       flags.GetInt("checkpoints", config->num_checkpoints));
-  config->seed = static_cast<uint64_t>(flags.GetInt("seed",
-                                                    static_cast<int64_t>(config->seed)));
+  config->seed = static_cast<uint64_t>(
+      flags.GetInt("seed", static_cast<int64_t>(config->seed)));
 }
 
 /// Runs one figure experiment, prints the paper-style tables, and writes

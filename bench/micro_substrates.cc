@@ -56,7 +56,9 @@ void BM_ParetoArchiveInsert(benchmark::State& state) {
   PlanFactory factory(query, &cost_model);
   std::vector<PlanPtr> plans;
   Rng plan_rng(13);
-  for (int i = 0; i < 256; ++i) plans.push_back(RandomPlan(&factory, &plan_rng));
+  for (int i = 0; i < 256; ++i) {
+    plans.push_back(RandomPlan(&factory, &plan_rng));
+  }
   for (auto _ : state) {
     ParetoArchive archive;
     for (const PlanPtr& p : plans) archive.Insert(p);

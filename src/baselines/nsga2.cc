@@ -195,9 +195,11 @@ void Mutate(Nsga2Genome* g, double pm, Rng* rng) {
 // Binary tournament on (rank asc, crowding desc).
 const Individual& Tournament(const std::vector<Individual>& pop, Rng* rng) {
   const Individual& a =
-      pop[static_cast<size_t>(rng->UniformInt(0, static_cast<int>(pop.size()) - 1))];
+      pop[static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int>(pop.size()) - 1))];
   const Individual& b =
-      pop[static_cast<size_t>(rng->UniformInt(0, static_cast<int>(pop.size()) - 1))];
+      pop[static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int>(pop.size()) - 1))];
   if (a.rank != b.rank) return a.rank < b.rank ? a : b;
   return a.crowding >= b.crowding ? a : b;
 }

@@ -43,7 +43,9 @@ class TableSet {
   int Count() const;
 
   /// Returns true if the set is empty.
-  bool Empty() const { return (words_[0] | words_[1] | words_[2] | words_[3]) == 0; }
+  bool Empty() const {
+    return (words_[0] | words_[1] | words_[2] | words_[3]) == 0;
+  }
 
   /// Returns the union of this set and `other`.
   TableSet Union(const TableSet& other) const;
@@ -89,7 +91,9 @@ class TableSet {
     return a.words_[0] == b.words_[0] && a.words_[1] == b.words_[1] &&
            a.words_[2] == b.words_[2] && a.words_[3] == b.words_[3];
   }
-  friend bool operator!=(const TableSet& a, const TableSet& b) { return !(a == b); }
+  friend bool operator!=(const TableSet& a, const TableSet& b) {
+    return !(a == b);
+  }
 
  private:
   uint64_t words_[4];

@@ -26,11 +26,11 @@ constexpr int kMaxPerFormat = 2;
 // of mutually non-dominated plans. Rejects `candidate` if an existing plan
 // with the same representation weakly dominates it.
 void PruneBetter(std::vector<PlanPtr>* plans, PlanPtr candidate) {
-  int same_format = 0;
   for (const PlanPtr& p : *plans) {
-    if (!SameOutput(*p, *candidate)) continue;
-    ++same_format;
-    if (p->cost().WeakDominates(candidate->cost())) return;
+    if (SameOutput(*p, *candidate) &&
+        p->cost().WeakDominates(candidate->cost())) {
+      return;
+    }
   }
   plans->erase(std::remove_if(plans->begin(), plans->end(),
                               [&](const PlanPtr& p) {
@@ -39,6 +39,13 @@ void PruneBetter(std::vector<PlanPtr>* plans, PlanPtr candidate) {
                                            p->cost());
                               }),
                plans->end());
+  // Count the cap against the survivors: counting before the erase can
+  // treat plans the candidate just evicted as occupying slots, dropping a
+  // strictly dominating candidate (and possibly emptying the step result).
+  int same_format = 0;
+  for (const PlanPtr& p : *plans) {
+    if (SameOutput(*p, *candidate)) ++same_format;
+  }
   if (same_format >= kMaxPerFormat) {
     // Evict the same-format plan with the highest cost sum to make room;
     // keeps the step's working set constant-size.

@@ -238,7 +238,8 @@ std::optional<ResultSet> Executor::Execute(const PlanPtr& plan,
       }
       // Sort row indices of both inputs by their composite keys, merge.
       auto make_order = [&](const ResultSet& side, bool is_left) {
-        std::vector<std::pair<std::vector<int64_t>, const std::vector<int32_t>*>>
+        std::vector<
+            std::pair<std::vector<int64_t>, const std::vector<int32_t>*>>
             order;
         order.reserve(side.rows.size());
         for (const auto& row : side.rows) {
@@ -246,8 +247,9 @@ std::optional<ResultSet> Executor::Execute(const PlanPtr& plan,
                                      : SortKeyRight(*dataset_, preds, row),
                              &row);
         }
-        std::sort(order.begin(), order.end(),
-                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        std::sort(
+            order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
         return order;
       };
       auto lorder = make_order(*left, true);
@@ -263,11 +265,13 @@ std::optional<ResultSet> Executor::Execute(const PlanPtr& plan,
         } else {
           // Equal key groups: emit the cross product of the two groups.
           size_t i_end = i;
-          while (i_end < lorder.size() && lorder[i_end].first == lorder[i].first) {
+          while (i_end < lorder.size() &&
+                 lorder[i_end].first == lorder[i].first) {
             ++i_end;
           }
           size_t j_end = j;
-          while (j_end < rorder.size() && rorder[j_end].first == rorder[j].first) {
+          while (j_end < rorder.size() &&
+                 rorder[j_end].first == rorder[j].first) {
             ++j_end;
           }
           for (size_t a = i; a < i_end && ok; ++a) {

@@ -25,7 +25,9 @@ void PrintExperiment(const ExperimentResult& result, std::ostream& out) {
       << " selectivity=" << ToString(config.selectivity)
       << " timeout=" << config.timeout_ms << "ms"
       << " queries/point=" << config.queries_per_point;
-  if (config.clip_alpha > 1.0) out << " clip=" << FormatAlpha(config.clip_alpha);
+  if (config.clip_alpha > 1.0) {
+    out << " clip=" << FormatAlpha(config.clip_alpha);
+  }
   out << "\n\n";
 
   for (const CellResult& cell : result.cells) {

@@ -17,7 +17,8 @@ AlgorithmSpec DpSpec(double alpha) {
   DpConfig config;
   config.alpha = alpha;
   DpOptimizer probe(config);
-  return {probe.name(), [config] { return std::make_unique<DpOptimizer>(config); }};
+  return {probe.name(),
+          [config] { return std::make_unique<DpOptimizer>(config); }};
 }
 
 }  // namespace

@@ -131,9 +131,9 @@ PlanPtr RandomLeftDeepPlan(PlanFactory* factory, Rng* rng) {
   PlanPtr plan =
       factory->MakeScan(order[0], RandomScanOp(factory, order[0], rng));
   for (int i = 1; i < n; ++i) {
+    int table = order[static_cast<size_t>(i)];
     PlanPtr right =
-        factory->MakeScan(order[static_cast<size_t>(i)],
-                          RandomScanOp(factory, order[static_cast<size_t>(i)], rng));
+        factory->MakeScan(table, RandomScanOp(factory, table, rng));
     plan = factory->MakeJoin(std::move(plan), std::move(right),
                              RandomJoinOp(rng));
   }

@@ -1,0 +1,158 @@
+#include "service/batch_optimizer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/deadline.h"
+#include "pareto/epsilon_indicator.h"
+#include "plan/plan_factory.h"
+#include "service/thread_pool.h"
+
+namespace moqo {
+
+namespace {
+
+bool LexLess(const CostVector& a, const CostVector& b) {
+  for (int i = 0; i < a.size() && i < b.size(); ++i) {
+    if (a[i] != b[i]) return a[i] < b[i];
+  }
+  return a.size() < b.size();
+}
+
+bool BitwiseEqual(const std::vector<CostVector>& a,
+                  const std::vector<CostVector>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) return false;
+    for (int j = 0; j < a[i].size(); ++j) {
+      if (a[i][j] != b[i][j]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<CostVector> CanonicalFrontier(const std::vector<PlanPtr>& plans) {
+  std::vector<CostVector> frontier;
+  frontier.reserve(plans.size());
+  for (const PlanPtr& plan : plans) frontier.push_back(plan->cost());
+  std::sort(frontier.begin(), frontier.end(), LexLess);
+  return frontier;
+}
+
+BatchOptimizer::BatchOptimizer(BatchConfig config,
+                               OptimizerFactory make_optimizer)
+    : config_(std::move(config)), make_optimizer_(std::move(make_optimizer)) {}
+
+BatchTaskResult BatchOptimizer::RunOne(int index, const BatchTask& task,
+                                       const CostModel& model) const {
+  BatchTaskResult result;
+  result.index = index;
+  result.had_deadline = task.deadline_micros > 0;
+
+  Stopwatch watch;
+  Rng rng(task.seed);
+  PlanFactory factory(task.query, &model);
+  std::unique_ptr<Optimizer> optimizer = make_optimizer_();
+  Deadline deadline = result.had_deadline
+                          ? Deadline::AfterMicros(task.deadline_micros)
+                          : Deadline();
+  std::vector<PlanPtr> plans =
+      optimizer->Optimize(&factory, &rng, deadline, nullptr);
+  result.optimize_millis = watch.ElapsedMillis();
+  result.frontier = CanonicalFrontier(plans);
+
+  if (config_.hold_full_window && result.had_deadline) {
+    int64_t remaining = deadline.RemainingMicros();
+    if (remaining > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(remaining));
+    }
+  }
+  result.elapsed_millis = watch.ElapsedMillis();
+  return result;
+}
+
+BatchReport BatchOptimizer::Run(const std::vector<BatchTask>& tasks) {
+  BatchReport report;
+  report.num_threads = std::max(1, config_.num_threads);
+  report.tasks.resize(tasks.size());
+  if (tasks.empty()) return report;
+
+  Stopwatch wall;
+  CostModel model(config_.metrics);
+  {
+    ThreadPool pool(report.num_threads);
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      BatchTaskResult* slot = &report.tasks[i];
+      const BatchTask* task = &tasks[i];
+      pool.Submit([this, i, slot, task, &model] {
+        *slot = RunOne(static_cast<int>(i), *task, model);
+      });
+    }
+    pool.Wait();
+  }
+  report.wall_millis = wall.ElapsedMillis();
+
+  for (const BatchTaskResult& task : report.tasks) {
+    report.total_frontier += task.frontier.size();
+    report.max_frontier = std::max(report.max_frontier, task.frontier.size());
+  }
+  report.mean_frontier =
+      static_cast<double>(report.total_frontier) /
+      static_cast<double>(report.tasks.size());
+  return report;
+}
+
+std::string BatchReport::Summary() const {
+  std::ostringstream out;
+  out << "batch: " << tasks.size() << " tasks on " << num_threads
+      << " thread(s), wall " << wall_millis << " ms\n"
+      << "frontiers: total " << total_frontier << ", mean " << mean_frontier
+      << ", max " << max_frontier << "\n";
+  return out.str();
+}
+
+std::vector<BatchTask> GenerateBatch(int n, const GeneratorConfig& base,
+                                     uint64_t master_seed,
+                                     int64_t deadline_micros) {
+  std::vector<BatchTask> tasks;
+  tasks.reserve(static_cast<size_t>(std::max(0, n)));
+  for (int i = 0; i < n; ++i) {
+    BatchTask task;
+    // Queries and optimizer runs get independent seed streams so that
+    // changing one never perturbs the other.
+    Rng query_rng(CombineSeed(master_seed, static_cast<uint64_t>(i), 1));
+    task.query = GenerateQuery(base, &query_rng);
+    task.seed = CombineSeed(master_seed, static_cast<uint64_t>(i), 2);
+    task.deadline_micros = deadline_micros;
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+BatchComparison CompareToReference(const BatchReport& reference,
+                                   const BatchReport& parallel) {
+  BatchComparison cmp;
+  cmp.speedup = parallel.wall_millis > 0.0
+                    ? reference.wall_millis / parallel.wall_millis
+                    : 0.0;
+  size_t n = std::min(reference.tasks.size(), parallel.tasks.size());
+  cmp.identical = reference.tasks.size() == parallel.tasks.size();
+  double alpha_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<CostVector>& ref = reference.tasks[i].frontier;
+    const std::vector<CostVector>& par = parallel.tasks[i].frontier;
+    if (!BitwiseEqual(ref, par)) cmp.identical = false;
+    double alpha = AlphaError(par, ref);
+    cmp.max_alpha = std::max(cmp.max_alpha, alpha);
+    alpha_sum += alpha;
+  }
+  cmp.mean_alpha = n > 0 ? alpha_sum / static_cast<double>(n) : 1.0;
+  return cmp;
+}
+
+}  // namespace moqo

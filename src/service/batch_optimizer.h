@@ -1,0 +1,137 @@
+// Batch optimization service: runs an anytime optimizer over many queries
+// concurrently on a fixed-size thread pool.
+//
+// Determinism contract: every task owns an independent Rng seeded from
+// (master seed, task index), its own PlanFactory, and its own Optimizer
+// instance, so a task's result frontier depends only on its seed and
+// configuration — never on the number of worker threads or on how the
+// scheduler interleaves tasks. Running the same batch with 1 or 8 threads
+// yields bitwise-identical per-task frontiers as long as tasks are
+// iteration-bounded (wall-clock deadlines are inherently load-dependent).
+//
+// Deadline contract: a task with a deadline never runs its optimizer past
+// it. With `hold_full_window` set, the task additionally occupies its worker
+// slot until the deadline expires, modelling a latency-bound service where
+// every query is granted its full optimization window (the anytime setting
+// of the paper: the budget is wall-clock time, not iterations). Batch
+// wall-clock then measures how well windows overlap across threads.
+#ifndef MOQO_SERVICE_BATCH_OPTIMIZER_H_
+#define MOQO_SERVICE_BATCH_OPTIMIZER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "cost/cost_model.h"
+#include "cost/cost_vector.h"
+#include "query/generator.h"
+#include "query/query.h"
+
+namespace moqo {
+
+/// Creates a fresh Optimizer per task. Optimizer implementations keep
+/// per-run statistics, so instances must not be shared across threads.
+using OptimizerFactory = std::function<std::unique_ptr<Optimizer>()>;
+
+/// One optimization request in a batch.
+struct BatchTask {
+  QueryPtr query;
+  /// Seed of the task's private Rng.
+  uint64_t seed = 0;
+  /// Wall-clock optimization window in microseconds; 0 = unbounded.
+  int64_t deadline_micros = 0;
+};
+
+/// Service configuration for one BatchOptimizer instance.
+struct BatchConfig {
+  /// Worker threads in the pool.
+  int num_threads = 1;
+  /// Cost metrics every task is optimized under.
+  std::vector<Metric> metrics = {Metric::kTime, Metric::kBuffer};
+  /// If true, a task holds its worker slot until its deadline even when the
+  /// optimizer finishes early (latency-bound service mode; see file header).
+  bool hold_full_window = false;
+};
+
+/// Per-task outcome.
+struct BatchTaskResult {
+  int index = -1;
+  /// Result frontier in canonical (lexicographic) order, so two results can
+  /// be compared bitwise.
+  std::vector<CostVector> frontier;
+  /// Time until the optimizer returned, in milliseconds.
+  double optimize_millis = 0.0;
+  /// Total slot occupancy (>= optimize_millis under hold_full_window).
+  double elapsed_millis = 0.0;
+  /// True if the task ran under a wall-clock deadline. Whether the window
+  /// was met is judged by the caller from optimize_millis.
+  bool had_deadline = false;
+};
+
+/// Aggregated outcome of one batch run.
+struct BatchReport {
+  std::vector<BatchTaskResult> tasks;
+  int num_threads = 0;
+  double wall_millis = 0.0;
+  /// Sum / mean / max of per-task frontier sizes.
+  size_t total_frontier = 0;
+  double mean_frontier = 0.0;
+  size_t max_frontier = 0;
+
+  /// Human-readable multi-line summary.
+  std::string Summary() const;
+};
+
+/// Comparison of a parallel run against a single-thread reference run.
+struct BatchComparison {
+  /// reference wall-clock / parallel wall-clock.
+  double speedup = 0.0;
+  /// True if every task's frontier is bitwise identical to the reference.
+  bool identical = true;
+  /// Worst / mean multiplicative epsilon indicator (alpha error) of the
+  /// parallel frontiers measured against the reference frontiers; 1.0 means
+  /// exact agreement in approximation quality.
+  double max_alpha = 1.0;
+  double mean_alpha = 1.0;
+};
+
+/// Runs batches of optimization tasks over a thread pool.
+class BatchOptimizer {
+ public:
+  BatchOptimizer(BatchConfig config, OptimizerFactory make_optimizer);
+
+  /// Runs all tasks to completion and aggregates the results. Task i of the
+  /// returned report corresponds to tasks[i]. An empty batch returns an
+  /// empty report immediately.
+  BatchReport Run(const std::vector<BatchTask>& tasks);
+
+  const BatchConfig& config() const { return config_; }
+
+ private:
+  BatchTaskResult RunOne(int index, const BatchTask& task,
+                         const CostModel& model) const;
+
+  BatchConfig config_;
+  OptimizerFactory make_optimizer_;
+};
+
+/// Generates `n` batch tasks with queries drawn from `base` and per-task
+/// seeds fanned out from `master_seed`; all tasks share `deadline_micros`.
+std::vector<BatchTask> GenerateBatch(int n, const GeneratorConfig& base,
+                                     uint64_t master_seed,
+                                     int64_t deadline_micros);
+
+/// Extracts the cost vectors of `plans` in canonical lexicographic order.
+std::vector<CostVector> CanonicalFrontier(const std::vector<PlanPtr>& plans);
+
+/// Compares a parallel report against its single-thread reference
+/// (reports must stem from the same task list).
+BatchComparison CompareToReference(const BatchReport& reference,
+                                   const BatchReport& parallel);
+
+}  // namespace moqo
+
+#endif  // MOQO_SERVICE_BATCH_OPTIMIZER_H_

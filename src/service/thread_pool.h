@@ -1,0 +1,54 @@
+// Fixed-size thread pool used by the batch optimization service.
+//
+// Deliberately minimal: tasks are opaque closures, execution order is the
+// submission order (single FIFO queue), and Wait() blocks until every
+// submitted task has finished. Determinism of batch results is achieved one
+// level up (per-task seeded Rngs), not by constraining the interleaving.
+#ifndef MOQO_SERVICE_THREAD_POOL_H_
+#define MOQO_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace moqo {
+
+/// A fixed set of worker threads draining a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Waits for queued tasks to finish, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called after the destructor has begun.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is executing.
+  void Wait();
+
+  /// Number of worker threads.
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signals workers: work or shutdown
+  std::condition_variable idle_cv_;  // signals Wait(): pool drained
+  int active_ = 0;                   // tasks currently executing
+  bool stop_ = false;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_SERVICE_THREAD_POOL_H_

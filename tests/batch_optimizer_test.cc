@@ -1,0 +1,175 @@
+#include "service/batch_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "core/rmq.h"
+#include "service/thread_pool.h"
+
+namespace moqo {
+namespace {
+
+OptimizerFactory RmqFactory(int max_iterations) {
+  return [max_iterations] {
+    RmqConfig config;
+    config.max_iterations = max_iterations;
+    return std::make_unique<Rmq>(config);
+  };
+}
+
+std::vector<BatchTask> SmallBatch(int n, int tables,
+                                  int64_t deadline_micros = 0) {
+  GeneratorConfig generator;
+  generator.num_tables = tables;
+  return GenerateBatch(n, generator, /*master_seed=*/2016, deadline_micros);
+}
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  std::atomic<int> count{0};
+  ThreadPool pool(4);
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { ++count; });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitCanBeCalledRepeatedly) {
+  ThreadPool pool(2);
+  pool.Wait();  // empty pool: returns immediately
+  std::atomic<int> count{0};
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(GenerateBatchTest, IsDeterministicAndFansOutSeeds) {
+  std::vector<BatchTask> a = SmallBatch(5, 6);
+  std::vector<BatchTask> b = SmallBatch(5, 6);
+  ASSERT_EQ(a.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(a[static_cast<size_t>(i)].seed, b[static_cast<size_t>(i)].seed);
+    for (int j = 0; j < i; ++j) {
+      EXPECT_NE(a[static_cast<size_t>(i)].seed,
+                a[static_cast<size_t>(j)].seed);
+    }
+  }
+}
+
+TEST(BatchOptimizerTest, EmptyBatchReturnsEmptyReport) {
+  BatchConfig config;
+  config.num_threads = 4;
+  BatchOptimizer batch(config, RmqFactory(10));
+  BatchReport report = batch.Run({});
+  EXPECT_TRUE(report.tasks.empty());
+  EXPECT_EQ(report.total_frontier, 0u);
+  EXPECT_EQ(report.max_frontier, 0u);
+}
+
+// The core determinism guarantee: identical task seeds and iteration budgets
+// produce bitwise-identical frontiers regardless of the thread count.
+TEST(BatchOptimizerTest, FrontiersIdenticalAcrossThreadCounts) {
+  std::vector<BatchTask> tasks = SmallBatch(8, 6);
+
+  BatchConfig single;
+  single.num_threads = 1;
+  BatchReport reference = BatchOptimizer(single, RmqFactory(25)).Run(tasks);
+
+  BatchConfig parallel;
+  parallel.num_threads = 8;
+  BatchReport wide = BatchOptimizer(parallel, RmqFactory(25)).Run(tasks);
+
+  ASSERT_EQ(reference.tasks.size(), wide.tasks.size());
+  for (const BatchTaskResult& task : reference.tasks) {
+    EXPECT_FALSE(task.frontier.empty());
+  }
+  BatchComparison cmp = CompareToReference(reference, wide);
+  EXPECT_TRUE(cmp.identical);
+  EXPECT_DOUBLE_EQ(cmp.max_alpha, 1.0);
+  EXPECT_DOUBLE_EQ(cmp.mean_alpha, 1.0);
+}
+
+TEST(BatchOptimizerTest, RepeatedRunsAreDeterministic) {
+  std::vector<BatchTask> tasks = SmallBatch(4, 6);
+  BatchConfig config;
+  config.num_threads = 3;
+  BatchOptimizer batch(config, RmqFactory(15));
+  BatchComparison cmp = CompareToReference(batch.Run(tasks), batch.Run(tasks));
+  EXPECT_TRUE(cmp.identical);
+}
+
+// A task with a wall-clock deadline must return promptly once it expires,
+// even mid-optimization on a large query. The slack absorbs scheduler noise
+// and sanitizer overhead; it is far below the runtime of an unbounded run.
+TEST(BatchOptimizerTest, HonorsTaskDeadlines) {
+  constexpr int64_t kDeadlineMicros = 100 * 1000;
+  std::vector<BatchTask> tasks = SmallBatch(4, 18, kDeadlineMicros);
+  BatchConfig config;
+  config.num_threads = 2;
+  BatchOptimizer batch(config, RmqFactory(/*max_iterations=*/0));
+  BatchReport report = batch.Run(tasks);
+  ASSERT_EQ(report.tasks.size(), 4u);
+  for (const BatchTaskResult& task : report.tasks) {
+    EXPECT_TRUE(task.had_deadline);
+    EXPECT_LT(task.optimize_millis, 2000.0);
+  }
+}
+
+// hold_full_window keeps each slot occupied for the full optimization
+// window: two windows on one thread take at least two windows of wall time.
+TEST(BatchOptimizerTest, HoldFullWindowOccupiesSlotUntilDeadline) {
+  constexpr int64_t kWindowMicros = 50 * 1000;
+  std::vector<BatchTask> tasks = SmallBatch(2, 4, kWindowMicros);
+  BatchConfig config;
+  config.num_threads = 1;
+  config.hold_full_window = true;
+  BatchOptimizer batch(config, RmqFactory(1));
+  BatchReport report = batch.Run(tasks);
+  EXPECT_GE(report.wall_millis, 95.0);
+  for (const BatchTaskResult& task : report.tasks) {
+    EXPECT_GE(task.elapsed_millis, 45.0);
+    EXPECT_GE(task.elapsed_millis, task.optimize_millis);
+  }
+}
+
+TEST(BatchOptimizerTest, ReportAggregatesFrontierSizes) {
+  std::vector<BatchTask> tasks = SmallBatch(3, 5);
+  BatchConfig config;
+  BatchOptimizer batch(config, RmqFactory(10));
+  BatchReport report = batch.Run(tasks);
+  size_t total = 0;
+  size_t max = 0;
+  for (const BatchTaskResult& task : report.tasks) {
+    total += task.frontier.size();
+    max = std::max(max, task.frontier.size());
+  }
+  EXPECT_EQ(report.total_frontier, total);
+  EXPECT_EQ(report.max_frontier, max);
+  EXPECT_GT(report.total_frontier, 0u);
+  EXPECT_FALSE(report.Summary().empty());
+}
+
+TEST(CanonicalFrontierTest, SortsLexicographically) {
+  // CanonicalFrontier is what makes bitwise comparison order-insensitive;
+  // verify the ordering contract directly on cost vectors via a batch run.
+  std::vector<BatchTask> tasks = SmallBatch(1, 6);
+  BatchConfig config;
+  BatchOptimizer batch(config, RmqFactory(20));
+  BatchReport report = batch.Run(tasks);
+  ASSERT_EQ(report.tasks.size(), 1u);
+  const std::vector<CostVector>& frontier = report.tasks[0].frontier;
+  for (size_t i = 1; i < frontier.size(); ++i) {
+    const CostVector& prev = frontier[i - 1];
+    const CostVector& cur = frontier[i];
+    bool less_or_equal = prev[0] < cur[0] ||
+                         (prev[0] == cur[0] && prev[1] <= cur[1]);
+    EXPECT_TRUE(less_or_equal) << "frontier not in canonical order at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace moqo

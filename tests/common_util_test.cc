@@ -39,7 +39,9 @@ TEST(RngTest, UniformIntInRange) {
 TEST(RngTest, UniformIntCoversRange) {
   Rng rng(7);
   std::vector<int> counts(4, 0);
-  for (int i = 0; i < 4000; ++i) ++counts[static_cast<size_t>(rng.UniformInt(0, 3))];
+  for (int i = 0; i < 4000; ++i) {
+    ++counts[static_cast<size_t>(rng.UniformInt(0, 3))];
+  }
   for (int c : counts) EXPECT_GT(c, 700);  // roughly uniform
 }
 

@@ -76,13 +76,15 @@ TEST(DpTest, ExactSetDominatesEveryRandomPlan) {
 TEST(DpTest, AlphaGuaranteeHolds) {
   // DP(alpha) output must alpha-approximate the exact frontier.
   Fixture fx(5, 3);
-  std::vector<CostVector> exact = ParetoFilter(Costs(ExactParetoSet(&fx.factory)));
+  std::vector<CostVector> exact =
+      ParetoFilter(Costs(ExactParetoSet(&fx.factory)));
   for (double alpha : {1.5, 2.0, 10.0, 1000.0}) {
     DpConfig config;
     config.alpha = alpha;
     DpOptimizer dp(config);
     Rng rng(2);
-    std::vector<PlanPtr> plans = dp.Optimize(&fx.factory, &rng, Deadline(), nullptr);
+    std::vector<PlanPtr> plans =
+        dp.Optimize(&fx.factory, &rng, Deadline(), nullptr);
     ASSERT_TRUE(dp.finished());
     double err = AlphaError(Costs(plans), exact);
     EXPECT_LE(err, alpha * 1.0001) << "DP(" << alpha << ")";
@@ -109,7 +111,8 @@ TEST(DpTest, InfinityAlphaKeepsFormatsOnly) {
   config.alpha = std::numeric_limits<double>::infinity();
   DpOptimizer dp(config);
   Rng rng(4);
-  std::vector<PlanPtr> plans = dp.Optimize(&fx.factory, &rng, Deadline(), nullptr);
+  std::vector<PlanPtr> plans =
+      dp.Optimize(&fx.factory, &rng, Deadline(), nullptr);
   // At most one plan per output data representation.
   EXPECT_LE(plans.size(), 2u);
   EXPECT_GE(plans.size(), 1u);
@@ -193,7 +196,8 @@ TEST_P(DpSizeTest, FinishesAndCoversRandomPlans) {
   config.alpha = 1.0;
   DpOptimizer dp(config);
   Rng rng(8);
-  std::vector<PlanPtr> plans = dp.Optimize(&fx.factory, &rng, Deadline(), nullptr);
+  std::vector<PlanPtr> plans =
+      dp.Optimize(&fx.factory, &rng, Deadline(), nullptr);
   ASSERT_TRUE(dp.finished());
   std::vector<CostVector> frontier = Costs(plans);
   Rng sample_rng(9);
@@ -203,7 +207,8 @@ TEST_P(DpSizeTest, FinishesAndCoversRandomPlans) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Sizes, DpSizeTest, ::testing::Values(2, 3, 4, 5, 6, 7));
+INSTANTIATE_TEST_SUITE_P(Sizes, DpSizeTest,
+                         ::testing::Values(2, 3, 4, 5, 6, 7));
 
 }  // namespace
 }  // namespace moqo

@@ -149,9 +149,13 @@ TEST(LeftDeepTest, BushyFrontierAtLeastAsGoodAsLeftDeep) {
   ASSERT_FALSE(bushy.empty());
   ASSERT_FALSE(left_deep.empty());
   double best_bushy = kMaxCost;
-  for (const PlanPtr& p : bushy) best_bushy = std::min(best_bushy, p->cost().Sum());
+  for (const PlanPtr& p : bushy) {
+    best_bushy = std::min(best_bushy, p->cost().Sum());
+  }
   double best_ld = kMaxCost;
-  for (const PlanPtr& p : left_deep) best_ld = std::min(best_ld, p->cost().Sum());
+  for (const PlanPtr& p : left_deep) {
+    best_ld = std::min(best_ld, p->cost().Sum());
+  }
   EXPECT_LE(best_bushy, best_ld * 20.0);
 }
 

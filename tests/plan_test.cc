@@ -79,10 +79,12 @@ TEST_F(PlanTest, CardinalityOrderIndependent) {
   PlanPtr s0 = factory_.MakeScan(0, ScanAlgorithm::kFullScan);
   PlanPtr s1 = factory_.MakeScan(1, ScanAlgorithm::kFullScan);
   PlanPtr s2 = factory_.MakeScan(2, ScanAlgorithm::kFullScan);
-  PlanPtr left = factory_.MakeJoin(factory_.MakeJoin(s0, s1, JoinAlgorithm::kHashSmall),
-                                   s2, JoinAlgorithm::kHashSmall);
-  PlanPtr right = factory_.MakeJoin(s0, factory_.MakeJoin(s1, s2, JoinAlgorithm::kNestedLoop),
-                                    JoinAlgorithm::kSortMergeLarge);
+  PlanPtr left =
+      factory_.MakeJoin(factory_.MakeJoin(s0, s1, JoinAlgorithm::kHashSmall),
+                        s2, JoinAlgorithm::kHashSmall);
+  PlanPtr right = factory_.MakeJoin(
+      s0, factory_.MakeJoin(s1, s2, JoinAlgorithm::kNestedLoop),
+      JoinAlgorithm::kSortMergeLarge);
   EXPECT_DOUBLE_EQ(left->cardinality(), right->cardinality());
   EXPECT_EQ(left->rel(), right->rel());
 }
@@ -113,8 +115,10 @@ TEST_F(PlanTest, SortedInputsMakeSortMergeCheaper) {
   PlanPtr from_plain =
       factory_.MakeJoin(plain0, s1, JoinAlgorithm::kSortMergeSmall);
   // Subtract child costs to compare the operator-local time share.
-  double op_time_sorted = from_sorted->cost()[0] - sorted0->cost()[0] - s1->cost()[0];
-  double op_time_plain = from_plain->cost()[0] - plain0->cost()[0] - s1->cost()[0];
+  double op_time_sorted =
+      from_sorted->cost()[0] - sorted0->cost()[0] - s1->cost()[0];
+  double op_time_plain =
+      from_plain->cost()[0] - plain0->cost()[0] - s1->cost()[0];
   EXPECT_LT(op_time_sorted, op_time_plain);
 }
 

@@ -158,7 +158,8 @@ TEST(RandomPlanTest, RandomScanOpRespectsApplicability) {
   for (int i = 0; i < 4; ++i) catalog.AddTable({1000.0, 100.0, false});
   JoinGraph graph(4);
   for (int i = 0; i + 1 < 4; ++i) graph.AddEdge(i, i + 1, 0.1);
-  QueryPtr query = std::make_shared<Query>(std::move(catalog), std::move(graph));
+  QueryPtr query =
+      std::make_shared<Query>(std::move(catalog), std::move(graph));
   CostModel model({Metric::kTime, Metric::kBuffer});
   PlanFactory factory(query, &model);
   Rng rng(29);
