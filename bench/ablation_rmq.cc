@@ -74,10 +74,11 @@ int main(int argc, char** argv) {
     std::vector<std::vector<CostVector>> finals;
     std::map<std::string, std::vector<CostVector>> frontier_of;
     for (const Variant& v : variants) {
-      Rmq rmq(v.config);
+      RmqSession rmq(v.config);
       Rng opt_rng(CombineSeed(seed, 0x1234, static_cast<uint64_t>(q)));
-      std::vector<PlanPtr> plans = rmq.Optimize(
-          &factory, &opt_rng, Deadline::AfterMillis(timeout_ms), nullptr);
+      rmq.Begin(&factory, &opt_rng);
+      std::vector<PlanPtr> plans =
+          RunSession(&rmq, Deadline::AfterMillis(timeout_ms));
       std::vector<CostVector> frontier;
       for (const PlanPtr& p : plans) frontier.push_back(p->cost());
       finals.push_back(frontier);

@@ -51,13 +51,13 @@ int main(int argc, char** argv) {
       auto run = [&](PlanSpace space, double* iters) {
         RmqConfig config;
         config.plan_space = space;
-        Rmq rmq(config);
+        RmqSession rmq(config);
         Rng opt_rng(CombineSeed(seed, static_cast<uint64_t>(space),
                                 static_cast<uint64_t>(q)));
+        rmq.Begin(&factory, &opt_rng);
         std::vector<CostVector> frontier;
         for (const PlanPtr& p :
-             rmq.Optimize(&factory, &opt_rng,
-                          Deadline::AfterMillis(timeout_ms), nullptr)) {
+             RunSession(&rmq, Deadline::AfterMillis(timeout_ms))) {
           frontier.push_back(p->cost());
         }
         *iters += rmq.stats().iterations;

@@ -73,10 +73,10 @@ int main(int argc, char** argv) {
             {Metric::kTime, Metric::kBuffer, Metric::kDisk});
         PlanFactory factory(query, &cost_model);
 
-        Rmq rmq;
+        RmqSession rmq;
         Rng opt_rng(CombineSeed(seed, 0xabc, static_cast<uint64_t>(q)));
-        rmq.Optimize(&factory, &opt_rng, Deadline::AfterMillis(timeout_ms),
-                     nullptr);
+        rmq.Begin(&factory, &opt_rng);
+        RunSession(&rmq, Deadline::AfterMillis(timeout_ms));
         const RmqStats& stats = rmq.stats();
         paths.insert(paths.end(), stats.path_lengths.begin(),
                      stats.path_lengths.end());

@@ -86,14 +86,12 @@ int main(int argc, char** argv) {
   PlanFactory factory(query, &cost_model);
 
   AnytimeRecorder recorder;
-  Rmq optimizer;
+  RmqSession session;
   Rng opt_rng(3);
   recorder.Start();
-  std::vector<PlanPtr> final_plans =
-      optimizer.Optimize(&factory, &opt_rng,
-                         Deadline::AfterMillis(timeout_ms),
-                         recorder.MakeCallback());
-  recorder.RecordFinal(final_plans);
+  session.Begin(&factory, &opt_rng);
+  std::vector<PlanPtr> final_plans = StepAndRecord(
+      &session, Deadline::AfterMillis(timeout_ms), &recorder);
 
   std::vector<std::vector<CostVector>> snapshots = {
       recorder.FrontierAt(timeout_ms * 1000 / 20),
@@ -103,7 +101,7 @@ int main(int argc, char** argv) {
   std::vector<const char*> labels = {"t/20", "t/4", "final"};
   std::cout << "Frontier refinement for a " << tables
             << "-table chain query over " << timeout_ms << " ms ("
-            << optimizer.stats().iterations << " iterations, "
+            << session.stats().iterations << " iterations, "
             << final_plans.size() << " final tradeoffs):\n\n";
   Plot(snapshots, labels);
 

@@ -39,11 +39,12 @@ int main(int argc, char** argv) {
   {
     DpConfig config;
     config.alpha = 1000.0;
-    DpOptimizer dp(config);
+    DpSession dp(config);
     Rng dp_rng(1);
     Stopwatch watch;
-    std::vector<PlanPtr> plans = dp.Optimize(
-        &factory, &dp_rng, Deadline::AfterMillis(timeout_ms), nullptr);
+    dp.Begin(&factory, &dp_rng);
+    std::vector<PlanPtr> plans =
+        RunSession(&dp, Deadline::AfterMillis(timeout_ms));
     std::cout << "DP(1000): " << plans.size() << " plans after "
               << watch.ElapsedMillis() << " ms ("
               << (dp.finished() ? "finished" : "gave up — subset lattice "
@@ -53,11 +54,12 @@ int main(int argc, char** argv) {
 
   // RMQ handles it.
   {
-    Rmq rmq;
+    RmqSession rmq;
     Rng opt_rng(2);
     Stopwatch watch;
-    std::vector<PlanPtr> plans = rmq.Optimize(
-        &factory, &opt_rng, Deadline::AfterMillis(timeout_ms), nullptr);
+    rmq.Begin(&factory, &opt_rng);
+    std::vector<PlanPtr> plans =
+        RunSession(&rmq, Deadline::AfterMillis(timeout_ms));
     const RmqStats& stats = rmq.stats();
     std::cout << "RMQ:      " << plans.size() << " Pareto tradeoffs after "
               << watch.ElapsedMillis() << " ms, " << stats.iterations

@@ -32,15 +32,19 @@ int main() {
   CostModel cost_model({Metric::kTime, Metric::kBuffer});
   PlanFactory factory(query, &cost_model);
 
-  // 4. Optimize for 200 milliseconds with the paper's RMQ algorithm.
-  Rmq optimizer;
+  // 4. Optimize for 200 milliseconds with the paper's RMQ algorithm. A
+  //    session can also be stepped one iteration at a time (see the README
+  //    section on the incremental API); RunSession drives it to the
+  //    deadline in one call.
+  RmqSession session;
   Rng rng(/*seed=*/2016);
-  std::vector<PlanPtr> frontier = optimizer.Optimize(
-      &factory, &rng, Deadline::AfterMillis(200), /*callback=*/nullptr);
+  session.Begin(&factory, &rng);
+  std::vector<PlanPtr> frontier =
+      RunSession(&session, Deadline::AfterMillis(200));
 
   // 5. Inspect the Pareto frontier: each plan realizes a distinct optimal
   //    tradeoff between the two metrics.
-  std::cout << "Pareto frontier after " << optimizer.stats().iterations
+  std::cout << "Pareto frontier after " << session.stats().iterations
             << " iterations (" << frontier.size() << " plans):\n\n";
   std::cout << "  time        buffer      plan\n";
   for (const PlanPtr& plan : frontier) {

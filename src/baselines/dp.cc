@@ -5,8 +5,6 @@
 #include <sstream>
 #include <vector>
 
-#include "core/plan_cache.h"
-
 namespace moqo {
 
 std::string DpOptimizer::name() const {
@@ -26,76 +24,100 @@ std::string DpOptimizer::name() const {
   return out.str();
 }
 
-std::vector<PlanPtr> DpOptimizer::Optimize(PlanFactory* factory, Rng* /*rng*/,
-                                           const Deadline& deadline,
-                                           const AnytimeCallback& callback) {
+namespace {
+
+TableSet ToTableSet(uint64_t mask) {
+  TableSet s;
+  while (mask != 0) {
+    int bit = __builtin_ctzll(mask);
+    s.Add(bit);
+    mask &= mask - 1;
+  }
+  return s;
+}
+
+}  // namespace
+
+void DpSession::OnBegin() {
+  num_tables_ = factory()->query().NumTables();
   finished_ = false;
-  const int n = factory->query().NumTables();
-  if (n > config_.max_tables) {
+  gave_up_ = false;
+  best_.clear();
+  cache_.Clear();
+  next_mask_ = 1;
+  if (num_tables_ > config_.max_tables) {
     // The 2^n subset lattice would exhaust memory long before any realistic
     // deadline; give up immediately (matches the paper: DP produces no
     // result for large queries).
-    return {};
+    gave_up_ = true;
+    return;
   }
 
-  const uint64_t full = (n == 64) ? ~uint64_t{0} : ((uint64_t{1} << n) - 1);
-  std::vector<std::vector<PlanPtr>> best(full + 1);
+  const int n = num_tables_;
+  full_ = (n == 64) ? ~uint64_t{0} : ((uint64_t{1} << n) - 1);
+  best_.resize(full_ + 1);
 
-  auto to_table_set = [](uint64_t mask) {
-    TableSet s;
-    while (mask != 0) {
-      int bit = __builtin_ctzll(mask);
-      s.Add(bit);
-      mask &= mask - 1;
-    }
-    return s;
-  };
-
-  // Pruning identical to the plan cache's (Algorithm 3 Prune).
-  PlanCache cache;
-
-  // Base case: single tables.
+  // Base case: single tables. Pruning is identical to the plan cache's
+  // (Algorithm 3 Prune).
   for (int t = 0; t < n; ++t) {
     TableSet rel = TableSet::Singleton(t);
-    for (ScanAlgorithm op : factory->ApplicableScans(t)) {
-      cache.Insert(rel, factory->MakeScan(t, op), config_.alpha);
+    for (ScanAlgorithm op : factory()->ApplicableScans(t)) {
+      cache_.Insert(rel, factory()->MakeScan(t, op), config_.alpha);
     }
-    best[uint64_t{1} << t] = cache.Lookup(rel);
+    best_[uint64_t{1} << t] = cache_.Lookup(rel);
+  }
+}
+
+std::vector<PlanPtr> DpSession::Frontier() const {
+  if (!finished_) return {};
+  return best_[full_];
+}
+
+bool DpSession::DoStep(const Deadline& budget) {
+  // Subsets already covered by the base case are skipped inline, so every
+  // step performs the joins of exactly one subset of size >= 2.
+  while (next_mask_ <= full_ && __builtin_popcountll(next_mask_) < 2) {
+    ++next_mask_;
+  }
+  if (next_mask_ > full_) {
+    // Single-table queries have no join work at all.
+    finished_ = true;
+    return true;
   }
 
-  // Joins, by increasing subset size. Enumerating masks in numeric order
-  // already guarantees sub-masks come first, but grouping by popcount keeps
-  // the traversal cache-friendly and the deadline checks cheap.
+  const uint64_t mask = next_mask_;
+  TableSet rel = ToTableSet(mask);
+  // All ordered splits into (outer, inner): iterate proper sub-masks.
+  // Enumerating masks in numeric order guarantees sub-masks come first.
   int64_t joins_since_check = 0;
-  for (uint64_t mask = 1; mask <= full; ++mask) {
-    if (__builtin_popcountll(mask) < 2) continue;
-    if (deadline.Expired()) return {};
-    TableSet rel = to_table_set(mask);
-    // All ordered splits into (outer, inner): iterate proper sub-masks.
-    for (uint64_t outer = (mask - 1) & mask; outer != 0;
-         outer = (outer - 1) & mask) {
-      uint64_t inner = mask ^ outer;
-      const std::vector<PlanPtr>& outer_plans = best[outer];
-      const std::vector<PlanPtr>& inner_plans = best[inner];
-      for (const PlanPtr& o : outer_plans) {
-        for (const PlanPtr& i : inner_plans) {
-          for (JoinAlgorithm op : AllJoinAlgorithms()) {
-            cache.Insert(rel, factory->MakeJoin(o, i, op), config_.alpha);
-          }
-          if (++joins_since_check >= 4096) {
-            joins_since_check = 0;
-            if (deadline.Expired()) return {};
+  for (uint64_t outer = (mask - 1) & mask; outer != 0;
+       outer = (outer - 1) & mask) {
+    uint64_t inner = mask ^ outer;
+    const std::vector<PlanPtr>& outer_plans = best_[outer];
+    const std::vector<PlanPtr>& inner_plans = best_[inner];
+    for (const PlanPtr& o : outer_plans) {
+      for (const PlanPtr& i : inner_plans) {
+        for (JoinAlgorithm op : AllJoinAlgorithms()) {
+          cache_.Insert(rel, factory()->MakeJoin(o, i, op), config_.alpha);
+        }
+        if (++joins_since_check >= 4096) {
+          joins_since_check = 0;
+          if (budget.Expired()) {
+            // DP is all-or-nothing: an expired budget aborts the run.
+            gave_up_ = true;
+            return false;
           }
         }
       }
     }
-    best[mask] = cache.Lookup(rel);
   }
-
-  finished_ = true;
-  std::vector<PlanPtr> result = best[full];
-  if (callback) callback(result);
-  return result;
+  best_[mask] = cache_.Lookup(rel);
+  ++next_mask_;
+  if (mask == full_) {
+    finished_ = true;
+    return true;
+  }
+  return false;
 }
 
 std::vector<PlanPtr> ExactParetoSet(PlanFactory* factory) {

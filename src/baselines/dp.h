@@ -15,10 +15,19 @@
 // optimizer checks the deadline throughout and returns an empty result if
 // it cannot finish — reproducing the paper's observation that DP produces
 // no output within the time budget for queries of 25+ tables.
+//
+// DpSession steps through the subset lattice one table subset per Step().
+// DP is all-or-nothing: the frontier stays empty until the full lattice is
+// processed, and an expired step budget aborts the whole run (the paper's
+// "DP produced no result in time").
 #ifndef MOQO_BASELINES_DP_H_
 #define MOQO_BASELINES_DP_H_
 
+#include <memory>
+#include <vector>
+
 #include "core/optimizer.h"
+#include "core/plan_cache.h"
 
 namespace moqo {
 
@@ -32,6 +41,35 @@ struct DpConfig {
   int max_tables = 20;
 };
 
+/// One incremental DP run; each Step() processes one table subset of the
+/// lattice (in increasing mask order).
+class DpSession : public OptimizerSession {
+ public:
+  explicit DpSession(DpConfig config = DpConfig()) : config_(config) {}
+
+  /// Non-empty only once the whole lattice has been processed.
+  std::vector<PlanPtr> Frontier() const override;
+  bool Done() const override { return finished_ || gave_up_; }
+
+  /// True if the run processed the full lattice (was not aborted by the
+  /// max_tables guard or an expired budget).
+  bool finished() const { return finished_; }
+
+ protected:
+  void OnBegin() override;
+  bool DoStep(const Deadline& budget) override;
+
+ private:
+  DpConfig config_;
+  int num_tables_ = 0;
+  uint64_t full_ = 0;
+  uint64_t next_mask_ = 0;
+  std::vector<std::vector<PlanPtr>> best_;
+  PlanCache cache_;
+  bool finished_ = false;
+  bool gave_up_ = false;
+};
+
 /// Multi-objective dynamic programming with alpha-pruning.
 class DpOptimizer : public Optimizer {
  public:
@@ -39,19 +77,15 @@ class DpOptimizer : public Optimizer {
 
   std::string name() const override;
 
-  /// Runs DP to completion or deadline. Invokes the callback exactly once,
-  /// after the full frontier is available (DP is not anytime). Returns the
-  /// final plan set, or empty if the deadline struck first.
-  std::vector<PlanPtr> Optimize(PlanFactory* factory, Rng* rng,
-                                const Deadline& deadline,
-                                const AnytimeCallback& callback) override;
-
-  /// True if the most recent Optimize call finished before the deadline.
-  bool finished() const { return finished_; }
+  /// The blocking wrapper invokes the callback exactly once, after the
+  /// full frontier is available (DP is not anytime), and returns empty if
+  /// the deadline struck first.
+  std::unique_ptr<OptimizerSession> NewSession() const override {
+    return std::make_unique<DpSession>(config_);
+  }
 
  private:
   DpConfig config_;
-  bool finished_ = false;
 };
 
 /// Convenience: the exact Pareto plan set of the factory's query, computed

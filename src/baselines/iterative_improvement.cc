@@ -1,27 +1,22 @@
 #include "baselines/iterative_improvement.h"
 
 #include "core/pareto_climb.h"
-#include "pareto/pareto_archive.h"
 #include "plan/random_plan.h"
 
 namespace moqo {
 
-std::vector<PlanPtr> IterativeImprovement::Optimize(
-    PlanFactory* factory, Rng* rng, const Deadline& deadline,
-    const AnytimeCallback& callback) {
-  ParetoArchive archive;
-  int iterations = 0;
-  while (!deadline.Expired() &&
-         (config_.max_iterations == 0 || iterations < config_.max_iterations)) {
-    PlanPtr plan = RandomPlan(factory, rng);
-    PlanPtr opt = config_.fast_climb
-                      ? ParetoClimb(plan, factory, nullptr, deadline)
-                      : NaiveClimb(plan, factory, nullptr, deadline);
-    bool changed = archive.Insert(std::move(opt));
-    ++iterations;
-    if (changed && callback) callback(archive.plans());
-  }
-  return archive.plans();
+void IiSession::OnBegin() {
+  archive_.Clear();
+  iterations_ = 0;
+}
+
+bool IiSession::DoStep(const Deadline& budget) {
+  PlanPtr plan = RandomPlan(factory(), rng());
+  PlanPtr opt = config_.fast_climb
+                    ? ParetoClimb(plan, factory(), nullptr, budget)
+                    : NaiveClimb(plan, factory(), nullptr, budget);
+  ++iterations_;
+  return archive_.Insert(std::move(opt));
 }
 
 }  // namespace moqo

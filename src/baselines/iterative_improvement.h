@@ -5,11 +5,15 @@
 // The multi-objective generalization climbs with the same fast Pareto
 // climbing function as RMQ (Algorithm 2 — the paper explicitly gives II the
 // efficient climber too) and archives every local optimum in a
-// non-dominated result set.
+// non-dominated result set. One session Step() is one restart (random plan
+// + climb + archive insert).
 #ifndef MOQO_BASELINES_ITERATIVE_IMPROVEMENT_H_
 #define MOQO_BASELINES_ITERATIVE_IMPROVEMENT_H_
 
+#include <memory>
+
 #include "core/optimizer.h"
+#include "pareto/pareto_archive.h"
 
 namespace moqo {
 
@@ -22,6 +26,27 @@ struct IiConfig {
   int max_iterations = 0;
 };
 
+/// One incremental II run; each Step() is one random restart + climb.
+class IiSession : public OptimizerSession {
+ public:
+  explicit IiSession(IiConfig config = IiConfig()) : config_(config) {}
+
+  std::vector<PlanPtr> Frontier() const override { return archive_.plans(); }
+  bool Done() const override {
+    return config_.max_iterations > 0 &&
+           iterations_ >= config_.max_iterations;
+  }
+
+ protected:
+  void OnBegin() override;
+  bool DoStep(const Deadline& budget) override;
+
+ private:
+  IiConfig config_;
+  ParetoArchive archive_;
+  int iterations_ = 0;
+};
+
 /// Iterative improvement with Pareto archiving.
 class IterativeImprovement : public Optimizer {
  public:
@@ -30,9 +55,9 @@ class IterativeImprovement : public Optimizer {
 
   std::string name() const override { return "II"; }
 
-  std::vector<PlanPtr> Optimize(PlanFactory* factory, Rng* rng,
-                                const Deadline& deadline,
-                                const AnytimeCallback& callback) override;
+  std::unique_ptr<OptimizerSession> NewSession() const override {
+    return std::make_unique<IiSession>(config_);
+  }
 
  private:
   IiConfig config_;

@@ -5,8 +5,6 @@
 #include <limits>
 #include <numeric>
 
-#include "pareto/pareto_archive.h"
-
 namespace moqo {
 
 std::vector<int> FastNonDominatedSort(const std::vector<CostVector>& costs) {
@@ -140,12 +138,7 @@ Nsga2Genome RandomGenome(PlanFactory* factory, Rng* rng) {
 
 namespace {
 
-struct Individual {
-  Nsga2Genome genome;
-  PlanPtr plan;
-  int rank = 0;
-  double crowding = 0.0;
-};
+using Individual = Nsga2Individual;
 
 int GenomeLength(const Nsga2Genome& g) {
   return static_cast<int>(g.order.size() + g.scan_ops.size() +
@@ -229,63 +222,66 @@ void RankPopulation(std::vector<Individual>* pop) {
 
 }  // namespace
 
-std::vector<PlanPtr> Nsga2::Optimize(PlanFactory* factory, Rng* rng,
-                                     const Deadline& deadline,
-                                     const AnytimeCallback& callback) {
-  ParetoArchive archive;
+void Nsga2Session::OnBegin() {
+  archive_.Clear();
+  population_.clear();
+  mutation_probability_ = 0.0;
+  generation_ = 0;
+  initialized_ = false;
+}
+
+bool Nsga2Session::DoStep(const Deadline& budget) {
   const int pop_size = config_.population_size;
 
-  std::vector<Individual> population;
-  population.reserve(static_cast<size_t>(pop_size));
-  for (int i = 0; i < pop_size && !deadline.Expired(); ++i) {
-    Individual ind;
-    ind.genome = RandomGenome(factory, rng);
-    ind.plan = DecodeGenome(ind.genome, factory);
-    archive.Insert(ind.plan);
-    population.push_back(std::move(ind));
-  }
-  if (population.empty()) return archive.plans();
-  RankPopulation(&population);
-  if (callback) callback(archive.plans());
-
-  double pm = config_.mutation_probability > 0.0
-                  ? config_.mutation_probability
-                  : 1.0 / GenomeLength(population.front().genome);
-
-  int generation = 0;
-  while (!deadline.Expired() && (config_.max_generations == 0 ||
-                                 generation < config_.max_generations)) {
-    // Variation: produce pop_size offspring.
-    std::vector<Individual> combined = population;
-    combined.reserve(population.size() * 2);
-    for (int i = 0; i < pop_size && !deadline.Expired(); ++i) {
-      const Individual& p1 = Tournament(population, rng);
-      const Individual& p2 = Tournament(population, rng);
-      Individual child;
-      child.genome = rng->Bernoulli(config_.crossover_probability)
-                         ? Crossover(p1.genome, p2.genome, rng)
-                         : p1.genome;
-      Mutate(&child.genome, pm, rng);
-      child.plan = DecodeGenome(child.genome, factory);
-      archive.Insert(child.plan);
-      combined.push_back(std::move(child));
+  if (!initialized_) {
+    // First slice: draw and rank the initial population.
+    population_.reserve(static_cast<size_t>(pop_size));
+    for (int i = 0; i < pop_size && !budget.Expired(); ++i) {
+      Individual ind;
+      ind.genome = RandomGenome(factory(), rng());
+      ind.plan = DecodeGenome(ind.genome, factory());
+      archive_.Insert(ind.plan);
+      population_.push_back(std::move(ind));
     }
-
-    // Elitist (mu + lambda) survival with crowding truncation.
-    RankPopulation(&combined);
-    std::stable_sort(combined.begin(), combined.end(),
-                     [](const Individual& a, const Individual& b) {
-                       if (a.rank != b.rank) return a.rank < b.rank;
-                       return a.crowding > b.crowding;
-                     });
-    combined.resize(static_cast<size_t>(
-        std::min<int>(pop_size, static_cast<int>(combined.size()))));
-    population = std::move(combined);
-
-    ++generation;
-    if (callback) callback(archive.plans());
+    if (population_.empty()) return false;
+    RankPopulation(&population_);
+    mutation_probability_ =
+        config_.mutation_probability > 0.0
+            ? config_.mutation_probability
+            : 1.0 / GenomeLength(population_.front().genome);
+    initialized_ = true;
+    return true;
   }
-  return archive.plans();
+
+  // One generation. Variation: produce pop_size offspring.
+  std::vector<Individual> combined = population_;
+  combined.reserve(population_.size() * 2);
+  for (int i = 0; i < pop_size && !budget.Expired(); ++i) {
+    const Individual& p1 = Tournament(population_, rng());
+    const Individual& p2 = Tournament(population_, rng());
+    Individual child;
+    child.genome = rng()->Bernoulli(config_.crossover_probability)
+                       ? Crossover(p1.genome, p2.genome, rng())
+                       : p1.genome;
+    Mutate(&child.genome, mutation_probability_, rng());
+    child.plan = DecodeGenome(child.genome, factory());
+    archive_.Insert(child.plan);
+    combined.push_back(std::move(child));
+  }
+
+  // Elitist (mu + lambda) survival with crowding truncation.
+  RankPopulation(&combined);
+  std::stable_sort(combined.begin(), combined.end(),
+                   [](const Individual& a, const Individual& b) {
+                     if (a.rank != b.rank) return a.rank < b.rank;
+                     return a.crowding > b.crowding;
+                   });
+  combined.resize(static_cast<size_t>(
+      std::min<int>(pop_size, static_cast<int>(combined.size()))));
+  population_ = std::move(combined);
+
+  ++generation_;
+  return true;
 }
 
 }  // namespace moqo

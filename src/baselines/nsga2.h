@@ -7,12 +7,18 @@
 // with binary-tournament selection on (rank, crowding distance), elitist
 // (mu + lambda) survival, population 200. All evaluated plans feed a Pareto
 // archive that forms the anytime result set.
+//
+// The session's first Step() draws and ranks the initial population; every
+// later Step() is one generation. Population, archive, and generation
+// counter live in the session.
 #ifndef MOQO_BASELINES_NSGA2_H_
 #define MOQO_BASELINES_NSGA2_H_
 
+#include <memory>
 #include <vector>
 
 #include "core/optimizer.h"
+#include "pareto/pareto_archive.h"
 
 namespace moqo {
 
@@ -37,6 +43,14 @@ struct Nsga2Genome {
   std::vector<int> join_ops;   // size n-1
 };
 
+/// One individual of the evolving population.
+struct Nsga2Individual {
+  Nsga2Genome genome;
+  PlanPtr plan;
+  int rank = 0;
+  double crowding = 0.0;
+};
+
 /// Fast non-dominated sort: returns the front index (0 = best) of each cost
 /// vector. Exposed for unit tests.
 std::vector<int> FastNonDominatedSort(const std::vector<CostVector>& costs);
@@ -52,6 +66,35 @@ PlanPtr DecodeGenome(const Nsga2Genome& genome, PlanFactory* factory);
 /// Draws a uniformly random valid genome for the factory's query.
 Nsga2Genome RandomGenome(PlanFactory* factory, Rng* rng);
 
+/// One incremental NSGA-II run; Step() = population init, then one
+/// generation per step.
+class Nsga2Session : public OptimizerSession {
+ public:
+  explicit Nsga2Session(Nsga2Config config = Nsga2Config())
+      : config_(config) {}
+
+  std::vector<PlanPtr> Frontier() const override { return archive_.plans(); }
+  bool Done() const override {
+    // An empty population can never evolve: the run produces nothing
+    // (matching the blocking implementation's early exit).
+    if (config_.population_size <= 0) return true;
+    return initialized_ && config_.max_generations > 0 &&
+           generation_ >= config_.max_generations;
+  }
+
+ protected:
+  void OnBegin() override;
+  bool DoStep(const Deadline& budget) override;
+
+ private:
+  Nsga2Config config_;
+  ParetoArchive archive_;
+  std::vector<Nsga2Individual> population_;
+  double mutation_probability_ = 0.0;
+  int generation_ = 0;
+  bool initialized_ = false;
+};
+
 /// The NSGA-II optimizer.
 class Nsga2 : public Optimizer {
  public:
@@ -59,9 +102,9 @@ class Nsga2 : public Optimizer {
 
   std::string name() const override { return "NSGA-II"; }
 
-  std::vector<PlanPtr> Optimize(PlanFactory* factory, Rng* rng,
-                                const Deadline& deadline,
-                                const AnytimeCallback& callback) override;
+  std::unique_ptr<OptimizerSession> NewSession() const override {
+    return std::make_unique<Nsga2Session>(config_);
+  }
 
  private:
   Nsga2Config config_;

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "pareto/pareto_archive.h"
 #include "plan/random_plan.h"
 #include "plan/transformations.h"
 
@@ -21,63 +20,54 @@ double AverageCost(const CostVector& c) {
   return sum / c.size();
 }
 
-std::vector<PlanPtr> SimulatedAnnealing::Optimize(
-    PlanFactory* factory, Rng* rng, const Deadline& deadline,
-    const AnytimeCallback& callback) {
-  ParetoArchive archive;
+void SaSession::OnBegin() {
+  archive_.Clear();
+  current_ =
+      config_.start_plan ? config_.start_plan : RandomPlan(factory(), rng());
+  archive_.Insert(current_);
+  temperature_ =
+      config_.initial_temperature_factor * AverageCost(current_->cost());
+  stage_length_ = config_.stage_length_factor * current_->NodeCount();
+  stage_step_ = 0;
+  epochs_ = 0;
+}
 
-  PlanPtr current =
-      config_.start_plan ? config_.start_plan : RandomPlan(factory, rng);
-  archive.Insert(current);
-  if (callback) callback(archive.plans());
-
-  double temperature =
-      config_.initial_temperature_factor * AverageCost(current->cost());
-  int stage_length = config_.stage_length_factor * current->NodeCount();
-  int stage_step = 0;
-  int64_t steps_since_callback = 0;
+bool SaSession::DoStep(const Deadline& budget) {
   bool archive_dirty = false;
-
-  while (!deadline.Expired()) {
-    PlanPtr neighbor = RandomNeighbor(current, factory, rng);
+  for (int move = 0; move < kSaMovesPerEpoch && !budget.Expired(); ++move) {
+    PlanPtr neighbor = RandomNeighbor(current_, factory(), rng());
     if (neighbor != nullptr) {
-      double delta = AverageDelta(current->cost(), neighbor->cost());
+      double delta = AverageDelta(current_->cost(), neighbor->cost());
       if (config_.normalize_delta) {
-        delta /= std::max(AverageCost(current->cost()), 1e-12);
+        delta /= std::max(AverageCost(current_->cost()), 1e-12);
       }
       bool accept =
-          delta <= 0.0 || rng->Bernoulli(std::exp(-delta / temperature));
+          delta <= 0.0 || rng()->Bernoulli(std::exp(-delta / temperature_));
       if (accept) {
-        current = std::move(neighbor);
-        archive_dirty |= archive.Insert(current);
+        current_ = std::move(neighbor);
+        archive_dirty |= archive_.Insert(current_);
       }
     }
 
-    if (++stage_step >= stage_length) {
-      stage_step = 0;
-      temperature *= config_.cooling;
+    if (++stage_step_ >= stage_length_) {
+      stage_step_ = 0;
+      temperature_ *= config_.cooling;
       double scale = config_.normalize_delta
                          ? 1.0
-                         : std::max(AverageCost(current->cost()), 1.0);
-      if (temperature < config_.frozen_fraction * scale) {
+                         : std::max(AverageCost(current_->cost()), 1.0);
+      if (temperature_ < config_.frozen_fraction * scale) {
         // Frozen: restart the chain from a fresh random plan so the
         // algorithm remains anytime over long deadlines.
-        current = RandomPlan(factory, rng);
-        archive_dirty |= archive.Insert(current);
-        temperature =
+        current_ = RandomPlan(factory(), rng());
+        archive_dirty |= archive_.Insert(current_);
+        temperature_ =
             config_.initial_temperature_factor *
-            (config_.normalize_delta ? 1.0 : AverageCost(current->cost()));
+            (config_.normalize_delta ? 1.0 : AverageCost(current_->cost()));
       }
     }
-
-    if (++steps_since_callback >= 64) {
-      steps_since_callback = 0;
-      if (archive_dirty && callback) callback(archive.plans());
-      archive_dirty = false;
-    }
   }
-  if (archive_dirty && callback) callback(archive.plans());
-  return archive.plans();
+  ++epochs_;
+  return archive_dirty;
 }
 
 }  // namespace moqo

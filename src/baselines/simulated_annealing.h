@@ -10,6 +10,11 @@
 // plan's cost). Every accepted plan is offered to a Pareto archive, which
 // forms the anytime result set.
 //
+// One session Step() is one "epoch" of kSaMovesPerEpoch proposed moves
+// (the cadence at which the pre-redesign implementation reported frontier
+// updates). The chain state (current plan, temperature, stage counters)
+// lives in the session.
+//
 // Note: with plan costs spanning many orders of magnitude, the
 // absolute-delta acceptance rule makes SA behave like a random walk until
 // the temperature drops below the cost scale — the paper observes exactly
@@ -19,9 +24,16 @@
 #ifndef MOQO_BASELINES_SIMULATED_ANNEALING_H_
 #define MOQO_BASELINES_SIMULATED_ANNEALING_H_
 
+#include <memory>
+
 #include "core/optimizer.h"
+#include "pareto/pareto_archive.h"
 
 namespace moqo {
+
+/// Proposed moves per session step (and per callback batch of the blocking
+/// wrapper).
+inline constexpr int kSaMovesPerEpoch = 64;
 
 /// Configuration for the SA baseline (defaults follow SAIO).
 struct SaConfig {
@@ -43,6 +55,34 @@ struct SaConfig {
   /// Optional fixed start plan (used by two-phase optimization); when null
   /// a random plan is drawn.
   PlanPtr start_plan;
+  /// Stop after this many epochs of kSaMovesPerEpoch moves (0 = until
+  /// deadline). Gives stepped runs a deterministic end.
+  int max_epochs = 0;
+};
+
+/// One incremental SA run; each Step() is one epoch of proposed moves.
+class SaSession : public OptimizerSession {
+ public:
+  explicit SaSession(SaConfig config = SaConfig())
+      : config_(std::move(config)) {}
+
+  std::vector<PlanPtr> Frontier() const override { return archive_.plans(); }
+  bool Done() const override {
+    return config_.max_epochs > 0 && epochs_ >= config_.max_epochs;
+  }
+
+ protected:
+  void OnBegin() override;
+  bool DoStep(const Deadline& budget) override;
+
+ private:
+  SaConfig config_;
+  ParetoArchive archive_;
+  PlanPtr current_;
+  double temperature_ = 0.0;
+  int stage_length_ = 0;
+  int stage_step_ = 0;
+  int epochs_ = 0;
 };
 
 /// Simulated annealing with Pareto archiving.
@@ -53,9 +93,9 @@ class SimulatedAnnealing : public Optimizer {
 
   std::string name() const override { return "SA"; }
 
-  std::vector<PlanPtr> Optimize(PlanFactory* factory, Rng* rng,
-                                const Deadline& deadline,
-                                const AnytimeCallback& callback) override;
+  std::unique_ptr<OptimizerSession> NewSession() const override {
+    return std::make_unique<SaSession>(config_);
+  }
 
  private:
   SaConfig config_;

@@ -2,9 +2,7 @@
 
 #include <cmath>
 
-#include "baselines/simulated_annealing.h"
 #include "core/pareto_climb.h"
-#include "pareto/pareto_archive.h"
 #include "plan/random_plan.h"
 
 namespace moqo {
@@ -20,45 +18,58 @@ double LogCostSum(const CostVector& c) {
 
 }  // namespace
 
-std::vector<PlanPtr> TwoPhase::Optimize(PlanFactory* factory, Rng* rng,
-                                        const Deadline& deadline,
-                                        const AnytimeCallback& callback) {
-  ParetoArchive archive;
+void TwoPhaseSession::OnBegin() {
+  archive_.Clear();
+  champion_ = nullptr;
+  phase_one_done_ = 0;
+  sa_session_ = nullptr;
+}
 
-  // Phase one: a few iterations of iterative improvement. Following
-  // Steinbrunn et al., only the best plan of the phase survives (2P is
-  // built on the assumption that a single very good plan is the goal —
-  // which is exactly why the paper finds it ill-suited for frontier
-  // approximation).
-  PlanPtr champion;
-  for (int it = 0;
-       it < config_.phase_one_iterations && !deadline.Expired(); ++it) {
+std::vector<PlanPtr> TwoPhaseSession::Frontier() const {
+  // During phase one the champion is the only result so far (it enters the
+  // shared archive the moment phase one completes).
+  if (sa_session_ == nullptr) {
+    if (champion_ == nullptr) return {};
+    if (archive_.empty()) return {champion_};
+  }
+  return archive_.plans();
+}
+
+bool TwoPhaseSession::DoStep(const Deadline& budget) {
+  if (sa_session_ == nullptr) {
+    // Phase one: one II restart per step. Following Steinbrunn et al.,
+    // only the best plan of the phase survives (2P is built on the
+    // assumption that a single very good plan is the goal — which is
+    // exactly why the paper finds it ill-suited for frontier
+    // approximation).
     PlanPtr opt =
-        ParetoClimb(RandomPlan(factory, rng), factory, nullptr, deadline);
-    if (champion == nullptr ||
-        LogCostSum(opt->cost()) < LogCostSum(champion->cost())) {
-      champion = opt;
+        ParetoClimb(RandomPlan(factory(), rng()), factory(), nullptr, budget);
+    if (champion_ == nullptr ||
+        LogCostSum(opt->cost()) < LogCostSum(champion_->cost())) {
+      champion_ = opt;
+    }
+    if (++phase_one_done_ < config_.phase_one_iterations) return false;
+
+    // Phase one complete: archive the champion and seed phase two.
+    archive_.Insert(champion_);
+    SaConfig sa_config;
+    sa_config.initial_temperature_factor = config_.phase_two_temperature;
+    sa_config.start_plan = champion_;
+    sa_config.max_epochs = config_.max_phase_two_epochs;
+    sa_session_ = std::make_unique<SaSession>(std::move(sa_config));
+    sa_session_->Begin(factory(), rng());
+    return true;
+  }
+
+  // Phase two: one SA epoch, then merge its frontier into the shared
+  // archive (the champion may dominate SA plans and vice versa).
+  bool changed = sa_session_->Step(budget);
+  if (changed) {
+    for (PlanPtr& p : sa_session_->Frontier()) {
+      changed |= archive_.Insert(std::move(p));
     }
   }
-  if (champion == nullptr) return archive.plans();
-  archive.Insert(champion);
-  if (callback) callback(archive.plans());
-  if (deadline.Expired()) return archive.plans();
-
-  // Phase two: simulated annealing seeded with the phase-one champion.
-  SaConfig sa_config;
-  sa_config.initial_temperature_factor = config_.phase_two_temperature;
-  sa_config.start_plan = champion;
-  SimulatedAnnealing sa(sa_config);
-  std::vector<PlanPtr> sa_result = sa.Optimize(
-      factory, rng, deadline, [&](const std::vector<PlanPtr>& frontier) {
-        // Merge SA's frontier into the shared archive for the callback.
-        bool changed = false;
-        for (const PlanPtr& p : frontier) changed |= archive.Insert(p);
-        if (changed && callback) callback(archive.plans());
-      });
-  for (PlanPtr& p : sa_result) archive.Insert(std::move(p));
-  return archive.plans();
+  return changed;
 }
 
 }  // namespace moqo

@@ -7,10 +7,19 @@
 // multi-objective generalization shares the archives of both phases; the
 // phase-one "best" plan is the archived plan with the lowest sum of
 // log-costs (a scale-balanced scalarization).
+//
+// Session stepping: each phase-one Step() is one II restart; the step that
+// completes phase one crowns the champion and seeds the embedded SA
+// session; every later Step() is one SA epoch whose frontier is merged
+// into the shared archive.
 #ifndef MOQO_BASELINES_TWO_PHASE_H_
 #define MOQO_BASELINES_TWO_PHASE_H_
 
+#include <memory>
+
+#include "baselines/simulated_annealing.h"
 #include "core/optimizer.h"
+#include "pareto/pareto_archive.h"
 
 namespace moqo {
 
@@ -21,6 +30,36 @@ struct TwoPhaseConfig {
   /// Phase-two initial temperature as a multiple of the champion's average
   /// cost (low: phase-one plans are already good).
   double phase_two_temperature = 0.1;
+  /// Stop after this many SA epochs in phase two (0 = until deadline).
+  int max_phase_two_epochs = 0;
+};
+
+/// One incremental 2P run (II restarts, then SA epochs).
+class TwoPhaseSession : public OptimizerSession {
+ public:
+  explicit TwoPhaseSession(TwoPhaseConfig config = TwoPhaseConfig())
+      : config_(config) {}
+
+  std::vector<PlanPtr> Frontier() const override;
+  bool Done() const override {
+    // No phase-one restarts means no champion to seed phase two: the run
+    // produces nothing (matching the blocking implementation's behavior
+    // for this degenerate configuration).
+    if (config_.phase_one_iterations <= 0) return true;
+    return sa_session_ != nullptr && sa_session_->Done();
+  }
+
+ protected:
+  void OnBegin() override;
+  bool DoStep(const Deadline& budget) override;
+
+ private:
+  TwoPhaseConfig config_;
+  ParetoArchive archive_;
+  PlanPtr champion_;
+  int phase_one_done_ = 0;
+  /// Non-null once phase two has begun.
+  std::unique_ptr<SaSession> sa_session_;
 };
 
 /// Two-phase optimization: II then SA.
@@ -31,9 +70,9 @@ class TwoPhase : public Optimizer {
 
   std::string name() const override { return "2P"; }
 
-  std::vector<PlanPtr> Optimize(PlanFactory* factory, Rng* rng,
-                                const Deadline& deadline,
-                                const AnytimeCallback& callback) override;
+  std::unique_ptr<OptimizerSession> NewSession() const override {
+    return std::make_unique<TwoPhaseSession>(config_);
+  }
 
  private:
   TwoPhaseConfig config_;

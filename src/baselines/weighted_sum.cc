@@ -3,7 +3,6 @@
 #include <cmath>
 #include <vector>
 
-#include "pareto/pareto_archive.h"
 #include "plan/random_plan.h"
 #include "plan/transformations.h"
 
@@ -50,57 +49,54 @@ PlanPtr ScalarClimb(PlanPtr plan, const std::vector<double>& weights,
 
 }  // namespace
 
-std::vector<PlanPtr> WeightedSum::Optimize(PlanFactory* factory, Rng* rng,
-                                           const Deadline& deadline,
-                                           const AnytimeCallback& callback) {
-  const int l = factory->cost_model().NumMetrics();
-  ParetoArchive archive;
+void WeightedSumSession::OnBegin() {
+  archive_.Clear();
+  weight_vectors_.clear();
+  next_weight_ = 0;
+  climbs_ = 0;
+  const int l = factory()->cost_model().NumMetrics();
 
   // Weight sweep: axis extremes first (pure per-metric optima), then
-  // random simplex points. The sweep repeats with fresh random starts
+  // random simplex points. The sweep cycles with fresh random starts
   // until the deadline, so the baseline is anytime like the others.
-  std::vector<std::vector<double>> weight_vectors;
   for (int axis = 0; axis < l; ++axis) {
     std::vector<double> w(static_cast<size_t>(l), 0.05);
     w[static_cast<size_t>(axis)] = 1.0;
-    weight_vectors.push_back(std::move(w));
+    weight_vectors_.push_back(std::move(w));
   }
-  while (static_cast<int>(weight_vectors.size()) <
+  while (static_cast<int>(weight_vectors_.size()) <
          config_.num_weight_vectors) {
     std::vector<double> w(static_cast<size_t>(l));
     double total = 0.0;
     for (double& v : w) {
-      v = -std::log(std::max(rng->Uniform01(), 1e-12));  // Dirichlet(1)
+      v = -std::log(std::max(rng()->Uniform01(), 1e-12));  // Dirichlet(1)
       total += v;
     }
     for (double& v : w) v /= total;
-    weight_vectors.push_back(std::move(w));
+    weight_vectors_.push_back(std::move(w));
   }
 
   // Fix per-metric normalizers from a sample of random plans so the
   // scalarization stays linear during every climb.
-  std::vector<double> norms(static_cast<size_t>(l), 0.0);
+  norms_.assign(static_cast<size_t>(l), 0.0);
   for (int s = 0; s < 8; ++s) {
-    PlanPtr sample = RandomPlan(factory, rng);
+    PlanPtr sample = RandomPlan(factory(), rng());
     for (int i = 0; i < l; ++i) {
       double c = sample->cost()[i];
       size_t idx = static_cast<size_t>(i);
-      norms[idx] = norms[idx] == 0.0 ? c : std::min(norms[idx], c);
+      norms_[idx] = norms_[idx] == 0.0 ? c : std::min(norms_[idx], c);
     }
   }
-  for (double& n : norms) n = std::max(n, 1.0);
+  for (double& n : norms_) n = std::max(n, 1.0);
+}
 
-  while (!deadline.Expired()) {
-    for (const std::vector<double>& weights : weight_vectors) {
-      if (deadline.Expired()) break;
-      PlanPtr plan = RandomPlan(factory, rng);
-      plan = ScalarClimb(std::move(plan), weights, norms, factory, deadline);
-      if (archive.Insert(std::move(plan)) && callback) {
-        callback(archive.plans());
-      }
-    }
-  }
-  return archive.plans();
+bool WeightedSumSession::DoStep(const Deadline& budget) {
+  const std::vector<double>& weights = weight_vectors_[next_weight_];
+  next_weight_ = (next_weight_ + 1) % weight_vectors_.size();
+  PlanPtr plan = RandomPlan(factory(), rng());
+  plan = ScalarClimb(std::move(plan), weights, norms_, factory(), budget);
+  ++climbs_;
+  return archive_.Insert(std::move(plan));
 }
 
 }  // namespace moqo

@@ -9,10 +9,18 @@
 // cost, archiving the best plans. Points of the Pareto frontier that lie
 // inside the convex hull are unreachable by construction, so its alpha
 // error is bounded away from 1 on non-convex frontiers.
+//
+// One session Step() is one climb under the next weight vector of the
+// (cyclic) sweep; the weight vectors and per-metric normalizers are fixed
+// in Begin().
 #ifndef MOQO_BASELINES_WEIGHTED_SUM_H_
 #define MOQO_BASELINES_WEIGHTED_SUM_H_
 
+#include <memory>
+#include <vector>
+
 #include "core/optimizer.h"
+#include "pareto/pareto_archive.h"
 
 namespace moqo {
 
@@ -21,6 +29,33 @@ struct WeightedSumConfig {
   /// Number of weight vectors swept (uniform over the simplex, plus the
   /// axis-aligned extremes).
   int num_weight_vectors = 16;
+  /// Stop after this many climbs, i.e. weight-vector visits (0 = until
+  /// deadline). Gives stepped runs a deterministic end.
+  int max_climbs = 0;
+};
+
+/// One incremental weighted-sum run; each Step() is one scalarized climb.
+class WeightedSumSession : public OptimizerSession {
+ public:
+  explicit WeightedSumSession(WeightedSumConfig config = WeightedSumConfig())
+      : config_(config) {}
+
+  std::vector<PlanPtr> Frontier() const override { return archive_.plans(); }
+  bool Done() const override {
+    return config_.max_climbs > 0 && climbs_ >= config_.max_climbs;
+  }
+
+ protected:
+  void OnBegin() override;
+  bool DoStep(const Deadline& budget) override;
+
+ private:
+  WeightedSumConfig config_;
+  ParetoArchive archive_;
+  std::vector<std::vector<double>> weight_vectors_;
+  std::vector<double> norms_;
+  size_t next_weight_ = 0;
+  int climbs_ = 0;
 };
 
 /// Weighted-sum scalarization with per-weight hill climbing.
@@ -31,9 +66,9 @@ class WeightedSum : public Optimizer {
 
   std::string name() const override { return "WeightedSum"; }
 
-  std::vector<PlanPtr> Optimize(PlanFactory* factory, Rng* rng,
-                                const Deadline& deadline,
-                                const AnytimeCallback& callback) override;
+  std::unique_ptr<OptimizerSession> NewSession() const override {
+    return std::make_unique<WeightedSumSession>(config_);
+  }
 
  private:
   WeightedSumConfig config_;

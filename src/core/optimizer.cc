@@ -1,0 +1,29 @@
+#include "core/optimizer.h"
+
+namespace moqo {
+
+std::vector<PlanPtr> RunSession(OptimizerSession* session,
+                                const Deadline& deadline,
+                                const AnytimeCallback& callback) {
+  if (callback) {
+    // Sessions whose Begin() already produces a result (e.g. SA archiving
+    // its start plan) report it before the first step, mirroring the
+    // pre-redesign blocking implementations.
+    std::vector<PlanPtr> initial = session->Frontier();
+    if (!initial.empty()) callback(initial);
+  }
+  while (!session->Done() && !deadline.Expired()) {
+    if (session->Step(deadline) && callback) callback(session->Frontier());
+  }
+  return session->Frontier();
+}
+
+std::vector<PlanPtr> Optimizer::Optimize(
+    PlanFactory* factory, Rng* rng, const Deadline& deadline,
+    const AnytimeCallback& callback) const {
+  std::unique_ptr<OptimizerSession> session = NewSession();
+  session->Begin(factory, rng);
+  return RunSession(session.get(), deadline, callback);
+}
+
+}  // namespace moqo

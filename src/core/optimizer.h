@@ -1,14 +1,33 @@
 // Common interface for all anytime multi-objective query optimizers.
 //
 // Every algorithm in this repository (RMQ and the baselines of Section 6.1)
-// implements Optimizer: given a plan factory (query + cost model), a seeded
-// RNG, and a deadline, it incrementally produces an approximation of the
-// Pareto plan set and reports frontier updates through a callback so the
-// evaluation harness can measure approximation quality over time.
+// is exposed through two layers:
+//
+//  * OptimizerSession — the incremental core. A session binds to one query
+//    (PlanFactory) and one seeded Rng, then advances through repeated
+//    Step() calls, each running one bounded work slice (one RMQ iteration,
+//    one NSGA-II generation, one SA epoch, ...). The current result
+//    frontier can be read between any two steps, which is exactly the
+//    anytime-interruptibility contract the paper's Section 6 evaluation
+//    relies on, and what lets a service multiplex many open queries over
+//    few threads.
+//
+//  * Optimizer — a stateless, reusable description of an algorithm (name +
+//    configuration). It mints sessions via NewSession() and offers the
+//    classic blocking Optimize() call as a thin wrapper that loops Step()
+//    until the deadline expires or the session is done.
+//
+// Determinism: a session's step sequence depends only on its configuration
+// and the Rng handed to Begin(). As long as the per-step budget never
+// expires (iteration-bounded runs), stepping a session produces a frontier
+// bitwise identical to the blocking Optimize() call with the same seed —
+// regardless of how steps are interleaved with other sessions.
 #ifndef MOQO_CORE_OPTIMIZER_H_
 #define MOQO_CORE_OPTIMIZER_H_
 
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,12 +37,84 @@
 
 namespace moqo {
 
-/// Invoked by optimizers whenever their current result plan set may have
-/// changed. The vector holds the current non-dominated plans for the full
-/// query. Implementations must not retain references beyond the call.
+/// Invoked by the blocking Optimize() wrapper whenever the current result
+/// plan set may have changed. The vector holds the current non-dominated
+/// plans for the full query. Implementations must not retain references
+/// beyond the call.
 using AnytimeCallback = std::function<void(const std::vector<PlanPtr>&)>;
 
-/// An anytime multi-objective query optimization algorithm.
+/// Generic counters every session maintains; algorithm-specific sessions
+/// expose richer typed stats on top (e.g. RmqSession::stats()).
+struct SessionStats {
+  /// Completed Step() calls since Begin().
+  int64_t steps = 0;
+};
+
+/// One incremental optimization run: query + RNG + all per-run mutable
+/// state. Sessions are single-threaded objects; to serve many queries
+/// concurrently, open one session per query (see service/).
+class OptimizerSession {
+ public:
+  virtual ~OptimizerSession() = default;
+
+  /// Binds the session to a query and RNG and resets all per-run state.
+  /// Cheap setup work that the blocking algorithms performed before their
+  /// main loop (e.g. drawing SA's start plan) happens here, so it is
+  /// charged to the session even if Step() is never called.
+  void Begin(PlanFactory* factory, Rng* rng) {
+    factory_ = factory;
+    rng_ = rng;
+    session_stats_ = SessionStats();
+    OnBegin();
+  }
+
+  /// Runs one bounded work slice and returns true if the result frontier
+  /// may have changed. `budget` caps wall-clock time spent inside the
+  /// slice: long-running primitives (hill climbs, DP lattice sweeps) poll
+  /// it and cut work short when it expires, which trades bitwise
+  /// determinism for latency exactly like the blocking deadline did. Pass
+  /// the default never-expiring Deadline for deterministic
+  /// iteration-bounded stepping. Returns false (doing nothing) once the
+  /// session is Done().
+  bool Step(const Deadline& budget = Deadline()) {
+    if (Done()) return false;
+    bool changed = DoStep(budget);
+    ++session_stats_.steps;
+    return changed;
+  }
+
+  /// The current non-dominated plans for the full query; empty if nothing
+  /// complete has been produced yet.
+  virtual std::vector<PlanPtr> Frontier() const = 0;
+
+  /// True once the session has exhausted its configured work (iteration /
+  /// generation bounds, or DP completion). Unbounded anytime algorithms
+  /// never report Done.
+  virtual bool Done() const = 0;
+
+  /// Generic per-session counters (see algorithm sessions for typed ones).
+  const SessionStats& session_stats() const { return session_stats_; }
+
+ protected:
+  /// Resets algorithm state; factory()/rng() are valid when called.
+  virtual void OnBegin() = 0;
+
+  /// One work slice; only called while !Done().
+  virtual bool DoStep(const Deadline& budget) = 0;
+
+  PlanFactory* factory() const { return factory_; }
+  Rng* rng() const { return rng_; }
+
+ private:
+  PlanFactory* factory_ = nullptr;
+  Rng* rng_ = nullptr;
+  SessionStats session_stats_;
+};
+
+/// An anytime multi-objective query optimization algorithm. Optimizer
+/// objects hold configuration only — all per-run state lives in the
+/// sessions they mint — so one instance may be shared freely across
+/// threads and reused for any number of runs.
 class Optimizer {
  public:
   virtual ~Optimizer() = default;
@@ -31,14 +122,27 @@ class Optimizer {
   /// Short display name, e.g. "RMQ", "NSGA-II", "DP(2)".
   virtual std::string name() const = 0;
 
-  /// Optimizes the factory's query until `deadline` expires, invoking
-  /// `callback` (if set) on frontier updates. Returns the final set of
-  /// non-dominated plans for the full query; empty if the algorithm
-  /// produced no complete plan within the deadline.
+  /// Creates a fresh unbound session for this algorithm/configuration.
+  virtual std::unique_ptr<OptimizerSession> NewSession() const = 0;
+
+  /// Blocking convenience: optimizes the factory's query until `deadline`
+  /// expires or the session reports Done, invoking `callback` (if set) on
+  /// frontier updates. Implemented as NewSession + Begin + RunSession.
+  /// Returns the final set of non-dominated plans for the full query;
+  /// empty if the algorithm produced no complete plan within the deadline.
   virtual std::vector<PlanPtr> Optimize(PlanFactory* factory, Rng* rng,
                                         const Deadline& deadline,
-                                        const AnytimeCallback& callback) = 0;
+                                        const AnytimeCallback& callback) const;
 };
+
+/// Drives an already-Begin()-ed session to completion: loops Step(deadline)
+/// until the session is Done or the deadline expires, invoking `callback`
+/// after Begin (if the frontier is already non-empty) and after every
+/// frontier-changing step. Returns the final frontier. Use this instead of
+/// Optimizer::Optimize when you need the session afterwards (typed stats).
+std::vector<PlanPtr> RunSession(OptimizerSession* session,
+                                const Deadline& deadline,
+                                const AnytimeCallback& callback = nullptr);
 
 }  // namespace moqo
 

@@ -21,58 +21,65 @@ std::string Rmq::name() const {
   return n;
 }
 
-double Rmq::AlphaFor(int iteration) const {
-  if (config_.fixed_alpha >= 1.0) return config_.fixed_alpha;
-  return AlphaForIteration(iteration, config_.alpha_start,
-                           config_.alpha_decay, config_.alpha_step);
+double RmqAlphaFor(const RmqConfig& config, int iteration) {
+  if (config.fixed_alpha >= 1.0) return config.fixed_alpha;
+  return AlphaForIteration(iteration, config.alpha_start, config.alpha_decay,
+                           config.alpha_step);
 }
 
-std::vector<PlanPtr> Rmq::Optimize(PlanFactory* factory, Rng* rng,
-                                   const Deadline& deadline,
-                                   const AnytimeCallback& callback) {
+void RmqSession::OnBegin() {
   stats_ = RmqStats();
-  PlanCache cache;
-  const TableSet all = factory->query().AllTables();
+  cache_.Clear();
+  all_ = factory()->query().AllTables();
+  next_iteration_ = 1;
+}
 
-  int i = 1;
-  while (!deadline.Expired() &&
-         (config_.max_iterations == 0 || i <= config_.max_iterations)) {
-    if (!config_.share_cache && i > 1) {
-      // Ablation: forget partial plans between iterations, but keep the
-      // result plans for the full query so the output is still anytime.
-      std::vector<PlanPtr> results = cache.Lookup(all);
-      double alpha = AlphaFor(i);
-      cache.Clear();
-      for (PlanPtr& p : results) cache.Insert(all, std::move(p), alpha);
-    }
+bool RmqSession::Done() const {
+  return config_.max_iterations > 0 &&
+         next_iteration_ > config_.max_iterations;
+}
 
-    // Step 1: random plan from the configured join-order space.
-    PlanPtr plan = config_.plan_space == PlanSpace::kLeftDeep
-                       ? RandomLeftDeepPlan(factory, rng)
-                       : RandomPlan(factory, rng);
+std::vector<PlanPtr> RmqSession::Frontier() const {
+  return cache_.Lookup(all_);
+}
 
-    // Step 2: fast multi-objective hill climbing.
-    PlanPtr opt_plan = plan;
-    if (config_.use_climb) {
-      ClimbStats climb;
-      opt_plan =
-          ParetoClimb(plan, factory, &climb, deadline, config_.plan_space);
-      stats_.path_lengths.push_back(climb.steps);
-    }
-
-    // Step 3: approximate the Pareto frontiers of all intermediate results
-    // of the locally optimal plan, sharing partial plans via the cache.
-    stats_.frontier_insertions +=
-        ApproximateFrontiers(opt_plan, &cache, AlphaFor(i), factory);
-
-    ++stats_.iterations;
-    if (callback) callback(cache.Lookup(all));
-    ++i;
+bool RmqSession::DoStep(const Deadline& budget) {
+  const int i = next_iteration_;
+  if (!config_.share_cache && i > 1) {
+    // Ablation: forget partial plans between iterations, but keep the
+    // result plans for the full query so the output is still anytime.
+    std::vector<PlanPtr> results = cache_.Lookup(all_);
+    double alpha = RmqAlphaFor(config_, i);
+    cache_.Clear();
+    for (PlanPtr& p : results) cache_.Insert(all_, std::move(p), alpha);
   }
 
-  std::vector<PlanPtr> result = cache.Lookup(all);
-  stats_.final_frontier_size = result.size();
-  return result;
+  // Step 1: random plan from the configured join-order space.
+  PlanPtr plan = config_.plan_space == PlanSpace::kLeftDeep
+                     ? RandomLeftDeepPlan(factory(), rng())
+                     : RandomPlan(factory(), rng());
+
+  // Step 2: fast multi-objective hill climbing.
+  PlanPtr opt_plan = plan;
+  if (config_.use_climb) {
+    ClimbStats climb;
+    opt_plan =
+        ParetoClimb(plan, factory(), &climb, budget, config_.plan_space);
+    stats_.path_lengths.push_back(climb.steps);
+  }
+
+  // Step 3: approximate the Pareto frontiers of all intermediate results
+  // of the locally optimal plan, sharing partial plans via the cache.
+  stats_.frontier_insertions += ApproximateFrontiers(
+      opt_plan, &cache_, RmqAlphaFor(config_, i), factory());
+
+  ++stats_.iterations;
+  stats_.final_frontier_size = cache_.Lookup(all_).size();
+  ++next_iteration_;
+  // The cache almost always absorbs new (partial) plans, and the paper's
+  // harness re-scores the frontier after every iteration; report a
+  // potential change unconditionally.
+  return true;
 }
 
 }  // namespace moqo

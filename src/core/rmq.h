@@ -9,9 +9,14 @@
 // precision alpha is refined over iterations, so a coarse approximation of
 // the whole frontier appears quickly and converges toward the exact Pareto
 // set as time passes.
+//
+// RmqSession exposes the algorithm incrementally: one Step() is one RMQ
+// iteration, and the plan cache plus all run counters live in the session,
+// so Rmq objects are stateless and shareable.
 #ifndef MOQO_CORE_RMQ_H_
 #define MOQO_CORE_RMQ_H_
 
+#include <memory>
 #include <vector>
 
 #include "core/optimizer.h"
@@ -46,15 +51,43 @@ struct RmqConfig {
   int max_iterations = 0;
 };
 
-/// Counters accumulated over one Optimize call.
+/// Counters accumulated over one session (one run).
 struct RmqStats {
   int iterations = 0;
   /// Climbing path lengths, one entry per iteration (Figure 3, left).
   std::vector<int> path_lengths;
   /// Total plans constructed during frontier approximation.
   int64_t frontier_insertions = 0;
-  /// Final result frontier size (Figure 3, right).
+  /// Result frontier size after the most recent iteration (Figure 3,
+  /// right).
   size_t final_frontier_size = 0;
+};
+
+/// Approximation factor used in iteration `iteration` under `config`
+/// (fixed override or the paper's schedule).
+double RmqAlphaFor(const RmqConfig& config, int iteration);
+
+/// One incremental RMQ run; each Step() is one Algorithm-1 iteration.
+class RmqSession : public OptimizerSession {
+ public:
+  explicit RmqSession(RmqConfig config = RmqConfig()) : config_(config) {}
+
+  std::vector<PlanPtr> Frontier() const override;
+  bool Done() const override;
+
+  /// Statistics of this run so far.
+  const RmqStats& stats() const { return stats_; }
+
+ protected:
+  void OnBegin() override;
+  bool DoStep(const Deadline& budget) override;
+
+ private:
+  RmqConfig config_;
+  RmqStats stats_;
+  PlanCache cache_;
+  TableSet all_;
+  int next_iteration_ = 1;
 };
 
 /// The paper's algorithm (called "RMQ" in Sections 5 and 6).
@@ -64,20 +97,18 @@ class Rmq : public Optimizer {
 
   std::string name() const override;
 
-  std::vector<PlanPtr> Optimize(PlanFactory* factory, Rng* rng,
-                                const Deadline& deadline,
-                                const AnytimeCallback& callback) override;
-
-  /// Statistics of the most recent Optimize call.
-  const RmqStats& stats() const { return stats_; }
+  std::unique_ptr<OptimizerSession> NewSession() const override {
+    return std::make_unique<RmqSession>(config_);
+  }
 
   /// Approximation factor used in the given iteration (schedule or fixed
   /// override). Exposed for tests.
-  double AlphaFor(int iteration) const;
+  double AlphaFor(int iteration) const {
+    return RmqAlphaFor(config_, iteration);
+  }
 
  private:
   RmqConfig config_;
-  RmqStats stats_;
 };
 
 }  // namespace moqo

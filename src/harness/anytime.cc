@@ -47,4 +47,16 @@ std::vector<CostVector> AnytimeRecorder::FinalFrontier() const {
                             : snapshots_.back().frontier;
 }
 
+std::vector<PlanPtr> StepAndRecord(OptimizerSession* session,
+                                   const Deadline& deadline,
+                                   AnytimeRecorder* recorder) {
+  // RunSession invokes the callback between steps, so every snapshot lands
+  // on an exact work-slice boundary; the trailing record covers sessions
+  // whose last steps reported no change (Record dedups if it did).
+  std::vector<PlanPtr> frontier =
+      RunSession(session, deadline, recorder->MakeCallback());
+  recorder->RecordFinal(frontier);
+  return frontier;
+}
+
 }  // namespace moqo

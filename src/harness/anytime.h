@@ -3,9 +3,14 @@
 // The paper compares algorithms "in terms of how well they approximate the
 // Pareto frontier after a certain amount of optimization time" (Section
 // 6.1), measuring quality at regular intervals. AnytimeRecorder timestamps
-// every frontier update an optimizer reports; after the run, the frontier
+// frontier snapshots during one optimizer run; after the run, the frontier
 // that was current at any checkpoint can be replayed and scored against a
 // reference frontier.
+//
+// With the incremental session API the harness drives the optimizer itself
+// (StepAndRecord): it samples the frontier between steps, so snapshot
+// timestamps are exact work-slice boundaries instead of whatever moments a
+// blocking optimizer chose to invoke its callback.
 #ifndef MOQO_HARNESS_ANYTIME_H_
 #define MOQO_HARNESS_ANYTIME_H_
 
@@ -29,14 +34,14 @@ class AnytimeRecorder {
  public:
   AnytimeRecorder() = default;
 
-  /// Resets the clock; call immediately before Optimizer::Optimize.
+  /// Resets the clock; call immediately before the run starts.
   void Start() { watch_.Restart(); }
 
-  /// Callback to hand to Optimizer::Optimize.
+  /// Callback to hand to the blocking Optimizer::Optimize wrapper.
   AnytimeCallback MakeCallback();
 
   /// Records a final snapshot from the returned plan set (covers optimizers
-  /// that return without a trailing callback).
+  /// that return without a trailing frontier change).
   void RecordFinal(const std::vector<PlanPtr>& plans);
 
   /// All snapshots in chronological order.
@@ -55,6 +60,15 @@ class AnytimeRecorder {
   Stopwatch watch_;
   std::vector<FrontierSnapshot> snapshots_;
 };
+
+/// Drives an already-Begin()-ed session until it is Done or `deadline`
+/// expires, recording a snapshot into `recorder` after Begin (if the
+/// frontier is already non-empty) and after every frontier-changing step.
+/// Call recorder->Start() immediately before Begin so snapshot timestamps
+/// cover setup work. Returns the final frontier (also recorded).
+std::vector<PlanPtr> StepAndRecord(OptimizerSession* session,
+                                   const Deadline& deadline,
+                                   AnytimeRecorder* recorder);
 
 }  // namespace moqo
 

@@ -55,17 +55,18 @@ CaseResult RunOneCase(const ExperimentConfig& config,
   CostModel cost_model(SampleMetrics(config.num_metrics, &gen_rng));
   PlanFactory factory(query, &cost_model);
 
-  // Run every algorithm on the same query with its own RNG and recorder.
+  // Run every algorithm on the same query with its own RNG and recorder,
+  // stepping the session so every snapshot lands on an exact work-slice
+  // boundary.
   std::vector<AnytimeRecorder> recorders(algorithms.size());
   for (size_t a = 0; a < algorithms.size(); ++a) {
-    std::unique_ptr<Optimizer> optimizer = algorithms[a].make();
+    std::unique_ptr<OptimizerSession> session =
+        algorithms[a].make()->NewSession();
     Rng alg_rng(CombineSeed(case_seed, 0x5eed, a));
     recorders[a].Start();
-    std::vector<PlanPtr> final_plans =
-        optimizer->Optimize(&factory, &alg_rng,
-                            Deadline::AfterMillis(config.timeout_ms),
-                            recorders[a].MakeCallback());
-    recorders[a].RecordFinal(final_plans);
+    Deadline deadline = Deadline::AfterMillis(config.timeout_ms);
+    session->Begin(&factory, &alg_rng);
+    StepAndRecord(session.get(), deadline, &recorders[a]);
   }
 
   // Build the reference frontier.

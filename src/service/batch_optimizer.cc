@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <sstream>
 #include <thread>
 #include <utility>
@@ -96,15 +97,37 @@ BatchReport BatchOptimizer::Run(const std::vector<BatchTask>& tasks) {
     pool.Wait();
   }
   report.wall_millis = wall.ElapsedMillis();
-
-  for (const BatchTaskResult& task : report.tasks) {
-    report.total_frontier += task.frontier.size();
-    report.max_frontier = std::max(report.max_frontier, task.frontier.size());
-  }
-  report.mean_frontier =
-      static_cast<double>(report.total_frontier) /
-      static_cast<double>(report.tasks.size());
+  report.Aggregate();
   return report;
+}
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  q = std::min(1.0, std::max(0.0, q));
+  // Nearest-rank: the smallest value such that at least q of the sample is
+  // at or below it.
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(values.size())));
+  if (rank > 0) --rank;
+  return values[rank];
+}
+
+void BatchReport::Aggregate() {
+  total_frontier = 0;
+  max_frontier = 0;
+  std::vector<double> optimize_times;
+  optimize_times.reserve(tasks.size());
+  for (const BatchTaskResult& task : tasks) {
+    total_frontier += task.frontier.size();
+    max_frontier = std::max(max_frontier, task.frontier.size());
+    optimize_times.push_back(task.optimize_millis);
+  }
+  mean_frontier = tasks.empty() ? 0.0
+                                : static_cast<double>(total_frontier) /
+                                      static_cast<double>(tasks.size());
+  p50_optimize_millis = Percentile(optimize_times, 0.50);
+  p95_optimize_millis = Percentile(optimize_times, 0.95);
 }
 
 std::string BatchReport::Summary() const {
@@ -112,7 +135,9 @@ std::string BatchReport::Summary() const {
   out << "batch: " << tasks.size() << " tasks on " << num_threads
       << " thread(s), wall " << wall_millis << " ms\n"
       << "frontiers: total " << total_frontier << ", mean " << mean_frontier
-      << ", max " << max_frontier << "\n";
+      << ", max " << max_frontier << "\n"
+      << "optimize_millis: p50 " << p50_optimize_millis << ", p95 "
+      << p95_optimize_millis << "\n";
   return out.str();
 }
 

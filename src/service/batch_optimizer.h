@@ -1,10 +1,12 @@
 // Batch optimization service: runs an anytime optimizer over many queries
-// concurrently on a fixed-size thread pool.
+// concurrently on a fixed-size thread pool, one task per worker until it
+// completes. For M-queries-over-N-threads multiplexing at step
+// granularity, see service/cooperative_scheduler.h.
 //
 // Determinism contract: every task owns an independent Rng seeded from
-// (master seed, task index), its own PlanFactory, and its own Optimizer
-// instance, so a task's result frontier depends only on its seed and
-// configuration — never on the number of worker threads or on how the
+// (master seed, task index), its own PlanFactory, and its own
+// OptimizerSession, so a task's result frontier depends only on its seed
+// and configuration — never on the number of worker threads or on how the
 // scheduler interleaves tasks. Running the same batch with 1 or 8 threads
 // yields bitwise-identical per-task frontiers as long as tasks are
 // iteration-bounded (wall-clock deadlines are inherently load-dependent).
@@ -32,8 +34,10 @@
 
 namespace moqo {
 
-/// Creates a fresh Optimizer per task. Optimizer implementations keep
-/// per-run statistics, so instances must not be shared across threads.
+/// Creates the Optimizer used for a task. Optimizer objects are stateless
+/// (all per-run state lives in the OptimizerSession they mint), so the
+/// factory may hand out a shared instance or a fresh one per call — the
+/// service only uses it to open one session per task.
 using OptimizerFactory = std::function<std::unique_ptr<Optimizer>()>;
 
 /// One optimization request in a batch.
@@ -62,10 +66,16 @@ struct BatchTaskResult {
   /// Result frontier in canonical (lexicographic) order, so two results can
   /// be compared bitwise.
   std::vector<CostVector> frontier;
-  /// Time until the optimizer returned, in milliseconds.
+  /// Time the task's optimizer actually ran, in milliseconds. For
+  /// cooperative runs this sums the task's slices, excluding time spent
+  /// waiting for its next turn.
   double optimize_millis = 0.0;
-  /// Total slot occupancy (>= optimize_millis under hold_full_window).
+  /// Completion latency (>= optimize_millis when the task held its slot
+  /// past the optimizer under hold_full_window, or waited between
+  /// cooperative slices).
   double elapsed_millis = 0.0;
+  /// Session steps executed (cooperative runs; 0 for blocking runs).
+  int64_t steps = 0;
   /// True if the task ran under a wall-clock deadline. Whether the window
   /// was met is judged by the caller from optimize_millis.
   bool had_deadline = false;
@@ -81,9 +91,22 @@ struct BatchReport {
   double mean_frontier = 0.0;
   size_t max_frontier = 0;
 
+  /// p50 / p95 of per-task optimize_millis (0 for an empty report).
+  double p50_optimize_millis = 0.0;
+  double p95_optimize_millis = 0.0;
+
+  /// Recomputes the aggregate fields (frontier totals, percentiles) from
+  /// `tasks`. Run() calls this; schedulers producing their own reports can
+  /// reuse it.
+  void Aggregate();
+
   /// Human-readable multi-line summary.
   std::string Summary() const;
 };
+
+/// Nearest-rank percentile of `values`, q in [0, 1]; 0 when empty.
+/// Exposed for tests and report code.
+double Percentile(std::vector<double> values, double q);
 
 /// Comparison of a parallel run against a single-thread reference run.
 struct BatchComparison {

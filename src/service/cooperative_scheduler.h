@@ -1,0 +1,68 @@
+// Cooperative query multiplexing: M open optimizer sessions round-robin
+// over N worker threads, M >> N.
+//
+// The batch service (batch_optimizer.h) runs each query to completion on
+// one worker — a query admitted behind 63 others waits for a full slot.
+// The cooperative scheduler instead opens an OptimizerSession per query
+// and interleaves them: a worker picks the next ready session from a FIFO
+// ready queue, advances it by a fixed number of steps (one slice), and
+// requeues it. Every in-flight query therefore makes progress at slice
+// granularity, bounding per-query latency by roughly
+// total_work / num_threads instead of queue position.
+//
+// Determinism contract (same as the batch service): every task owns an
+// independent Rng seeded from (master seed, task index), its own
+// PlanFactory, and its own session, and a session's step sequence depends
+// only on that seed and configuration. Interleaving and thread count
+// affect only timing, so iteration-bounded tasks produce frontiers
+// bitwise identical to a single-thread — or blocking — reference run.
+//
+// Deadline contract: a task's wall-clock deadline starts when Run() admits
+// the batch. Each slice passes the task's deadline down as the step
+// budget, so a climb mid-slice is cut short exactly as in blocking mode;
+// a task whose deadline has expired is finalized with the frontier it has.
+#ifndef MOQO_SERVICE_COOPERATIVE_SCHEDULER_H_
+#define MOQO_SERVICE_COOPERATIVE_SCHEDULER_H_
+
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "service/batch_optimizer.h"
+
+namespace moqo {
+
+/// Configuration for one CooperativeScheduler instance.
+struct CooperativeConfig {
+  /// Worker threads serving all open sessions.
+  int num_threads = 1;
+  /// Cost metrics every task is optimized under.
+  std::vector<Metric> metrics = {Metric::kTime, Metric::kBuffer};
+  /// Session steps per scheduling slice: how far a query advances before
+  /// yielding its worker. Larger slices amortize scheduling overhead;
+  /// smaller slices tighten the interleaving (clamped to >= 1).
+  int steps_per_slice = 1;
+};
+
+/// Runs many optimization tasks as interleaved sessions on a thread pool.
+class CooperativeScheduler {
+ public:
+  CooperativeScheduler(CooperativeConfig config,
+                       OptimizerFactory make_optimizer);
+
+  /// Opens one session per task, multiplexes them to completion (session
+  /// Done or task deadline expired), and aggregates the results. Task i of
+  /// the returned report corresponds to tasks[i]; BatchTaskResult::steps
+  /// holds the executed session steps and elapsed_millis the completion
+  /// latency since admission. An empty batch returns an empty report.
+  BatchReport Run(const std::vector<BatchTask>& tasks);
+
+  const CooperativeConfig& config() const { return config_; }
+
+ private:
+  CooperativeConfig config_;
+  OptimizerFactory make_optimizer_;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_SERVICE_COOPERATIVE_SCHEDULER_H_

@@ -184,6 +184,17 @@ TEST(TwoPhaseTest, PhaseOneChampionIsGood) {
   EXPECT_LE(best, random_sums[10]);
 }
 
+TEST(TwoPhaseTest, ZeroPhaseOneIterationsProducesNothing) {
+  // No phase-one restarts -> no champion -> no phase two; the session is
+  // immediately Done, so the unbounded-deadline call must not spin.
+  Fixture fx(5);
+  TwoPhaseConfig config;
+  config.phase_one_iterations = 0;
+  TwoPhase tp(config);
+  Rng rng(14);
+  EXPECT_TRUE(tp.Optimize(&fx.factory, &rng, Deadline(), nullptr).empty());
+}
+
 TEST(TwoPhaseTest, RespectsVeryShortDeadline) {
   Fixture fx(30);
   TwoPhase tp;

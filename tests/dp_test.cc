@@ -38,6 +38,24 @@ std::vector<CostVector> Costs(const std::vector<PlanPtr>& plans) {
   return out;
 }
 
+// Runs one DP session to completion (or deadline) and reports whether the
+// full lattice was processed.
+struct DpRun {
+  std::vector<PlanPtr> plans;
+  bool finished = false;
+};
+
+DpRun RunDp(const DpConfig& config, PlanFactory* factory, uint64_t seed,
+            const Deadline& deadline = Deadline()) {
+  DpSession session(config);
+  Rng rng(seed);
+  session.Begin(factory, &rng);
+  DpRun run;
+  run.plans = RunSession(&session, deadline);
+  run.finished = session.finished();
+  return run;
+}
+
 TEST(DpTest, Names) {
   DpConfig config;
   config.alpha = 2.0;
@@ -81,12 +99,9 @@ TEST(DpTest, AlphaGuaranteeHolds) {
   for (double alpha : {1.5, 2.0, 10.0, 1000.0}) {
     DpConfig config;
     config.alpha = alpha;
-    DpOptimizer dp(config);
-    Rng rng(2);
-    std::vector<PlanPtr> plans =
-        dp.Optimize(&fx.factory, &rng, Deadline(), nullptr);
-    ASSERT_TRUE(dp.finished());
-    double err = AlphaError(Costs(plans), exact);
+    DpRun run = RunDp(config, &fx.factory, 2);
+    ASSERT_TRUE(run.finished);
+    double err = AlphaError(Costs(run.plans), exact);
     EXPECT_LE(err, alpha * 1.0001) << "DP(" << alpha << ")";
   }
 }
@@ -123,13 +138,10 @@ TEST(DpTest, GivesUpBeyondMaxTables) {
   DpConfig config;
   config.alpha = 2.0;
   config.max_tables = 20;
-  DpOptimizer dp(config);
-  Rng rng(5);
   Stopwatch watch;
-  std::vector<PlanPtr> plans =
-      dp.Optimize(&fx.factory, &rng, Deadline::AfterMillis(200), nullptr);
-  EXPECT_TRUE(plans.empty());
-  EXPECT_FALSE(dp.finished());
+  DpRun run = RunDp(config, &fx.factory, 5, Deadline::AfterMillis(200));
+  EXPECT_TRUE(run.plans.empty());
+  EXPECT_FALSE(run.finished);
   EXPECT_LT(watch.ElapsedMillis(), 100.0);  // immediate give-up
 }
 
@@ -137,13 +149,10 @@ TEST(DpTest, DeadlineAbortsMidSearch) {
   Fixture fx(14, 3);
   DpConfig config;
   config.alpha = 1.0;  // exact: way too slow for 14 tables
-  DpOptimizer dp(config);
-  Rng rng(6);
   Stopwatch watch;
-  std::vector<PlanPtr> plans =
-      dp.Optimize(&fx.factory, &rng, Deadline::AfterMillis(100), nullptr);
-  EXPECT_TRUE(plans.empty());
-  EXPECT_FALSE(dp.finished());
+  DpRun run = RunDp(config, &fx.factory, 6, Deadline::AfterMillis(100));
+  EXPECT_TRUE(run.plans.empty());
+  EXPECT_FALSE(run.finished);
   EXPECT_LT(watch.ElapsedMillis(), 5000.0);
 }
 
@@ -194,12 +203,9 @@ TEST_P(DpSizeTest, FinishesAndCoversRandomPlans) {
   Fixture fx(GetParam(), 2);
   DpConfig config;
   config.alpha = 1.0;
-  DpOptimizer dp(config);
-  Rng rng(8);
-  std::vector<PlanPtr> plans =
-      dp.Optimize(&fx.factory, &rng, Deadline(), nullptr);
-  ASSERT_TRUE(dp.finished());
-  std::vector<CostVector> frontier = Costs(plans);
+  DpRun run = RunDp(config, &fx.factory, 8);
+  ASSERT_TRUE(run.finished);
+  std::vector<CostVector> frontier = Costs(run.plans);
   Rng sample_rng(9);
   for (int i = 0; i < 20; ++i) {
     PlanPtr p = RandomPlan(&fx.factory, &sample_rng);

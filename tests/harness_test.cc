@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <thread>
 
@@ -86,6 +87,62 @@ TEST(AnytimeRecorderTest, EmptyRecorder) {
   AnytimeRecorder recorder;
   EXPECT_TRUE(recorder.FinalFrontier().empty());
   EXPECT_TRUE(recorder.FrontierAt(1000000).empty());
+}
+
+TEST(AnytimeRecorderTest, FrontierAtBoundaries) {
+  Fixture fx;
+  AnytimeRecorder recorder;
+  recorder.Start();
+  Rng rng(6);
+  AnytimeCallback cb = recorder.MakeCallback();
+  // Ensure the first snapshot lands at a strictly positive timestamp so
+  // "before the first snapshot" is a reachable query.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  cb({RandomPlan(&fx.factory, &rng)});
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  cb({RandomPlan(&fx.factory, &rng), RandomPlan(&fx.factory, &rng)});
+  ASSERT_EQ(recorder.snapshots().size(), 2u);
+  int64_t t0 = recorder.snapshots()[0].elapsed_micros;
+  int64_t t1 = recorder.snapshots()[1].elapsed_micros;
+  ASSERT_GT(t0, 0);
+
+  // Before the first snapshot: nothing had been produced yet.
+  EXPECT_TRUE(recorder.FrontierAt(0).empty());
+  EXPECT_TRUE(recorder.FrontierAt(-1).empty());
+  EXPECT_TRUE(recorder.FrontierAt(t0 - 1).empty());
+  // Exactly at a snapshot timestamp: that snapshot is current.
+  EXPECT_EQ(recorder.FrontierAt(t0).size(), 1u);
+  EXPECT_EQ(recorder.FrontierAt(t1).size(), 2u);
+  // Past the last snapshot: the final frontier stays current.
+  EXPECT_EQ(recorder.FrontierAt(t1 + 1).size(), 2u);
+  EXPECT_EQ(recorder.FrontierAt(std::numeric_limits<int64_t>::max()).size(),
+            2u);
+}
+
+TEST(StepAndRecordTest, RecordsSliceBoundarySnapshots) {
+  Fixture fx;
+  RmqConfig config;
+  config.max_iterations = 5;
+  RmqSession session(config);
+  AnytimeRecorder recorder;
+  Rng rng(7);
+  recorder.Start();
+  session.Begin(&fx.factory, &rng);
+  std::vector<PlanPtr> final_plans =
+      StepAndRecord(&session, Deadline(), &recorder);
+
+  EXPECT_TRUE(session.Done());
+  ASSERT_FALSE(final_plans.empty());
+  ASSERT_FALSE(recorder.snapshots().empty());
+  // One snapshot per frontier-changing step at most, plus the final one.
+  EXPECT_LE(recorder.snapshots().size(), 6u);
+  // The recorded final frontier matches the returned plans.
+  EXPECT_EQ(recorder.FinalFrontier().size(), final_plans.size());
+  // Timestamps are non-decreasing slice boundaries.
+  for (size_t i = 1; i < recorder.snapshots().size(); ++i) {
+    EXPECT_LE(recorder.snapshots()[i - 1].elapsed_micros,
+              recorder.snapshots()[i].elapsed_micros);
+  }
 }
 
 TEST(SampleMetricsTest, SizesAndDistinctness) {

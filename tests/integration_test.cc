@@ -155,10 +155,11 @@ TEST(ConvergenceTest, RandomizedAlgorithmsApproachExactFrontier) {
 
 TEST(ScalabilityTest, RmqHandlesHundredTables) {
   Fixture fx(100, 3, 29, GraphType::kStar);
-  Rmq rmq;
+  RmqSession rmq;
   Rng rng(31);
+  rmq.Begin(&fx.factory, &rng);
   std::vector<PlanPtr> plans =
-      rmq.Optimize(&fx.factory, &rng, Deadline::AfterMillis(1500), nullptr);
+      RunSession(&rmq, Deadline::AfterMillis(1500));
   ASSERT_FALSE(plans.empty());
   EXPECT_GE(rmq.stats().iterations, 1);
   for (const PlanPtr& p : plans) {

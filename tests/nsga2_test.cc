@@ -191,6 +191,18 @@ TEST(Nsga2Test, CallbackPerGeneration) {
   EXPECT_EQ(calls, 5);
 }
 
+TEST(Nsga2Test, ZeroPopulationProducesNothing) {
+  // An empty population can never evolve; the session is immediately Done,
+  // so the unbounded-deadline call must not spin.
+  Fixture fx(4);
+  Nsga2Config config;
+  config.population_size = 0;
+  config.max_generations = 3;
+  Nsga2 nsga(config);
+  Rng rng(9);
+  EXPECT_TRUE(nsga.Optimize(&fx.factory, &rng, Deadline(), nullptr).empty());
+}
+
 TEST(Nsga2Test, HonorsDeadline) {
   Fixture fx(40);
   Nsga2 nsga;

@@ -54,11 +54,14 @@ TEST(RmqTest, IterationBudgetRespected) {
   Fixture fx(6);
   RmqConfig config;
   config.max_iterations = 7;
-  Rmq rmq(config);
+  RmqSession session(config);
   Rng rng(2);
-  rmq.Optimize(&fx.factory, &rng, Deadline(), nullptr);
-  EXPECT_EQ(rmq.stats().iterations, 7);
-  EXPECT_EQ(rmq.stats().path_lengths.size(), 7u);
+  session.Begin(&fx.factory, &rng);
+  RunSession(&session, Deadline());
+  EXPECT_TRUE(session.Done());
+  EXPECT_EQ(session.stats().iterations, 7);
+  EXPECT_EQ(session.stats().path_lengths.size(), 7u);
+  EXPECT_EQ(session.session_stats().steps, 7);
 }
 
 TEST(RmqTest, CallbackInvokedEveryIteration) {
@@ -132,11 +135,11 @@ TEST(RmqTest, StatsPopulated) {
   Fixture fx(10, 3);
   RmqConfig config;
   config.max_iterations = 10;
-  Rmq rmq(config);
+  RmqSession session(config);
   Rng rng(7);
-  std::vector<PlanPtr> plans =
-      rmq.Optimize(&fx.factory, &rng, Deadline(), nullptr);
-  const RmqStats& stats = rmq.stats();
+  session.Begin(&fx.factory, &rng);
+  std::vector<PlanPtr> plans = RunSession(&session, Deadline());
+  const RmqStats& stats = session.stats();
   EXPECT_EQ(stats.iterations, 10);
   EXPECT_GT(stats.frontier_insertions, 0);
   EXPECT_EQ(stats.final_frontier_size, plans.size());
@@ -151,12 +154,13 @@ TEST(RmqTest, NoClimbVariantStillProducesPlans) {
   RmqConfig config;
   config.use_climb = false;
   config.max_iterations = 20;
-  Rmq rmq(config);
+  RmqSession session(config);
   Rng rng(8);
-  std::vector<PlanPtr> plans =
-      rmq.Optimize(&fx.factory, &rng, Deadline(), nullptr);
+  session.Begin(&fx.factory, &rng);
+  std::vector<PlanPtr> plans = RunSession(&session, Deadline());
   EXPECT_FALSE(plans.empty());
-  EXPECT_TRUE(rmq.stats().path_lengths.empty());  // no climbs recorded
+  // No climbs recorded.
+  EXPECT_TRUE(session.stats().path_lengths.empty());
 }
 
 TEST(RmqTest, NoCacheVariantStillProducesPlans) {
@@ -202,12 +206,13 @@ TEST(RmqTest, DeterministicForSameSeed) {
 
 TEST(RmqTest, ExpiredDeadlineYieldsEmptyResultGracefully) {
   Fixture fx(8);
-  Rmq rmq;
+  RmqSession session;
   Rng rng(12);
+  session.Begin(&fx.factory, &rng);
   std::vector<PlanPtr> plans =
-      rmq.Optimize(&fx.factory, &rng, Deadline::AfterMicros(0), nullptr);
+      RunSession(&session, Deadline::AfterMicros(0));
   EXPECT_TRUE(plans.empty());
-  EXPECT_EQ(rmq.stats().iterations, 0);
+  EXPECT_EQ(session.stats().iterations, 0);
 }
 
 class RmqScaleTest : public ::testing::TestWithParam<

@@ -1,0 +1,204 @@
+// Session-conformance suite: for every optimizer, a stepped session with a
+// fixed seed and iteration-bounded configuration must produce a frontier
+// bitwise identical to the blocking Optimize() call — the contract that
+// lets the service layer multiplex sessions without changing results.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/dp.h"
+#include "baselines/iterative_improvement.h"
+#include "baselines/nsga2.h"
+#include "baselines/simulated_annealing.h"
+#include "baselines/two_phase.h"
+#include "baselines/weighted_sum.h"
+#include "core/rmq.h"
+#include "query/generator.h"
+#include "service/batch_optimizer.h"
+
+namespace moqo {
+namespace {
+
+struct Fixture {
+  QueryPtr query;
+  CostModel model;
+  PlanFactory factory;
+
+  explicit Fixture(int tables, uint64_t seed = 42)
+      : query([&] {
+          Rng rng(seed);
+          GeneratorConfig config;
+          config.num_tables = tables;
+          return GenerateQuery(config, &rng);
+        }()),
+        model({Metric::kTime, Metric::kBuffer}),
+        factory(query, &model) {}
+};
+
+/// One iteration-bounded algorithm under test.
+struct BoundedAlgorithm {
+  std::string label;
+  std::function<std::unique_ptr<Optimizer>()> make;
+};
+
+// Every configuration bounds its own work (iterations / generations /
+// epochs / climbs; DP finishes the lattice), so sessions report Done()
+// without any deadline and both run modes are deterministic.
+std::vector<BoundedAlgorithm> AllBoundedAlgorithms() {
+  std::vector<BoundedAlgorithm> algorithms;
+  algorithms.push_back({"RMQ", [] {
+                          RmqConfig config;
+                          config.max_iterations = 25;
+                          return std::make_unique<Rmq>(config);
+                        }});
+  algorithms.push_back({"DP(2)", [] {
+                          DpConfig config;
+                          config.alpha = 2.0;
+                          return std::make_unique<DpOptimizer>(config);
+                        }});
+  algorithms.push_back({"NSGA-II", [] {
+                          Nsga2Config config;
+                          config.population_size = 30;
+                          config.max_generations = 5;
+                          return std::make_unique<Nsga2>(config);
+                        }});
+  algorithms.push_back({"SA", [] {
+                          SaConfig config;
+                          config.max_epochs = 20;
+                          return std::make_unique<SimulatedAnnealing>(config);
+                        }});
+  algorithms.push_back({"II", [] {
+                          IiConfig config;
+                          config.max_iterations = 10;
+                          return std::make_unique<IterativeImprovement>(
+                              config);
+                        }});
+  algorithms.push_back({"2P", [] {
+                          TwoPhaseConfig config;
+                          config.phase_one_iterations = 5;
+                          config.max_phase_two_epochs = 10;
+                          return std::make_unique<TwoPhase>(config);
+                        }});
+  algorithms.push_back({"WeightedSum", [] {
+                          WeightedSumConfig config;
+                          config.num_weight_vectors = 8;
+                          config.max_climbs = 10;
+                          return std::make_unique<WeightedSum>(config);
+                        }});
+  return algorithms;
+}
+
+void ExpectBitwiseEqual(const std::vector<CostVector>& a,
+                        const std::vector<CostVector>& b,
+                        const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size()) << label << " vector " << i;
+    for (int j = 0; j < a[i].size(); ++j) {
+      EXPECT_EQ(a[i][j], b[i][j])
+          << label << " vector " << i << " metric " << j;
+    }
+  }
+}
+
+class SessionConformanceTest
+    : public ::testing::TestWithParam<size_t> {};
+
+// The core conformance property: stepping a session until Done() yields
+// the same frontier as the blocking wrapper, bit for bit.
+TEST_P(SessionConformanceTest, SteppedEqualsBlocking) {
+  BoundedAlgorithm algorithm = AllBoundedAlgorithms()[GetParam()];
+  Fixture fx(6);
+  constexpr uint64_t kSeed = 2016;
+
+  Rng blocking_rng(kSeed);
+  std::vector<CostVector> blocking =
+      CanonicalFrontier(algorithm.make()->Optimize(
+          &fx.factory, &blocking_rng, Deadline(), nullptr));
+  ASSERT_FALSE(blocking.empty()) << algorithm.label;
+
+  std::unique_ptr<OptimizerSession> session =
+      algorithm.make()->NewSession();
+  Rng stepped_rng(kSeed);
+  session->Begin(&fx.factory, &stepped_rng);
+  int64_t steps = 0;
+  while (!session->Done()) {
+    session->Step();
+    ASSERT_LT(++steps, 100000) << algorithm.label << " never reports Done";
+  }
+  EXPECT_EQ(session->session_stats().steps, steps);
+  ExpectBitwiseEqual(CanonicalFrontier(session->Frontier()), blocking,
+                     algorithm.label);
+}
+
+// Interleaving independence: stepping two sessions alternately changes
+// neither result — the property cooperative multiplexing relies on.
+TEST_P(SessionConformanceTest, InterleavedSteppingMatchesSolo) {
+  BoundedAlgorithm algorithm = AllBoundedAlgorithms()[GetParam()];
+  Fixture fx_a(6, /*seed=*/42);
+  Fixture fx_b(7, /*seed=*/43);
+
+  auto solo = [&](Fixture* fx, uint64_t seed) {
+    std::unique_ptr<OptimizerSession> session =
+        algorithm.make()->NewSession();
+    Rng rng(seed);
+    session->Begin(&fx->factory, &rng);
+    while (!session->Done()) session->Step();
+    return CanonicalFrontier(session->Frontier());
+  };
+  std::vector<CostVector> solo_a = solo(&fx_a, 1);
+  std::vector<CostVector> solo_b = solo(&fx_b, 2);
+
+  std::unique_ptr<OptimizerSession> session_a =
+      algorithm.make()->NewSession();
+  std::unique_ptr<OptimizerSession> session_b =
+      algorithm.make()->NewSession();
+  Rng rng_a(1);
+  Rng rng_b(2);
+  session_a->Begin(&fx_a.factory, &rng_a);
+  session_b->Begin(&fx_b.factory, &rng_b);
+  while (!session_a->Done() || !session_b->Done()) {
+    session_a->Step();
+    session_b->Step();
+  }
+  ExpectBitwiseEqual(CanonicalFrontier(session_a->Frontier()), solo_a,
+                     algorithm.label + " (a)");
+  ExpectBitwiseEqual(CanonicalFrontier(session_b->Frontier()), solo_b,
+                     algorithm.label + " (b)");
+}
+
+// A session can be rewound and reused: Begin() resets all per-run state.
+TEST_P(SessionConformanceTest, BeginResetsSession) {
+  BoundedAlgorithm algorithm = AllBoundedAlgorithms()[GetParam()];
+  Fixture fx(6);
+
+  std::unique_ptr<OptimizerSession> session =
+      algorithm.make()->NewSession();
+  auto run = [&] {
+    Rng rng(7);
+    session->Begin(&fx.factory, &rng);
+    while (!session->Done()) session->Step();
+    return CanonicalFrontier(session->Frontier());
+  };
+  std::vector<CostVector> first = run();
+  std::vector<CostVector> second = run();
+  ExpectBitwiseEqual(first, second, algorithm.label);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, SessionConformanceTest,
+    ::testing::Range<size_t>(0, 7),
+    [](const ::testing::TestParamInfo<size_t>& info) {
+      std::string name = AllBoundedAlgorithms()[info.param].label;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace moqo
