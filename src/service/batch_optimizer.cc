@@ -23,6 +23,8 @@ bool LexLess(const CostVector& a, const CostVector& b) {
   return a.size() < b.size();
 }
 
+}  // namespace
+
 bool BitwiseEqual(const std::vector<CostVector>& a,
                   const std::vector<CostVector>& b) {
   if (a.size() != b.size()) return false;
@@ -34,8 +36,6 @@ bool BitwiseEqual(const std::vector<CostVector>& a,
   }
   return true;
 }
-
-}  // namespace
 
 std::vector<CostVector> CanonicalFrontier(const std::vector<PlanPtr>& plans) {
   std::vector<CostVector> frontier;
@@ -62,10 +62,18 @@ BatchTaskResult BatchOptimizer::RunOne(int index, const BatchTask& task,
   Deadline deadline = result.had_deadline
                           ? Deadline::AfterMicros(task.deadline_micros)
                           : Deadline();
-  std::vector<PlanPtr> plans =
-      optimizer->Optimize(&factory, &rng, deadline, nullptr);
+  // Drive a session directly (instead of the blocking Optimize() wrapper)
+  // so the report can record executed steps and the deadline-hit verdict.
+  std::unique_ptr<OptimizerSession> session = optimizer->NewSession();
+  session->Begin(&factory, &rng);
+  std::vector<PlanPtr> plans = RunSession(session.get(), deadline, nullptr);
+  // Sample expiry before post-processing: sorting the frontier must not
+  // turn a completion just inside the window into a recorded miss.
+  const bool expired = deadline.Expired();
   result.optimize_millis = watch.ElapsedMillis();
   result.frontier = CanonicalFrontier(plans);
+  result.steps = session->session_stats().steps;
+  result.deadline_hit = result.had_deadline && session->Done() && !expired;
 
   if (config_.hold_full_window && result.had_deadline) {
     int64_t remaining = deadline.RemainingMicros();
@@ -116,18 +124,28 @@ double Percentile(std::vector<double> values, double q) {
 void BatchReport::Aggregate() {
   total_frontier = 0;
   max_frontier = 0;
+  deadline_tasks = 0;
+  deadline_hits = 0;
   std::vector<double> optimize_times;
   optimize_times.reserve(tasks.size());
   for (const BatchTaskResult& task : tasks) {
     total_frontier += task.frontier.size();
     max_frontier = std::max(max_frontier, task.frontier.size());
     optimize_times.push_back(task.optimize_millis);
+    if (task.had_deadline) {
+      ++deadline_tasks;
+      if (task.deadline_hit) ++deadline_hits;
+    }
   }
   mean_frontier = tasks.empty() ? 0.0
                                 : static_cast<double>(total_frontier) /
                                       static_cast<double>(tasks.size());
   p50_optimize_millis = Percentile(optimize_times, 0.50);
   p95_optimize_millis = Percentile(optimize_times, 0.95);
+  deadline_hit_rate = deadline_tasks == 0
+                          ? 1.0
+                          : static_cast<double>(deadline_hits) /
+                                static_cast<double>(deadline_tasks);
 }
 
 std::string BatchReport::Summary() const {
@@ -138,6 +156,10 @@ std::string BatchReport::Summary() const {
       << ", max " << max_frontier << "\n"
       << "optimize_millis: p50 " << p50_optimize_millis << ", p95 "
       << p95_optimize_millis << "\n";
+  if (deadline_tasks > 0) {
+    out << "deadlines: " << deadline_hits << "/" << deadline_tasks
+        << " hit (" << 100.0 * deadline_hit_rate << "%)\n";
+  }
   return out.str();
 }
 

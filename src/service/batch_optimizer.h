@@ -70,15 +70,22 @@ struct BatchTaskResult {
   /// cooperative runs this sums the task's slices, excluding time spent
   /// waiting for its next turn.
   double optimize_millis = 0.0;
-  /// Completion latency (>= optimize_millis when the task held its slot
-  /// past the optimizer under hold_full_window, or waited between
-  /// cooperative slices).
+  /// Completion latency since admission (>= optimize_millis when the task
+  /// held its slot past the optimizer under hold_full_window, or waited
+  /// between cooperative slices).
   double elapsed_millis = 0.0;
-  /// Session steps executed (cooperative runs; 0 for blocking runs).
+  /// Milliseconds since scheduler start when the task was admitted. Always
+  /// ~0 for closed-batch runs, where every task is admitted up front; an
+  /// online scheduler stamps the actual Submit() time.
+  double admit_millis = 0.0;
+  /// Session steps executed since Begin().
   int64_t steps = 0;
-  /// True if the task ran under a wall-clock deadline. Whether the window
-  /// was met is judged by the caller from optimize_millis.
+  /// True if the task ran under a wall-clock deadline.
   bool had_deadline = false;
+  /// True if the task had a deadline and its session completed its
+  /// configured work (Done) before that deadline expired — the headline
+  /// service-level metric aggregated into BatchReport::deadline_hit_rate.
+  bool deadline_hit = false;
 };
 
 /// Aggregated outcome of one batch run.
@@ -95,6 +102,14 @@ struct BatchReport {
   double p50_optimize_millis = 0.0;
   double p95_optimize_millis = 0.0;
 
+  /// Tasks that ran under a wall-clock deadline, and how many of those
+  /// completed their configured work inside it.
+  size_t deadline_tasks = 0;
+  size_t deadline_hits = 0;
+  /// deadline_hits / deadline_tasks; 1.0 (vacuously) when no task had a
+  /// deadline.
+  double deadline_hit_rate = 1.0;
+
   /// Recomputes the aggregate fields (frontier totals, percentiles) from
   /// `tasks`. Run() calls this; schedulers producing their own reports can
   /// reuse it.
@@ -107,6 +122,12 @@ struct BatchReport {
 /// Nearest-rank percentile of `values`, q in [0, 1]; 0 when empty.
 /// Exposed for tests and report code.
 double Percentile(std::vector<double> values, double q);
+
+/// Element-wise equality of two canonical frontiers — the determinism
+/// check behind every "bitwise identical" verdict. Exposed for tests and
+/// bench code.
+bool BitwiseEqual(const std::vector<CostVector>& a,
+                  const std::vector<CostVector>& b);
 
 /// Comparison of a parallel run against a single-thread reference run.
 struct BatchComparison {

@@ -1,37 +1,9 @@
 #include "service/cooperative_scheduler.h"
 
 #include <algorithm>
-#include <functional>
-#include <memory>
 #include <utility>
 
-#include "common/deadline.h"
-#include "plan/plan_factory.h"
-#include "service/thread_pool.h"
-
 namespace moqo {
-
-namespace {
-
-/// All state of one in-flight query. Lives at a stable address for the
-/// whole run because the session keeps pointers to the factory and Rng.
-struct OpenQuery {
-  OpenQuery(int index_in, uint64_t seed, QueryPtr query,
-            const CostModel* model)
-      : index(index_in), rng(seed), factory(std::move(query), model) {}
-
-  const int index;
-  Rng rng;
-  PlanFactory factory;
-  std::unique_ptr<OptimizerSession> session;
-  Deadline deadline;
-  bool had_deadline = false;
-  bool begun = false;
-  /// Sum of slice durations so far (excludes ready-queue wait time).
-  double optimize_millis = 0.0;
-};
-
-}  // namespace
 
 CooperativeScheduler::CooperativeScheduler(CooperativeConfig config,
                                            OptimizerFactory make_optimizer)
@@ -39,69 +11,24 @@ CooperativeScheduler::CooperativeScheduler(CooperativeConfig config,
       make_optimizer_(std::move(make_optimizer)) {}
 
 BatchReport CooperativeScheduler::Run(const std::vector<BatchTask>& tasks) {
-  BatchReport report;
-  report.num_threads = std::max(1, config_.num_threads);
-  report.tasks.resize(tasks.size());
-  if (tasks.empty()) return report;
-  const int slice_steps = std::max(1, config_.steps_per_slice);
-
-  Stopwatch wall;
-  CostModel model(config_.metrics);
-
-  // Admission: every task gets its session and (if any) its wall-clock
-  // deadline now, before the workers start.
-  std::vector<std::unique_ptr<OpenQuery>> queries;
-  queries.reserve(tasks.size());
-  for (size_t i = 0; i < tasks.size(); ++i) {
-    auto q = std::make_unique<OpenQuery>(static_cast<int>(i), tasks[i].seed,
-                                         tasks[i].query, &model);
-    q->session = make_optimizer_()->NewSession();
-    q->had_deadline = tasks[i].deadline_micros > 0;
-    q->deadline = q->had_deadline
-                      ? Deadline::AfterMicros(tasks[i].deadline_micros)
-                      : Deadline();
-    queries.push_back(std::move(q));
+  if (tasks.empty()) {
+    BatchReport report;
+    report.num_threads = std::max(1, config_.num_threads);
+    return report;
   }
 
-  {
-    ThreadPool pool(report.num_threads);
-    // One pool task = one slice; an unfinished query requeues itself, so
-    // the FIFO queue round-robins all open sessions.
-    std::function<void(OpenQuery*)> slice = [&](OpenQuery* q) {
-      Stopwatch slice_watch;
-      if (!q->begun) {
-        q->session->Begin(&q->factory, &q->rng);
-        q->begun = true;
-      }
-      for (int s = 0; s < slice_steps && !q->session->Done() &&
-                      !q->deadline.Expired();
-           ++s) {
-        q->session->Step(q->deadline);
-      }
-      q->optimize_millis += slice_watch.ElapsedMillis();
+  OnlineConfig online;
+  online.num_threads = config_.num_threads;
+  online.metrics = config_.metrics;
+  online.steps_per_slice = config_.steps_per_slice;
+  online.policy = config_.policy;
 
-      if (q->session->Done() || q->deadline.Expired()) {
-        BatchTaskResult* slot =
-            &report.tasks[static_cast<size_t>(q->index)];
-        slot->index = q->index;
-        slot->frontier = CanonicalFrontier(q->session->Frontier());
-        slot->optimize_millis = q->optimize_millis;
-        slot->elapsed_millis = wall.ElapsedMillis();
-        slot->steps = q->session->session_stats().steps;
-        slot->had_deadline = q->had_deadline;
-      } else {
-        pool.Submit([&slice, q] { slice(q); });
-      }
-    };
-    for (std::unique_ptr<OpenQuery>& q : queries) {
-      OpenQuery* raw = q.get();
-      pool.Submit([&slice, raw] { slice(raw); });
-    }
-    pool.Wait();
-  }
-  report.wall_millis = wall.ElapsedMillis();
-  report.Aggregate();
-  return report;
+  // Closed batch = admit everything up front (arming each task's deadline
+  // at its Submit), then start the workers and run the backlog dry.
+  OnlineScheduler service(online, make_optimizer_);
+  for (const BatchTask& task : tasks) service.Submit(task);
+  service.Start();
+  return service.Stop();
 }
 
 }  // namespace moqo

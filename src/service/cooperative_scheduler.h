@@ -1,26 +1,41 @@
-// Cooperative query multiplexing: M open optimizer sessions round-robin
-// over N worker threads, M >> N.
+// Cooperative query multiplexing: M open optimizer sessions interleaved
+// over N worker threads, M >> N — the closed-batch convenience wrapper
+// around the online service in online_scheduler.h.
 //
 // The batch service (batch_optimizer.h) runs each query to completion on
 // one worker — a query admitted behind 63 others waits for a full slot.
 // The cooperative scheduler instead opens an OptimizerSession per query
-// and interleaves them: a worker picks the next ready session from a FIFO
-// ready queue, advances it by a fixed number of steps (one slice), and
-// requeues it. Every in-flight query therefore makes progress at slice
-// granularity, bounding per-query latency by roughly
+// and interleaves them: a worker picks the next ready session under the
+// configured SchedulingPolicy, advances it by a fixed number of steps (one
+// slice), and requeues it. Every in-flight query therefore makes progress
+// at slice granularity, bounding per-query latency by roughly
 // total_work / num_threads instead of queue position.
 //
-// Determinism contract (same as the batch service): every task owns an
-// independent Rng seeded from (master seed, task index), its own
-// PlanFactory, and its own session, and a session's step sequence depends
-// only on that seed and configuration. Interleaving and thread count
-// affect only timing, so iteration-bounded tasks produce frontiers
-// bitwise identical to a single-thread — or blocking — reference run.
+// Run(tasks) is now a thin wrapper over OnlineScheduler: it submits every
+// task (admission order = task order), starts the workers, and stops the
+// service once all tasks have completed. Callers that need *online*
+// admission — submitting tasks while the workers are already running,
+// per-task futures, back-pressure — use OnlineScheduler directly.
 //
-// Deadline contract: a task's wall-clock deadline starts when Run() admits
-// the batch. Each slice passes the task's deadline down as the step
-// budget, so a climb mid-slice is cut short exactly as in blocking mode;
-// a task whose deadline has expired is finalized with the frontier it has.
+// Determinism contract (same as the batch service, preserved under online
+// admission): every task owns an independent Rng seeded from (master seed,
+// submission index), its own PlanFactory, and its own session, and a
+// session's step sequence depends only on that seed and configuration.
+// Interleaving, thread count, and scheduling policy affect only timing, so
+// iteration-bounded tasks produce frontiers bitwise identical to a
+// single-thread — or blocking — reference run under kFifo and
+// kEarliestDeadlineFirst alike.
+//
+// Deadline contract: a task's wall-clock deadline starts at admission —
+// when Run() submits the batch, or when Submit() admits the task on the
+// online path — so queueing delay counts against the window. Each slice
+// passes the task's deadline down as the step budget, so a climb mid-slice
+// is cut short exactly as in blocking mode; a task whose deadline has
+// expired is finalized with the frontier it has, and the report records
+// whether each deadline task completed its configured work in time
+// (BatchTaskResult::deadline_hit, BatchReport::deadline_hit_rate). A
+// deadline-aware policy changes *which* tasks finish inside their windows,
+// never the bits of the frontiers they produce.
 #ifndef MOQO_SERVICE_COOPERATIVE_SCHEDULER_H_
 #define MOQO_SERVICE_COOPERATIVE_SCHEDULER_H_
 
@@ -28,6 +43,7 @@
 
 #include "cost/cost_model.h"
 #include "service/batch_optimizer.h"
+#include "service/online_scheduler.h"
 
 namespace moqo {
 
@@ -41,9 +57,12 @@ struct CooperativeConfig {
   /// yielding its worker. Larger slices amortize scheduling overhead;
   /// smaller slices tighten the interleaving (clamped to >= 1).
   int steps_per_slice = 1;
+  /// Ready-queue order; see SchedulingPolicy (online_scheduler.h).
+  SchedulingPolicy policy = SchedulingPolicy::kFifo;
 };
 
-/// Runs many optimization tasks as interleaved sessions on a thread pool.
+/// Runs a closed batch of optimization tasks as interleaved sessions on a
+/// thread pool. Thin wrapper over OnlineScheduler.
 class CooperativeScheduler {
  public:
   CooperativeScheduler(CooperativeConfig config,

@@ -1,0 +1,250 @@
+#include "service/online_scheduler.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "plan/plan_factory.h"
+
+namespace moqo {
+
+/// All state of one admitted query. Lives at a stable address (behind a
+/// unique_ptr) until finalization because the session keeps pointers to
+/// the factory and Rng, and is only ever touched by the thread currently
+/// holding it: the submitter before it enters the ready queue, then exactly
+/// one worker per slice. Hand-offs go through mu_.
+struct OnlineScheduler::OpenQuery {
+  OpenQuery(const BatchTask& task, const CostModel* model)
+      : rng(task.seed), factory(task.query, model) {}
+
+  int index = -1;  // submission index == result slot
+  Rng rng;
+  PlanFactory factory;
+  std::unique_ptr<OptimizerSession> session;
+  Deadline deadline;
+  bool had_deadline = false;
+  /// Admission-relative absolute deadline (micros since epoch_); the EDF
+  /// ready-queue key. Unused for deadline-free tasks.
+  int64_t deadline_key_micros = 0;
+  int64_t admit_micros = 0;
+  bool begun = false;
+  /// Sum of slice durations so far (excludes ready-queue wait time).
+  double optimize_millis = 0.0;
+  std::promise<BatchTaskResult> promise;
+};
+
+OnlineScheduler::OnlineScheduler(OnlineConfig config,
+                                 OptimizerFactory make_optimizer)
+    : config_(std::move(config)),
+      make_optimizer_(std::move(make_optimizer)),
+      model_(config_.metrics) {}
+
+OnlineScheduler::~OnlineScheduler() {
+  bool stopped;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopped = stopping_;
+  }
+  if (!stopped) Stop();
+}
+
+void OnlineScheduler::Start() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  int n = std::max(1, config_.num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+std::optional<std::future<BatchTaskResult>> OnlineScheduler::Submit(
+    const BatchTask& task) {
+  // Build the expensive per-task state (factory, session) outside the lock;
+  // the factory callback is user code and must not run under mu_.
+  auto owned = std::make_unique<OpenQuery>(task, &model_);
+  owned->session = make_optimizer_()->NewSession();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopping_) return std::nullopt;
+  if (config_.max_open > 0 && open_ >= config_.max_open) {
+    if (config_.admission == AdmissionPolicy::kReject) return std::nullopt;
+    admit_cv_.wait(lock, [this] {
+      return stopping_ || open_ < config_.max_open;
+    });
+    if (stopping_) return std::nullopt;
+  }
+
+  OpenQuery* q = owned.get();
+  q->index = static_cast<int>(queries_.size());
+  q->had_deadline = task.deadline_micros > 0;
+  q->admit_micros = epoch_.ElapsedMicros();
+  if (q->had_deadline) {
+    // The deadline starts at admission: queueing delay counts against it.
+    q->deadline = Deadline::AfterMicros(task.deadline_micros);
+    q->deadline_key_micros = q->admit_micros + task.deadline_micros;
+  }
+  std::future<BatchTaskResult> ticket = q->promise.get_future();
+  queries_.push_back(std::move(owned));
+  results_.emplace_back();
+  ++open_;
+  ready_.push(MakeReadyItem(q));
+  lock.unlock();
+  work_cv_.notify_one();
+  return ticket;
+}
+
+void OnlineScheduler::Drain() {
+  Start();
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return open_ == 0; });
+}
+
+BatchReport OnlineScheduler::Stop() {
+  Drain();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+    stop_workers_ = true;
+  }
+  work_cv_.notify_all();
+  admit_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  BatchReport report;
+  report.num_threads = std::max(1, config_.num_threads);
+  report.tasks = std::move(results_);
+  results_.clear();
+  report.wall_millis = epoch_.ElapsedMillis();
+  report.Aggregate();
+  return report;
+}
+
+size_t OnlineScheduler::open_count() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return open_;
+}
+
+size_t OnlineScheduler::submitted_count() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return queries_.size();
+}
+
+OnlineScheduler::ReadyItem OnlineScheduler::MakeReadyItem(OpenQuery* query) {
+  ReadyItem item;
+  item.seq = seq_++;
+  item.query = query;
+  switch (config_.policy) {
+    case SchedulingPolicy::kFifo:
+      item.primary = 0.0;
+      break;
+    case SchedulingPolicy::kEarliestDeadlineFirst:
+      item.primary = query->had_deadline
+                         ? static_cast<double>(query->deadline_key_micros)
+                         : std::numeric_limits<double>::infinity();
+      break;
+    case SchedulingPolicy::kSlackWeighted:
+      if (!query->had_deadline) {
+        item.primary = std::numeric_limits<double>::infinity();
+      } else {
+        double remaining =
+            static_cast<double>(query->deadline.RemainingMicros());
+        double steps =
+            static_cast<double>(query->session->session_stats().steps);
+        item.primary = remaining / (1.0 + steps);
+      }
+      break;
+  }
+  return item;
+}
+
+void OnlineScheduler::Finalize(OpenQuery* query, BatchTaskResult result,
+                               std::exception_ptr error) {
+  BatchTaskResult& slot = results_[static_cast<size_t>(query->index)];
+  slot = result;
+  if (!config_.retain_frontiers) {
+    slot.frontier.clear();
+    slot.frontier.shrink_to_fit();
+  }
+  if (error) {
+    query->promise.set_exception(error);
+  } else {
+    query->promise.set_value(std::move(result));
+  }
+  queries_[static_cast<size_t>(query->index)].reset();
+  --open_;
+  admit_cv_.notify_one();
+  if (open_ == 0) drain_cv_.notify_all();
+}
+
+void OnlineScheduler::WorkerLoop() {
+  const int slice_steps = std::max(1, config_.steps_per_slice);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_workers_ || !ready_.empty(); });
+    // Even when stopping, drain what is ready: a requeued slice must finish
+    // its task so that every admitted task's promise is fulfilled.
+    if (ready_.empty()) return;
+    OpenQuery* q = ready_.top().query;
+    ready_.pop();
+    lock.unlock();
+
+    // Run one slice without the lock; this worker owns `q` exclusively
+    // until it is requeued or finalized.
+    bool finished = false;
+    std::exception_ptr error;
+    BatchTaskResult result;
+    try {
+      Stopwatch slice_watch;
+      if (!q->begun) {
+        q->session->Begin(&q->factory, &q->rng);
+        q->begun = true;
+      }
+      for (int s = 0; s < slice_steps && !q->session->Done() &&
+                      !q->deadline.Expired();
+           ++s) {
+        q->session->Step(q->deadline);
+      }
+      q->optimize_millis += slice_watch.ElapsedMillis();
+      // Sample expiry once, here: the post-processing below (frontier copy
+      // and sort) takes time, and a task that finished its work inside the
+      // window must not be reclassified as a miss by a later clock read.
+      const bool expired = q->deadline.Expired();
+      finished = q->session->Done() || expired;
+      if (finished) {
+        result.index = q->index;
+        result.frontier = CanonicalFrontier(q->session->Frontier());
+        result.optimize_millis = q->optimize_millis;
+        result.admit_millis = static_cast<double>(q->admit_micros) / 1000.0;
+        result.elapsed_millis = epoch_.ElapsedMillis() - result.admit_millis;
+        result.steps = q->session->session_stats().steps;
+        result.had_deadline = q->had_deadline;
+        result.deadline_hit =
+            q->had_deadline && q->session->Done() && !expired;
+      }
+    } catch (...) {
+      // A throwing optimizer must not take the service down: finalize the
+      // task with what it has and surface the error through its future.
+      error = std::current_exception();
+      finished = true;
+      result.index = q->index;
+      result.optimize_millis = q->optimize_millis;
+      result.admit_millis = static_cast<double>(q->admit_micros) / 1000.0;
+      result.elapsed_millis = epoch_.ElapsedMillis() - result.admit_millis;
+      result.had_deadline = q->had_deadline;
+    }
+
+    lock.lock();
+    if (!finished) {
+      ready_.push(MakeReadyItem(q));
+      work_cv_.notify_one();
+      continue;
+    }
+    Finalize(q, std::move(result), error);
+  }
+}
+
+}  // namespace moqo

@@ -1,0 +1,208 @@
+// Online optimization service: queries are admitted while the workers are
+// already spinning, and a pluggable scheduling policy decides which open
+// session gets the next slice.
+//
+// This generalizes the closed-batch cooperative scheduler
+// (cooperative_scheduler.h, which is now a thin wrapper around this class):
+// instead of one Run(tasks) call over a batch known up front, the service
+// has a lifecycle —
+//
+//   OnlineScheduler service(config, factory);
+//   service.Start();                       // spin up the workers
+//   auto ticket = service.Submit(task);    // thread-safe, any time
+//   ticket->get();                         // per-task future
+//   service.Drain();                       // wait for all admitted tasks
+//   BatchReport report = service.Stop();   // join workers, final report
+//
+// Admission: Submit() may be called from any thread, before or after
+// Start() (pre-Start submissions build a backlog that the workers drain
+// once started). A bounded admission window (`max_open` in-flight tasks)
+// provides back-pressure: under AdmissionPolicy::kBlock a full window makes
+// Submit() wait for a slot, under kReject it returns std::nullopt and the
+// task is never admitted. A task's wall-clock deadline is armed at
+// admission time (inside Submit), so queueing delay counts against the
+// deadline exactly like in a real service.
+//
+// Scheduling: ready sessions live in a priority queue keyed per
+// SchedulingPolicy. kFifo reproduces the round-robin of the closed-batch
+// scheduler (requeued slices go to the back). kEarliestDeadlineFirst keys
+// by the admission-relative absolute deadline, so a tight-deadline query
+// admitted behind loose ones overtakes them at slice granularity.
+// kSlackWeighted divides the remaining deadline slack by the progress the
+// session has already made, preferring urgent tasks that are still behind.
+//
+// Determinism contract (unchanged from the batch service): every task owns
+// an independent Rng seeded from (master seed, submission index), its own
+// PlanFactory, and its own session. Thread count and scheduling policy
+// affect only *timing* — which tasks finish inside their deadlines — never
+// the step sequence of an individual session, so iteration-bounded tasks
+// produce frontiers bitwise identical to a single-thread blocking
+// reference under every policy and thread count.
+#ifndef MOQO_SERVICE_ONLINE_SCHEDULER_H_
+#define MOQO_SERVICE_ONLINE_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/deadline.h"
+#include "cost/cost_model.h"
+#include "service/batch_optimizer.h"
+
+namespace moqo {
+
+/// Which ready session a free worker picks next.
+enum class SchedulingPolicy {
+  /// Strict arrival order; requeued slices go to the back (round-robin).
+  kFifo,
+  /// Smallest admission-relative absolute deadline first; deadline-free
+  /// tasks rank last and fall back to arrival order among themselves.
+  kEarliestDeadlineFirst,
+  /// Remaining deadline slack divided by executed steps: urgent tasks that
+  /// have made little progress run first. Recomputed at every requeue.
+  kSlackWeighted,
+};
+
+/// What Submit() does when the admission window is full.
+enum class AdmissionPolicy {
+  /// Block the submitting thread until an in-flight task completes.
+  kBlock,
+  /// Return std::nullopt immediately; the task is not admitted.
+  kReject,
+};
+
+/// Configuration for one OnlineScheduler instance.
+struct OnlineConfig {
+  /// Worker threads serving all open sessions.
+  int num_threads = 1;
+  /// Cost metrics every task is optimized under.
+  std::vector<Metric> metrics = {Metric::kTime, Metric::kBuffer};
+  /// Session steps per scheduling slice (clamped to >= 1). Larger slices
+  /// amortize scheduling overhead; smaller slices tighten the interleaving
+  /// and let a deadline-aware policy preempt sooner.
+  int steps_per_slice = 1;
+  SchedulingPolicy policy = SchedulingPolicy::kFifo;
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  /// Bound on admitted-but-unfinished tasks (the admission window);
+  /// 0 = unbounded.
+  size_t max_open = 0;
+  /// If false, a finalized task's frontier is delivered only through its
+  /// Submit() future and dropped from the retained report slot, so a
+  /// long-lived service holds just a small fixed-size record per
+  /// submission (plus the max_open live sessions) instead of every
+  /// frontier it ever produced. Keep true (the default) for closed
+  /// batches whose Stop() report frontiers are compared to a reference.
+  bool retain_frontiers = true;
+};
+
+/// A long-lived deadline-aware optimization service multiplexing admitted
+/// queries over a fixed worker pool. Thread-safe: Submit()/Drain()/
+/// open_count() may be called concurrently from any thread. Start() and
+/// Stop() must each be called at most once, from one thread.
+///
+/// Memory: the Stop() report covers every admitted task, so the service
+/// keeps one result record per submission for its whole lifetime. The
+/// dominant term — the result frontiers — can be dropped as each future
+/// is delivered via OnlineConfig::retain_frontiers = false.
+class OnlineScheduler {
+ public:
+  OnlineScheduler(OnlineConfig config, OptimizerFactory make_optimizer);
+
+  /// Stops the service (draining admitted work) if Stop() was not called.
+  ~OnlineScheduler();
+
+  OnlineScheduler(const OnlineScheduler&) = delete;
+  OnlineScheduler& operator=(const OnlineScheduler&) = delete;
+
+  /// Spins up the worker threads. Idempotent; called implicitly by Drain().
+  void Start();
+
+  /// Admits one task and returns a future for its result, or std::nullopt
+  /// if the task was rejected (full window under kReject, or the service
+  /// is stopping). The task's deadline (if any) starts now, not when the
+  /// first slice runs. Under kBlock with a full window, blocks until a
+  /// slot frees up — which requires the workers to be running, so only
+  /// call pre-Start Submit() on a bounded window if it cannot fill up.
+  std::optional<std::future<BatchTaskResult>> Submit(const BatchTask& task);
+
+  /// Blocks until every admitted task has completed (session done or
+  /// deadline expired). Starts the workers if Start() was never called.
+  /// Tasks submitted by other threads while draining extend the wait.
+  void Drain();
+
+  /// Drains, joins the workers, and returns the aggregated report over all
+  /// admitted tasks in submission order. After Stop() every Submit() is
+  /// rejected; the scheduler cannot be restarted.
+  BatchReport Stop();
+
+  const OnlineConfig& config() const { return config_; }
+
+  /// Admitted-but-unfinished tasks.
+  size_t open_count() const;
+
+  /// Tasks admitted so far (completed or not; excludes rejected).
+  size_t submitted_count() const;
+
+ private:
+  struct OpenQuery;
+
+  /// One entry of the ready queue; lower (primary, seq) runs first.
+  struct ReadyItem {
+    double primary = 0.0;
+    uint64_t seq = 0;
+    OpenQuery* query = nullptr;
+    bool operator>(const ReadyItem& other) const {
+      if (primary != other.primary) return primary > other.primary;
+      return seq > other.seq;
+    }
+  };
+
+  void WorkerLoop();
+  /// Computes the ready-queue key for `query` under the configured policy.
+  /// Requires mu_ (for seq_); called at admission and at every requeue.
+  ReadyItem MakeReadyItem(OpenQuery* query);
+  /// Records `result` into the task's report slot (dropping the frontier
+  /// there unless config_.retain_frontiers), fulfills the promise with the
+  /// full result or with `error`, destroys the per-task state, and
+  /// releases the admission slot. Requires mu_.
+  void Finalize(OpenQuery* query, BatchTaskResult result,
+                std::exception_ptr error);
+
+  OnlineConfig config_;
+  OptimizerFactory make_optimizer_;
+  CostModel model_;
+  /// Epoch of all admit/finish timestamps: construction time.
+  Stopwatch epoch_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: ready work or shutdown
+  std::condition_variable admit_cv_;  // Submit(kBlock): window slot freed
+  std::condition_variable drain_cv_;  // Drain()/Stop(): open_ hit zero
+  std::vector<std::thread> workers_;
+  std::priority_queue<ReadyItem, std::vector<ReadyItem>, std::greater<>>
+      ready_;
+  /// Keeps every admitted task's state alive at a stable address; the slot
+  /// is released (reset) once the task is finalized.
+  std::vector<std::unique_ptr<OpenQuery>> queries_;
+  /// Result slot i belongs to submission index i; filled at finalization.
+  std::vector<BatchTaskResult> results_;
+  /// Ready-queue tie-breaker, bumped on every push.
+  uint64_t seq_ = 0;
+  /// Admitted-but-unfinished tasks.
+  size_t open_ = 0;
+  bool started_ = false;
+  /// No further admissions (Stop() has begun).
+  bool stopping_ = false;
+  /// Workers exit once ready_ runs empty.
+  bool stop_workers_ = false;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_SERVICE_ONLINE_SCHEDULER_H_

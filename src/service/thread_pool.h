@@ -9,6 +9,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -31,7 +32,10 @@ class ThreadPool {
   /// Enqueues a task. Must not be called after the destructor has begun.
   void Submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and no task is executing.
+  /// Blocks until the queue is empty and no task is executing. If any task
+  /// threw since the last Wait(), rethrows the first such exception (later
+  /// ones are dropped); the pool itself stays usable — a throwing task
+  /// never takes a worker down.
   void Wait();
 
   /// Number of worker threads.
@@ -46,7 +50,8 @@ class ThreadPool {
   std::condition_variable work_cv_;  // signals workers: work or shutdown
   std::condition_variable idle_cv_;  // signals Wait(): pool drained
   int active_ = 0;                   // tasks currently executing
-  bool stop_ = false;
+  bool stop_ = false;                // set once the destructor has begun
+  std::exception_ptr first_error_;   // first task exception since last Wait
 };
 
 }  // namespace moqo

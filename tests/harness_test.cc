@@ -15,6 +15,7 @@
 #include "harness/suite.h"
 #include "plan/random_plan.h"
 #include "query/generator.h"
+#include "service/batch_optimizer.h"
 
 namespace moqo {
 namespace {
@@ -331,6 +332,37 @@ TEST(CsvTest, InfiniteAlphaRendered) {
   std::ostringstream out;
   WriteExperimentCsv(result, out);
   EXPECT_NE(out.str().find("star,9,DP(2),1,inf"), std::string::npos);
+}
+
+// The bench headline metric: Aggregate() counts deadline tasks and hits
+// and derives the hit rate (vacuously 1.0 without deadline tasks).
+TEST(BatchReportTest, DeadlineHitRateAggregates) {
+  BatchReport report;
+  report.Aggregate();
+  EXPECT_EQ(report.deadline_tasks, 0u);
+  EXPECT_EQ(report.deadline_hits, 0u);
+  EXPECT_DOUBLE_EQ(report.deadline_hit_rate, 1.0);
+
+  // Two deadline-free tasks, three deadline tasks of which two hit.
+  for (int i = 0; i < 5; ++i) {
+    BatchTaskResult task;
+    task.index = i;
+    task.had_deadline = i >= 2;
+    task.deadline_hit = i >= 3;
+    report.tasks.push_back(std::move(task));
+  }
+  report.Aggregate();
+  EXPECT_EQ(report.deadline_tasks, 3u);
+  EXPECT_EQ(report.deadline_hits, 2u);
+  EXPECT_DOUBLE_EQ(report.deadline_hit_rate, 2.0 / 3.0);
+  EXPECT_NE(report.Summary().find("deadlines: 2/3 hit"), std::string::npos);
+
+  // Deadline-free reports keep the hit line out of the summary.
+  BatchReport no_deadlines;
+  no_deadlines.tasks.resize(2);
+  no_deadlines.Aggregate();
+  EXPECT_DOUBLE_EQ(no_deadlines.deadline_hit_rate, 1.0);
+  EXPECT_EQ(no_deadlines.Summary().find("deadlines:"), std::string::npos);
 }
 
 TEST(ExperimentTest, DeterministicAcrossRuns) {
