@@ -16,18 +16,29 @@
 //
 //   $ ./bench/arrival_stream [--queries=32] [--tables=6] [--iterations=20]
 //         [--threads=2] [--steps-per-slice=1] [--utilization=4]
-//         [--seed=2016] [--json=out.json]
+//         [--seed=2016] [--migrate-every=0] [--json=out.json]
 //
 // Deadline windows are calibrated against the measured per-query cost on
 // this machine (tight = half the expected FIFO backlog delay, loose = far
 // beyond total work), so the FIFO-miss / EDF-hit margins hold on any
 // hardware and build type. Exits 0 iff EDF's deadline-hit rate is >= FIFO's
 // and all hit-query frontiers match the reference bitwise.
+//
+// With --migrate-every=N > 0, a third run replays the same arrival stream
+// deadline-free against *two* scheduler instances and, at every N-th
+// submission, checkpoints in-flight tasks off the primary (Suspend) and
+// re-admits them to the secondary (Resume) — the in-process stand-in for
+// migrating sessions between worker processes. Because every task is
+// iteration-bounded and migration must be invisible, the run gates on
+// every frontier (migrated or not) being bitwise identical to the
+// uninterrupted blocking reference, and on at least one migration having
+// actually happened.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <future>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -74,6 +85,7 @@ int main(int argc, char** argv) {
       static_cast<int>(flags.GetInt("steps-per-slice", 1));
   const double utilization = flags.GetDouble("utilization", 4.0);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 2016));
+  const int64_t migrate_every = flags.GetInt("migrate-every", 0);
   const std::string json_path = flags.GetString("json", "");
 
   const int tight = std::max(2, queries / 8);
@@ -142,6 +154,17 @@ int main(int argc, char** argv) {
               "deadline_hits", "hit_rate", "lat_p50_ms", "lat_p95_ms",
               "wall_ms", "identical");
 
+  // Open-loop pacing shared by every run, so the FIFO, EDF, and migration
+  // runs see the same arrival schedule.
+  const auto pace_to_arrival = [&arrival_ms](size_t i,
+                                             const Stopwatch& wall) {
+    double wait_ms = arrival_ms[i] - wall.ElapsedMillis();
+    if (wait_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<int64_t>(wait_ms * 1000)));
+    }
+  };
+
   const auto run_policy = [&](const char* name, SchedulingPolicy policy) {
     OnlineConfig config;
     config.num_threads = threads;
@@ -151,11 +174,7 @@ int main(int argc, char** argv) {
     service.Start();
     Stopwatch wall;
     for (size_t i = 0; i < tasks.size(); ++i) {
-      double wait_ms = arrival_ms[i] - wall.ElapsedMillis();
-      if (wait_ms > 0.0) {
-        std::this_thread::sleep_for(
-            std::chrono::microseconds(static_cast<int64_t>(wait_ms * 1000)));
-      }
+      pace_to_arrival(i, wall);
       service.Submit(tasks[i]);
     }
     service.Drain();
@@ -184,10 +203,87 @@ int main(int argc, char** argv) {
   PolicyOutcome edf =
       run_policy("edf", SchedulingPolicy::kEarliestDeadlineFirst);
 
+  // Migration mode: same arrival stream, deadline-free (every task must
+  // complete its full iteration budget), tasks checkpointed off the
+  // primary scheduler and resumed on a second instance mid-run. Migration
+  // must be invisible: all frontiers bitwise equal to the reference.
+  size_t migrations_attempted = 0;
+  size_t migrations_done = 0;
+  bool migrate_identical = true;
+  bool migrate_pass = true;
+  if (migrate_every > 0) {
+    OnlineConfig config;
+    config.num_threads = threads;
+    config.steps_per_slice = steps_per_slice;
+    OnlineScheduler primary(config, make_rmq);
+    OnlineScheduler secondary(config, make_rmq);
+    primary.Start();
+    secondary.Start();
+
+    std::vector<std::future<BatchTaskResult>> tickets;
+    tickets.reserve(tasks.size());
+    Stopwatch wall;
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      pace_to_arrival(i, wall);
+      BatchTask task = tasks[i];
+      task.deadline_micros = 0;
+      auto ticket = primary.Submit(task);
+      if (!ticket.has_value()) {
+        migrate_pass = false;
+        break;
+      }
+      tickets.push_back(std::move(*ticket));
+      if ((i + 1) % static_cast<size_t>(migrate_every) != 0) continue;
+      // Migrate the submission just admitted (usually still queued) and
+      // one from the middle of the backlog (usually mid-run), covering
+      // both the fresh-session and the restored-checkpoint paths. A
+      // nullopt suspension means the task already finished — fine.
+      for (size_t victim : {i, i / 2}) {
+        ++migrations_attempted;
+        std::optional<SuspendedTask> suspended = primary.Suspend(victim);
+        if (!suspended.has_value()) continue;
+        if (secondary.Resume(*suspended)) {
+          ++migrations_done;
+        } else {
+          migrate_pass = false;
+        }
+      }
+    }
+    primary.Drain();
+    secondary.Drain();
+    for (size_t i = 0; i < tickets.size(); ++i) {
+      try {
+        BatchTaskResult result = tickets[i].get();
+        if (!BitwiseEqual(result.frontier, reference.tasks[i].frontier)) {
+          migrate_identical = false;
+        }
+      } catch (const std::future_error&) {
+        // A rejected Resume() broke this task's promise; record the
+        // failure instead of crashing before the FAIL line and the JSON
+        // report are written.
+        migrate_identical = false;
+      }
+    }
+    BatchReport primary_report = primary.Stop();
+    secondary.Stop();
+    migrate_pass = migrate_pass && migrate_identical &&
+                   migrations_done > 0 &&
+                   tickets.size() == tasks.size() &&
+                   primary_report.migrated_tasks == migrations_done;
+    std::printf(
+        "\nmigration: %zu/%zu suspend attempts resumed on the second "
+        "instance, frontiers %s vs reference -> %s\n",
+        migrations_done, migrations_attempted,
+        migrate_identical ? "bitwise identical" : "DIVERGED",
+        migrate_pass ? "ok" : "FAIL");
+  }
+
   const bool identical =
       fifo.hits_match_reference && edf.hits_match_reference;
-  const bool pass = identical && edf.report.deadline_hit_rate >=
-                                     fifo.report.deadline_hit_rate;
+  const bool pass = identical &&
+                    edf.report.deadline_hit_rate >=
+                        fifo.report.deadline_hit_rate &&
+                    migrate_pass;
   std::printf(
       "\n%s: EDF hit rate %.1f%% vs FIFO %.1f%%, hit-query frontiers %s vs "
       "blocking reference\n",
@@ -225,8 +321,15 @@ int main(int argc, char** argv) {
     }
     out << "  },\n"
         << "  \"hit_frontiers_identical\": " << (identical ? "true" : "false")
-        << ",\n"
-        << "  \"pass\": " << (pass ? "true" : "false") << "\n"
+        << ",\n";
+    if (migrate_every > 0) {
+      out << "  \"migrate_every\": " << migrate_every << ",\n"
+          << "  \"migrations_attempted\": " << migrations_attempted << ",\n"
+          << "  \"migrations_done\": " << migrations_done << ",\n"
+          << "  \"migrated_frontiers_identical\": "
+          << (migrate_identical ? "true" : "false") << ",\n";
+    }
+    out << "  \"pass\": " << (pass ? "true" : "false") << "\n"
         << "}\n";
     std::printf("wrote %s\n", json_path.c_str());
   }

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <vector>
 
+#include "core/checkpoint.h"
+
 namespace moqo {
 
 std::string DpOptimizer::name() const {
@@ -118,6 +120,66 @@ bool DpSession::DoStep(const Deadline& budget) {
     return true;
   }
   return false;
+}
+
+void DpSession::OnCheckpoint(CheckpointWriter* writer) const {
+  writer->WriteU8(finished_ ? 1 : 0);
+  writer->WriteU8(gave_up_ ? 1 : 0);
+  writer->WriteU64(next_mask_);
+  // Only masks populated so far carry plans (base-case singletons plus
+  // every completed subset); num_tables_ and full_ are re-derived from the
+  // restoring factory's query.
+  uint64_t populated = 0;
+  for (const std::vector<PlanPtr>& plans : best_) {
+    if (!plans.empty()) ++populated;
+  }
+  writer->WriteU64(populated);
+  for (uint64_t mask = 0; mask < best_.size(); ++mask) {
+    if (best_[mask].empty()) continue;
+    writer->WriteU64(mask);
+    writer->WritePlans(best_[mask]);
+  }
+  WritePlanCache(writer, cache_);
+}
+
+bool DpSession::OnRestore(CheckpointReader* reader) {
+  num_tables_ = factory()->query().NumTables();
+  finished_ = reader->ReadU8() != 0;
+  gave_up_ = reader->ReadU8() != 0;
+  next_mask_ = reader->ReadU64();
+  best_.clear();
+  cache_.Clear();
+  full_ = 0;
+  if (num_tables_ <= config_.max_tables && num_tables_ > 0) {
+    const int n = num_tables_;
+    full_ = (n == 64) ? ~uint64_t{0} : ((uint64_t{1} << n) - 1);
+    best_.resize(full_ + 1);
+  }
+  uint64_t populated = reader->ReadU64();
+  for (uint64_t i = 0; i < populated && reader->ok(); ++i) {
+    uint64_t mask = reader->ReadU64();
+    if (mask >= best_.size()) return false;
+    std::vector<PlanPtr> plans = reader->ReadPlans();
+    // Every plan filed under a mask must cover exactly that relation set:
+    // DoStep joins best_[outer] with best_[inner] relying on disjointness,
+    // and MakeJoin's guard is a Debug-only assert.
+    if (!AllPlansCover(plans, ToTableSet(mask))) return false;
+    best_[mask] = std::move(plans);
+  }
+  if (!ReadPlanCache(reader, &cache_)) return false;
+  // Consistency: a live (non-gave-up) run always has the base-case
+  // singleton plans that Begin() filed — and cannot exist at all for an
+  // oversized query — while a finished run must have a populated lattice
+  // (Frontier() reads best_[full_]). Anything else is a corrupt or
+  // mismatched buffer.
+  if (!gave_up_) {
+    if (num_tables_ > config_.max_tables || best_.empty()) return false;
+    for (int t = 0; t < num_tables_; ++t) {
+      if (best_[uint64_t{1} << t].empty()) return false;
+    }
+  }
+  if (finished_ && (best_.empty() || best_[full_].empty())) return false;
+  return reader->ok();
 }
 
 std::vector<PlanPtr> ExactParetoSet(PlanFactory* factory) {

@@ -51,6 +51,11 @@ class DpSession : public OptimizerSession {
   std::vector<PlanPtr> Frontier() const override;
   bool Done() const override { return finished_ || gave_up_; }
 
+  /// DP abandons runs (oversized query, expired mid-lattice budget): such
+  /// a session is Done with an empty frontier but did not complete its
+  /// work, so schedulers must not record its run as a deadline hit.
+  bool GaveUp() const override { return gave_up_; }
+
   /// True if the run processed the full lattice (was not aborted by the
   /// max_tables guard or an expired budget).
   bool finished() const { return finished_; }
@@ -58,6 +63,9 @@ class DpSession : public OptimizerSession {
  protected:
   void OnBegin() override;
   bool DoStep(const Deadline& budget) override;
+  const char* CheckpointTag() const override { return "dp"; }
+  void OnCheckpoint(CheckpointWriter* writer) const override;
+  bool OnRestore(CheckpointReader* reader) override;
 
  private:
   DpConfig config_;

@@ -1,5 +1,6 @@
 #include "baselines/iterative_improvement.h"
 
+#include "core/checkpoint.h"
 #include "core/pareto_climb.h"
 #include "plan/random_plan.h"
 
@@ -17,6 +18,19 @@ bool IiSession::DoStep(const Deadline& budget) {
                     : NaiveClimb(plan, factory(), nullptr, budget);
   ++iterations_;
   return archive_.Insert(std::move(opt));
+}
+
+void IiSession::OnCheckpoint(CheckpointWriter* writer) const {
+  writer->WritePlans(archive_.plans());
+  writer->WriteI32(iterations_);
+}
+
+bool IiSession::OnRestore(CheckpointReader* reader) {
+  archive_.Adopt(reader->ReadPlans());
+  iterations_ = reader->ReadI32();
+  // Archived local optima are full-query plans.
+  return reader->ok() &&
+         AllPlansCover(archive_.plans(), factory()->query().AllTables());
 }
 
 }  // namespace moqo

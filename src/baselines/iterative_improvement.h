@@ -40,6 +40,9 @@ class IiSession : public OptimizerSession {
  protected:
   void OnBegin() override;
   bool DoStep(const Deadline& budget) override;
+  const char* CheckpointTag() const override { return "ii"; }
+  void OnCheckpoint(CheckpointWriter* writer) const override;
+  bool OnRestore(CheckpointReader* reader) override;
 
  private:
   IiConfig config_;

@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "core/checkpoint.h"
+
 namespace moqo {
 
 std::vector<int> FastNonDominatedSort(const std::vector<CostVector>& costs) {
@@ -282,6 +284,80 @@ bool Nsga2Session::DoStep(const Deadline& budget) {
 
   ++generation_;
   return true;
+}
+
+void Nsga2Session::OnCheckpoint(CheckpointWriter* writer) const {
+  writer->WritePlans(archive_.plans());
+  writer->WriteU8(initialized_ ? 1 : 0);
+  writer->WriteI32(generation_);
+  writer->WriteDouble(mutation_probability_);
+  writer->WriteU64(population_.size());
+  for (const Nsga2Individual& ind : population_) {
+    writer->WriteIntVector(ind.genome.order);
+    writer->WriteIntVector(ind.genome.scan_ops);
+    writer->WriteIntVector(ind.genome.join_ops);
+    writer->WritePlan(ind.plan);
+    writer->WriteI32(ind.rank);
+    // Crowding distances can be +infinity (front boundaries); the bit
+    // pattern round-trips exactly.
+    writer->WriteDouble(ind.crowding);
+  }
+}
+
+namespace {
+
+// DecodeGenome's bounds checks are Debug-only asserts, so a corrupt
+// checkpoint must be rejected here before it can reach them in Release.
+bool ValidGenome(const Nsga2Genome& g, int n) {
+  if (static_cast<int>(g.order.size()) != n ||
+      static_cast<int>(g.scan_ops.size()) != n ||
+      static_cast<int>(g.join_ops.size()) != (n > 0 ? n - 1 : 0)) {
+    return false;
+  }
+  for (int i = 0; i < n; ++i) {
+    if (g.order[static_cast<size_t>(i)] < 0 ||
+        g.order[static_cast<size_t>(i)] > n - 1 - i) {
+      return false;
+    }
+    if (g.scan_ops[static_cast<size_t>(i)] < 0) return false;
+  }
+  for (int gene : g.join_ops) {
+    // DecodeGenome takes the gene modulo the operator count as a signed
+    // int, so a negative gene would index out of bounds.
+    if (gene < 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Nsga2Session::OnRestore(CheckpointReader* reader) {
+  archive_.Adopt(reader->ReadPlans());
+  initialized_ = reader->ReadU8() != 0;
+  generation_ = reader->ReadI32();
+  mutation_probability_ = reader->ReadDouble();
+  population_.clear();
+  const int n = factory()->query().NumTables();
+  const TableSet all = factory()->query().AllTables();
+  uint64_t size = reader->ReadU64();
+  for (uint64_t i = 0; i < size && reader->ok(); ++i) {
+    Nsga2Individual ind;
+    ind.genome.order = reader->ReadIntVector();
+    ind.genome.scan_ops = reader->ReadIntVector();
+    ind.genome.join_ops = reader->ReadIntVector();
+    ind.plan = reader->ReadPlan();
+    ind.rank = reader->ReadI32();
+    ind.crowding = reader->ReadDouble();
+    if (ind.plan == nullptr || ind.plan->rel() != all ||
+        !ValidGenome(ind.genome, n)) {
+      return false;
+    }
+    population_.push_back(std::move(ind));
+  }
+  // Tournament() indexes the population unconditionally once initialized;
+  // evaluated individuals and archived results are full-query plans.
+  return reader->ok() && (!initialized_ || !population_.empty()) &&
+         AllPlansCover(archive_.plans(), all);
 }
 
 }  // namespace moqo

@@ -85,6 +85,9 @@ class Nsga2Session : public OptimizerSession {
  protected:
   void OnBegin() override;
   bool DoStep(const Deadline& budget) override;
+  const char* CheckpointTag() const override { return "nsga2"; }
+  void OnCheckpoint(CheckpointWriter* writer) const override;
+  bool OnRestore(CheckpointReader* reader) override;
 
  private:
   Nsga2Config config_;

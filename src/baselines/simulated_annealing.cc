@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/checkpoint.h"
 #include "plan/random_plan.h"
 #include "plan/transformations.h"
 
@@ -68,6 +69,29 @@ bool SaSession::DoStep(const Deadline& budget) {
   }
   ++epochs_;
   return archive_dirty;
+}
+
+void SaSession::OnCheckpoint(CheckpointWriter* writer) const {
+  writer->WritePlans(archive_.plans());
+  writer->WritePlan(current_);
+  writer->WriteDouble(temperature_);
+  writer->WriteI32(stage_length_);
+  writer->WriteI32(stage_step_);
+  writer->WriteI32(epochs_);
+}
+
+bool SaSession::OnRestore(CheckpointReader* reader) {
+  archive_.Adopt(reader->ReadPlans());
+  current_ = reader->ReadPlan();
+  temperature_ = reader->ReadDouble();
+  stage_length_ = reader->ReadI32();
+  stage_step_ = reader->ReadI32();
+  epochs_ = reader->ReadI32();
+  // The chain and every archived result are full-query plans; a corrupt
+  // plan reference decoding to an interior node must fail the restore.
+  TableSet all = factory()->query().AllTables();
+  return reader->ok() && current_ != nullptr && current_->rel() == all &&
+         AllPlansCover(archive_.plans(), all);
 }
 
 }  // namespace moqo

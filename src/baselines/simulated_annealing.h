@@ -74,6 +74,9 @@ class SaSession : public OptimizerSession {
  protected:
   void OnBegin() override;
   bool DoStep(const Deadline& budget) override;
+  const char* CheckpointTag() const override { return "sa"; }
+  void OnCheckpoint(CheckpointWriter* writer) const override;
+  bool OnRestore(CheckpointReader* reader) override;
 
  private:
   SaConfig config_;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/checkpoint.h"
 #include "core/pareto_climb.h"
 #include "plan/random_plan.h"
 
@@ -70,6 +71,45 @@ bool TwoPhaseSession::DoStep(const Deadline& budget) {
     }
   }
   return changed;
+}
+
+void TwoPhaseSession::OnCheckpoint(CheckpointWriter* writer) const {
+  writer->WritePlans(archive_.plans());
+  writer->WritePlan(champion_);
+  writer->WriteI32(phase_one_done_);
+  writer->WriteU8(sa_session_ != nullptr ? 1 : 0);
+  if (sa_session_ != nullptr) {
+    // The embedded SA session nests its own full checkpoint. Its RNG
+    // snapshot duplicates ours (both sessions share one stream), so the
+    // nested restore re-applies the same position — harmless and exact.
+    writer->WriteBytes(sa_session_->Checkpoint());
+  }
+}
+
+bool TwoPhaseSession::OnRestore(CheckpointReader* reader) {
+  archive_.Adopt(reader->ReadPlans());
+  champion_ = reader->ReadPlan();
+  phase_one_done_ = reader->ReadI32();
+  bool phase_two = reader->ReadU8() != 0;
+  sa_session_ = nullptr;
+  if (!reader->ok()) return false;
+  // The champion and all archived results are full-query plans.
+  TableSet all = factory()->query().AllTables();
+  if (champion_ != nullptr && champion_->rel() != all) return false;
+  if (!AllPlansCover(archive_.plans(), all)) return false;
+  if (phase_two) {
+    if (champion_ == nullptr) return false;
+    // Rebuild the embedded session exactly as DoStep seeds it, then let
+    // the nested checkpoint overwrite its run state.
+    SaConfig sa_config;
+    sa_config.initial_temperature_factor = config_.phase_two_temperature;
+    sa_config.start_plan = champion_;
+    sa_config.max_epochs = config_.max_phase_two_epochs;
+    sa_session_ = std::make_unique<SaSession>(std::move(sa_config));
+    std::vector<uint8_t> nested = reader->ReadBytes();
+    if (!sa_session_->Restore(factory(), rng(), nested)) return false;
+  }
+  return reader->ok();
 }
 
 }  // namespace moqo

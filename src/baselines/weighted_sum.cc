@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "plan/random_plan.h"
 #include "plan/transformations.h"
 
@@ -97,6 +98,41 @@ bool WeightedSumSession::DoStep(const Deadline& budget) {
   plan = ScalarClimb(std::move(plan), weights, norms_, factory(), budget);
   ++climbs_;
   return archive_.Insert(std::move(plan));
+}
+
+void WeightedSumSession::OnCheckpoint(CheckpointWriter* writer) const {
+  writer->WritePlans(archive_.plans());
+  writer->WriteU64(weight_vectors_.size());
+  for (const std::vector<double>& w : weight_vectors_) {
+    writer->WriteDoubleVector(w);
+  }
+  writer->WriteDoubleVector(norms_);
+  writer->WriteU64(next_weight_);
+  writer->WriteI32(climbs_);
+}
+
+bool WeightedSumSession::OnRestore(CheckpointReader* reader) {
+  archive_.Adopt(reader->ReadPlans());
+  const size_t metrics =
+      static_cast<size_t>(factory()->cost_model().NumMetrics());
+  weight_vectors_.clear();
+  uint64_t vectors = reader->ReadU64();
+  for (uint64_t i = 0; i < vectors && reader->ok(); ++i) {
+    std::vector<double> w = reader->ReadDoubleVector();
+    // Scalarize indexes one weight and one norm per metric; a corrupt
+    // buffer with short vectors must be rejected, not read out of bounds.
+    if (w.size() != metrics) return false;
+    weight_vectors_.push_back(std::move(w));
+  }
+  norms_ = reader->ReadDoubleVector();
+  next_weight_ = reader->ReadU64();
+  climbs_ = reader->ReadI32();
+  // DoStep indexes weight_vectors_[next_weight_] unconditionally, and the
+  // archived climb results are full-query plans.
+  return reader->ok() && !weight_vectors_.empty() &&
+         next_weight_ < weight_vectors_.size() &&
+         norms_.size() == metrics &&
+         AllPlansCover(archive_.plans(), factory()->query().AllTables());
 }
 
 }  // namespace moqo

@@ -30,6 +30,13 @@ class Stopwatch {
   Clock::time_point start_;
 };
 
+/// Longest representable deadline window, in microseconds (~142 years).
+/// AfterMicros()/AfterMillis() clamp their input into [0, this], so arming
+/// a window can never overflow the clock's nanosecond representation, and
+/// RemainingMicros() never exceeds it, so callers may add a remaining
+/// window to a microsecond timestamp without risking signed overflow.
+inline constexpr int64_t kMaxDeadlineMicros = int64_t{1} << 52;
+
 /// A wall-clock budget: algorithms poll Expired() and stop when it is true.
 ///
 /// A default-constructed Deadline never expires (useful for tests that run a
@@ -39,17 +46,28 @@ class Deadline {
   /// Never expires.
   Deadline() : has_deadline_(false) {}
 
-  /// Expires `micros` microseconds after construction.
+  /// Expires `micros` microseconds after construction. The window is
+  /// clamped into [0, kMaxDeadlineMicros]: a negative input (e.g. an
+  /// admission-relative window computed by subtraction that went past due)
+  /// is already expired, and a near-INT64_MAX input saturates instead of
+  /// silently wrapping the underlying time_point.
   static Deadline AfterMicros(int64_t micros) {
     Deadline d;
     d.has_deadline_ = true;
+    if (micros < 0) micros = 0;
+    if (micros > kMaxDeadlineMicros) micros = kMaxDeadlineMicros;
     d.deadline_ = Clock::now() + std::chrono::microseconds(micros);
     return d;
   }
 
-  /// Expires `millis` milliseconds after construction.
+  /// Expires `millis` milliseconds after construction; clamped like
+  /// AfterMicros (the millisecond-to-microsecond conversion saturates
+  /// instead of overflowing for inputs beyond kMaxDeadlineMicros / 1000).
   static Deadline AfterMillis(int64_t millis) {
-    return AfterMicros(millis * 1000);
+    if (millis >= kMaxDeadlineMicros / 1000) {
+      return AfterMicros(kMaxDeadlineMicros);
+    }
+    return AfterMicros(millis <= 0 ? millis : millis * 1000);
   }
 
   /// Returns true once the budget is exhausted.
@@ -57,13 +75,16 @@ class Deadline {
     return has_deadline_ && Clock::now() >= deadline_;
   }
 
-  /// Microseconds remaining (0 if expired; a large value if unbounded).
+  /// Microseconds remaining, in [0, kMaxDeadlineMicros]: 0 if expired,
+  /// kMaxDeadlineMicros if unbounded. Safe to add to a microsecond
+  /// timestamp (never INT64_MAX).
   int64_t RemainingMicros() const {
-    if (!has_deadline_) return INT64_MAX;
+    if (!has_deadline_) return kMaxDeadlineMicros;
     auto rem = std::chrono::duration_cast<std::chrono::microseconds>(
                    deadline_ - Clock::now())
                    .count();
-    return rem > 0 ? rem : 0;
+    if (rem <= 0) return 0;
+    return rem > kMaxDeadlineMicros ? kMaxDeadlineMicros : rem;
   }
 
  private:

@@ -7,7 +7,10 @@
 #define MOQO_COMMON_RNG_H_
 
 #include <cstdint>
+#include <locale>
 #include <random>
+#include <sstream>
+#include <string>
 
 namespace moqo {
 
@@ -50,6 +53,28 @@ class Rng {
   /// Derives an independent child seed; useful to fan out deterministic
   /// sub-generators (e.g., one per test case) from a master seed.
   uint64_t Fork() { return engine_(); }
+
+  /// Serializes the engine's exact stream position as text. The standard
+  /// guarantees the iostream representation of mt19937_64 round-trips to an
+  /// equal engine, so LoadState(SaveState()) continues the stream as if it
+  /// was never interrupted — the property session checkpointing relies on.
+  std::string SaveState() const {
+    std::ostringstream out;
+    // Engine state must round-trip between processes regardless of any
+    // global locale (digit grouping would corrupt the numbers).
+    out.imbue(std::locale::classic());
+    out << engine_;
+    return out.str();
+  }
+
+  /// Restores a SaveState() snapshot; returns false (leaving the engine
+  /// unspecified) on malformed input.
+  bool LoadState(const std::string& state) {
+    std::istringstream in(state);
+    in.imbue(std::locale::classic());
+    in >> engine_;
+    return !in.fail();
+  }
 
  private:
   std::mt19937_64 engine_;

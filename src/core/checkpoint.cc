@@ -1,0 +1,312 @@
+#include "core/checkpoint.h"
+
+#include <cstring>
+
+#include "plan/plan_factory.h"
+
+namespace moqo {
+
+namespace {
+
+// Record tags of the structural plan encoding. A WritePlan() call emits
+// zero or more definition records (whose ids are assigned in emission
+// order) followed by exactly one kNull or kRef record.
+constexpr uint8_t kPlanNull = 0;
+constexpr uint8_t kPlanRef = 1;
+constexpr uint8_t kPlanScanDef = 2;
+constexpr uint8_t kPlanJoinDef = 3;
+
+}  // namespace
+
+void CheckpointWriter::WriteU8(uint8_t v) { out_.push_back(v); }
+
+void CheckpointWriter::WriteU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void CheckpointWriter::WriteU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void CheckpointWriter::WriteDouble(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU64(bits);
+}
+
+void CheckpointWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  out_.insert(out_.end(), s.begin(), s.end());
+}
+
+void CheckpointWriter::WriteBytes(const std::vector<uint8_t>& bytes) {
+  WriteU64(bytes.size());
+  out_.insert(out_.end(), bytes.begin(), bytes.end());
+}
+
+void CheckpointWriter::WriteTableSet(const TableSet& s) {
+  WriteU32(static_cast<uint32_t>(s.Count()));
+  s.ForEach([this](int table) { WriteU32(static_cast<uint32_t>(table)); });
+}
+
+void CheckpointWriter::WriteIntVector(const std::vector<int>& v) {
+  WriteU64(v.size());
+  for (int x : v) WriteI32(x);
+}
+
+void CheckpointWriter::WriteDoubleVector(const std::vector<double>& v) {
+  WriteU64(v.size());
+  for (double x : v) WriteDouble(x);
+}
+
+uint32_t CheckpointWriter::EmitPlanNodes(const PlanPtr& plan) {
+  auto it = plan_ids_.find(plan.get());
+  if (it != plan_ids_.end()) return it->second;
+  uint32_t id;
+  if (plan->IsJoin()) {
+    uint32_t outer = EmitPlanNodes(plan->outer());
+    uint32_t inner = EmitPlanNodes(plan->inner());
+    WriteU8(kPlanJoinDef);
+    WriteU32(outer);
+    WriteU32(inner);
+    WriteU8(static_cast<uint8_t>(plan->join_op()));
+  } else {
+    WriteU8(kPlanScanDef);
+    WriteU32(static_cast<uint32_t>(plan->table()));
+    WriteU8(static_cast<uint8_t>(plan->scan_op()));
+  }
+  id = static_cast<uint32_t>(plan_ids_.size());
+  plan_ids_.emplace(plan.get(), id);
+  return id;
+}
+
+void CheckpointWriter::WritePlan(const PlanPtr& plan) {
+  if (plan == nullptr) {
+    WriteU8(kPlanNull);
+    return;
+  }
+  uint32_t id = EmitPlanNodes(plan);
+  WriteU8(kPlanRef);
+  WriteU32(id);
+}
+
+void CheckpointWriter::WritePlans(const std::vector<PlanPtr>& plans) {
+  WriteU64(plans.size());
+  for (const PlanPtr& plan : plans) WritePlan(plan);
+}
+
+bool CheckpointReader::Ensure(size_t n) {
+  if (!ok_ || buf_->size() - pos_ < n) {
+    Fail();
+    return false;
+  }
+  return true;
+}
+
+uint8_t CheckpointReader::ReadU8() {
+  if (!Ensure(1)) return 0;
+  return (*buf_)[pos_++];
+}
+
+uint32_t CheckpointReader::ReadU32() {
+  if (!Ensure(4)) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>((*buf_)[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t CheckpointReader::ReadU64() {
+  if (!Ensure(8)) return 0;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>((*buf_)[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+double CheckpointReader::ReadDouble() {
+  uint64_t bits = ReadU64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string CheckpointReader::ReadString() {
+  uint64_t size = ReadU64();
+  if (!Ensure(size)) return std::string();
+  std::string s(reinterpret_cast<const char*>(buf_->data()) + pos_, size);
+  pos_ += size;
+  return s;
+}
+
+std::vector<uint8_t> CheckpointReader::ReadBytes() {
+  uint64_t size = ReadU64();
+  if (!Ensure(size)) return {};
+  std::vector<uint8_t> bytes(buf_->begin() + static_cast<ptrdiff_t>(pos_),
+                             buf_->begin() +
+                                 static_cast<ptrdiff_t>(pos_ + size));
+  pos_ += size;
+  return bytes;
+}
+
+TableSet CheckpointReader::ReadTableSet() {
+  uint32_t count = ReadU32();
+  TableSet s;
+  for (uint32_t i = 0; i < count && ok_; ++i) {
+    uint32_t table = ReadU32();
+    if (table >= static_cast<uint32_t>(TableSet::kCapacity)) {
+      Fail();
+      break;
+    }
+    s.Add(static_cast<int>(table));
+  }
+  return s;
+}
+
+std::vector<int> CheckpointReader::ReadIntVector() {
+  uint64_t size = ReadU64();
+  if (!ok_ || size > (buf_->size() - pos_) / 4) {
+    Fail();
+    return {};
+  }
+  std::vector<int> v(size);
+  for (uint64_t i = 0; i < size; ++i) v[i] = ReadI32();
+  return v;
+}
+
+std::vector<double> CheckpointReader::ReadDoubleVector() {
+  uint64_t size = ReadU64();
+  if (!ok_ || size > (buf_->size() - pos_) / 8) {
+    Fail();
+    return {};
+  }
+  std::vector<double> v(size);
+  for (uint64_t i = 0; i < size; ++i) v[i] = ReadDouble();
+  return v;
+}
+
+PlanPtr CheckpointReader::ReadPlan() {
+  while (ok_) {
+    uint8_t tag = ReadU8();
+    switch (tag) {
+      case kPlanNull:
+        return nullptr;
+      case kPlanRef: {
+        uint32_t id = ReadU32();
+        if (id >= nodes_.size()) {
+          Fail();
+          return nullptr;
+        }
+        return nodes_[id];
+      }
+      case kPlanScanDef: {
+        uint32_t table = ReadU32();
+        uint8_t op = ReadU8();
+        if (factory_ == nullptr ||
+            table >= static_cast<uint32_t>(
+                         factory_->query().NumTables()) ||
+            op >= static_cast<uint8_t>(kNumScanAlgorithms)) {
+          Fail();
+          return nullptr;
+        }
+        // Reject scan operators the catalog does not offer for the table
+        // (an index scan on an unindexed table would trip PlanFactory
+        // invariants).
+        ScanAlgorithm scan = static_cast<ScanAlgorithm>(op);
+        bool applicable = false;
+        for (ScanAlgorithm candidate :
+             factory_->ApplicableScans(static_cast<int>(table))) {
+          applicable |= candidate == scan;
+        }
+        if (!applicable) {
+          Fail();
+          return nullptr;
+        }
+        nodes_.push_back(factory_->MakeScan(static_cast<int>(table), scan));
+        break;
+      }
+      case kPlanJoinDef: {
+        uint32_t outer = ReadU32();
+        uint32_t inner = ReadU32();
+        uint8_t op = ReadU8();
+        if (factory_ == nullptr || outer >= nodes_.size() ||
+            inner >= nodes_.size() ||
+            op >= static_cast<uint8_t>(kNumJoinAlgorithms) ||
+            !nodes_[outer]->rel().DisjointWith(nodes_[inner]->rel())) {
+          Fail();
+          return nullptr;
+        }
+        nodes_.push_back(factory_->MakeJoin(
+            nodes_[outer], nodes_[inner], static_cast<JoinAlgorithm>(op)));
+        break;
+      }
+      default:
+        Fail();
+        return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<PlanPtr> CheckpointReader::ReadPlans() {
+  uint64_t count = ReadU64();
+  // Every serialized plan is at least one tag byte; a count beyond the
+  // remaining bytes is corruption, not a huge allocation request.
+  if (!ok_ || count > buf_->size() - pos_) {
+    Fail();
+    return {};
+  }
+  std::vector<PlanPtr> plans;
+  plans.reserve(count);
+  for (uint64_t i = 0; i < count && ok_; ++i) {
+    PlanPtr plan = ReadPlan();
+    // WritePlans never emits null elements (only the standalone WritePlan
+    // does, for optional fields), so a null here is corruption that would
+    // otherwise plant nullptrs in restored archives and caches.
+    if (plan == nullptr) {
+      Fail();
+      break;
+    }
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+bool AllPlansCover(const std::vector<PlanPtr>& plans, const TableSet& rel) {
+  for (const PlanPtr& plan : plans) {
+    if (plan == nullptr || plan->rel() != rel) return false;
+  }
+  return true;
+}
+
+void WritePlanCache(CheckpointWriter* writer, const PlanCache& cache) {
+  writer->WriteU64(cache.entries().size());
+  for (const auto& [rel, plans] : cache.entries()) {
+    writer->WriteTableSet(rel);
+    writer->WritePlans(plans);
+  }
+}
+
+bool ReadPlanCache(CheckpointReader* reader, PlanCache* cache) {
+  cache->Clear();
+  uint64_t entries = reader->ReadU64();
+  for (uint64_t i = 0; i < entries && reader->ok(); ++i) {
+    TableSet rel = reader->ReadTableSet();
+    std::vector<PlanPtr> plans = reader->ReadPlans();
+    // Every cached plan must cover exactly its key's relation set: both
+    // RMQ's frontier approximation and DP's lattice joins recombine
+    // entries relying on it, and their guards are Debug-only asserts.
+    if (!AllPlansCover(plans, rel)) return false;
+    cache->Adopt(rel, std::move(plans));
+  }
+  return reader->ok();
+}
+
+}  // namespace moqo

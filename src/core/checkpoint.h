@@ -1,0 +1,156 @@
+// Session checkpoint serialization substrate.
+//
+// A checkpoint captures the full mid-run state of an OptimizerSession —
+// RNG stream position, step counter, and algorithm state — in a
+// self-describing byte buffer, so a session can be suspended on one
+// scheduler instance and restored on another (the in-process stand-in for
+// migrating sessions between worker processes; see
+// service/online_scheduler.h) with a bitwise-identical continuation.
+//
+// CheckpointWriter appends fixed-width little-endian primitives to a
+// growable buffer; CheckpointReader mirrors every Write* with a Read* and
+// degrades to a sticky failure flag (ok()) on malformed input instead of
+// throwing, so Restore() can reject corrupt buffers gracefully.
+//
+// Plans are serialized structurally (scan and join records referencing
+// earlier nodes by id) with node-level deduplication, so the structural
+// sharing that makes the plan cache O(1) space per entry (paper, Theorem 5)
+// survives the round-trip: a sub-plan shared by many cache entries is
+// written once and restored as one shared node. Costs are not serialized —
+// nodes are rebuilt through the restoring PlanFactory, whose cost stamping
+// is deterministic for a fixed query and cost model, so restored cost
+// vectors are bit-identical to the originals.
+#ifndef MOQO_CORE_CHECKPOINT_H_
+#define MOQO_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/table_set.h"
+#include "core/plan_cache.h"
+#include "plan/plan.h"
+
+namespace moqo {
+
+class PlanFactory;
+
+/// First bytes of every session checkpoint ("MOQC" little-endian).
+inline constexpr uint32_t kCheckpointMagic = 0x43514f4du;
+
+/// Bumped whenever the checkpoint layout changes; Restore() rejects other
+/// versions.
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+/// Appends checkpoint fields to a byte buffer.
+class CheckpointWriter {
+ public:
+  CheckpointWriter() = default;
+
+  void WriteU8(uint8_t v);
+  void WriteU32(uint32_t v);
+  void WriteI32(int32_t v) { WriteU32(static_cast<uint32_t>(v)); }
+  void WriteU64(uint64_t v);
+  void WriteI64(int64_t v) { WriteU64(static_cast<uint64_t>(v)); }
+  /// Bit-exact (the value is stored as its IEEE-754 bit pattern).
+  void WriteDouble(double v);
+  void WriteString(const std::string& s);
+  /// Length-prefixed raw bytes (nested checkpoints).
+  void WriteBytes(const std::vector<uint8_t>& bytes);
+  void WriteTableSet(const TableSet& s);
+  void WriteIntVector(const std::vector<int>& v);
+  void WriteDoubleVector(const std::vector<double>& v);
+
+  /// Writes `plan` (which may be null) as structural records. Nodes
+  /// already written by this writer — including sub-plans of other plans —
+  /// are referenced by id instead of re-serialized, preserving structural
+  /// sharing across the whole checkpoint.
+  void WritePlan(const PlanPtr& plan);
+
+  /// Count-prefixed sequence of WritePlan records.
+  void WritePlans(const std::vector<PlanPtr>& plans);
+
+  /// Hands the accumulated buffer to the caller.
+  std::vector<uint8_t> Take() { return std::move(out_); }
+
+ private:
+  /// Serializes unseen nodes of `plan` post-order and returns its id.
+  uint32_t EmitPlanNodes(const PlanPtr& plan);
+
+  std::vector<uint8_t> out_;
+  std::unordered_map<const Plan*, uint32_t> plan_ids_;
+};
+
+/// Consumes checkpoint fields from a byte buffer. Every Read* past the end
+/// of the buffer (or structurally invalid) clears ok() and returns a
+/// zero/default value; callers check ok() once after a batch of reads.
+class CheckpointReader {
+ public:
+  /// The caller keeps `buffer` alive for the reader's lifetime. `factory`
+  /// rebuilds deserialized plan nodes (and must describe the same query and
+  /// cost model as the checkpointing run); it may be null if the buffer
+  /// contains no plans.
+  CheckpointReader(const std::vector<uint8_t>& buffer, PlanFactory* factory)
+      : buf_(&buffer), factory_(factory) {}
+
+  uint8_t ReadU8();
+  uint32_t ReadU32();
+  int32_t ReadI32() { return static_cast<int32_t>(ReadU32()); }
+  uint64_t ReadU64();
+  int64_t ReadI64() { return static_cast<int64_t>(ReadU64()); }
+  double ReadDouble();
+  std::string ReadString();
+  std::vector<uint8_t> ReadBytes();
+  TableSet ReadTableSet();
+  std::vector<int> ReadIntVector();
+  std::vector<double> ReadDoubleVector();
+
+  /// Mirrors CheckpointWriter::WritePlan. Returns null (which is also a
+  /// legal serialized value — check ok()) on malformed input.
+  PlanPtr ReadPlan();
+
+  /// Mirrors CheckpointWriter::WritePlans.
+  std::vector<PlanPtr> ReadPlans();
+
+  /// False once any read ran past the buffer or hit invalid structure.
+  bool ok() const { return ok_; }
+
+  /// True if the whole buffer has been consumed (trailing garbage in a
+  /// checkpoint is treated as corruption by Restore()).
+  bool AtEnd() const { return pos_ == buf_->size(); }
+
+ private:
+  /// Marks the reader failed and returns a default value.
+  void Fail() { ok_ = false; }
+  /// True if `n` more bytes are available.
+  bool Ensure(size_t n);
+
+  const std::vector<uint8_t>* buf_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+  PlanFactory* factory_;
+  /// Nodes deserialized so far; record i defines plan id i.
+  std::vector<PlanPtr> nodes_;
+};
+
+/// Restore-time validation helper: true if every plan in `plans` covers
+/// exactly the relation set `rel`. Result archives hold full-query plans;
+/// a corrupt plan reference that decodes to an interior node must fail the
+/// restore rather than silently truncate the query.
+bool AllPlansCover(const std::vector<PlanPtr>& plans, const TableSet& rel);
+
+/// Serializes a whole plan cache (entry count, then per entry the table
+/// set and its plan vector in stored order). Shared by the RMQ and DP
+/// session checkpoints so the corruption checks live in one place.
+void WritePlanCache(CheckpointWriter* writer, const PlanCache& cache);
+
+/// Mirrors WritePlanCache into `cache` (cleared first), adopting each
+/// entry verbatim — restore must not re-prune, as entries were pruned
+/// under the alpha in effect when they were inserted. Rejects (returns
+/// false) entries whose plans do not cover their key's relation set.
+bool ReadPlanCache(CheckpointReader* reader, PlanCache* cache);
+
+}  // namespace moqo
+
+#endif  // MOQO_CORE_CHECKPOINT_H_

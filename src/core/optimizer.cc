@@ -1,6 +1,37 @@
 #include "core/optimizer.h"
 
+#include "core/checkpoint.h"
+
 namespace moqo {
+
+std::vector<uint8_t> OptimizerSession::Checkpoint() const {
+  CheckpointWriter writer;
+  writer.WriteU32(kCheckpointMagic);
+  writer.WriteU32(kCheckpointVersion);
+  writer.WriteString(CheckpointTag());
+  writer.WriteString(rng()->SaveState());
+  writer.WriteI64(session_stats_.steps);
+  OnCheckpoint(&writer);
+  return writer.Take();
+}
+
+bool OptimizerSession::Restore(PlanFactory* factory, Rng* rng,
+                               const std::vector<uint8_t>& buffer) {
+  factory_ = factory;
+  rng_ = rng;
+  CheckpointReader reader(buffer, factory);
+  if (reader.ReadU32() != kCheckpointMagic) return false;
+  if (reader.ReadU32() != kCheckpointVersion) return false;
+  if (reader.ReadString() != CheckpointTag()) return false;
+  if (!rng->LoadState(reader.ReadString())) return false;
+  session_stats_ = SessionStats();
+  session_stats_.steps = reader.ReadI64();
+  if (!reader.ok()) return false;
+  if (!OnRestore(&reader)) return false;
+  // A checkpoint with trailing bytes (or one whose payload reads ran dry)
+  // is corrupt even if every individual field decoded.
+  return reader.ok() && reader.AtEnd();
+}
 
 std::vector<PlanPtr> RunSession(OptimizerSession* session,
                                 const Deadline& deadline,

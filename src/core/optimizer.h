@@ -37,6 +37,9 @@
 
 namespace moqo {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /// Invoked by the blocking Optimize() wrapper whenever the current result
 /// plan set may have changed. The vector holds the current non-dominated
 /// plans for the full query. Implementations must not retain references
@@ -92,6 +95,35 @@ class OptimizerSession {
   /// never report Done.
   virtual bool Done() const = 0;
 
+  /// True if the session stopped without completing its configured work —
+  /// it is Done, but only because it abandoned the run (DP giving up on an
+  /// oversized query or an expired mid-lattice budget). Service layers
+  /// must never count a gave-up run as a deadline hit, even when it
+  /// reported Done inside the window.
+  virtual bool GaveUp() const { return false; }
+
+  /// Serializes the session's complete mid-run state — the RNG stream
+  /// position, the step counter, and all algorithm state — into a
+  /// self-describing byte buffer. Call only between two Step() calls on a
+  /// session that has been Begin()- or Restore()-bound. Together with
+  /// Restore(), the buffer reconstructs a session that is
+  /// bitwise-indistinguishable from one that never paused: same frontier,
+  /// same remaining step sequence.
+  std::vector<uint8_t> Checkpoint() const;
+
+  /// Counterpart of Begin() for resuming a checkpointed run: binds the
+  /// session to `factory` and `rng` and reconstructs all per-run state from
+  /// `buffer`. The session must have been minted by the same algorithm and
+  /// configuration as the checkpointing one, and `factory` must describe
+  /// the same query and cost model (its deterministic cost stamping is what
+  /// makes restored plans bit-identical). `rng`'s stream position is
+  /// overwritten with the checkpointed one — its seed is irrelevant.
+  /// Returns false if the buffer is malformed or belongs to a different
+  /// algorithm; the session is then in an indeterminate state and only
+  /// Begin() or another Restore() may touch it next.
+  bool Restore(PlanFactory* factory, Rng* rng,
+               const std::vector<uint8_t>& buffer);
+
   /// Generic per-session counters (see algorithm sessions for typed ones).
   const SessionStats& session_stats() const { return session_stats_; }
 
@@ -101,6 +133,19 @@ class OptimizerSession {
 
   /// One work slice; only called while !Done().
   virtual bool DoStep(const Deadline& budget) = 0;
+
+  /// Algorithm identifier stamped into checkpoint headers and verified by
+  /// Restore() (e.g. "rmq", "dp"). Stable across versions.
+  virtual const char* CheckpointTag() const = 0;
+
+  /// Serializes all algorithm state (the base class has already written
+  /// the header, RNG position, and step counter).
+  virtual void OnCheckpoint(CheckpointWriter* writer) const = 0;
+
+  /// Reconstructs all algorithm state from `reader`; factory()/rng() are
+  /// valid when called. Returns false on malformed input (the reader's
+  /// failure flag is also checked by the caller afterwards).
+  virtual bool OnRestore(CheckpointReader* reader) = 0;
 
   PlanFactory* factory() const { return factory_; }
   Rng* rng() const { return rng_; }

@@ -41,6 +41,21 @@ class PlanCache {
   /// Drops all entries.
   void Clear() { cache_.clear(); }
 
+  /// Read access to the underlying map, for checkpoint serialization.
+  const std::unordered_map<TableSet, std::vector<PlanPtr>, TableSetHash>&
+  entries() const {
+    return cache_;
+  }
+
+  /// Replaces the entry for `rel` verbatim with a previously captured plan
+  /// vector (checkpoint restore). Bypasses pruning on purpose: entries were
+  /// pruned under the alpha in effect when they were inserted, so
+  /// re-running Insert with the current alpha could evict plans the
+  /// original cache still holds and diverge the resumed run.
+  void Adopt(const TableSet& rel, std::vector<PlanPtr> plans) {
+    cache_[rel] = std::move(plans);
+  }
+
  private:
   std::unordered_map<TableSet, std::vector<PlanPtr>, TableSetHash> cache_;
 };

@@ -1,5 +1,6 @@
 #include "core/rmq.h"
 
+#include "core/checkpoint.h"
 #include "core/frontier_approximation.h"
 #include "plan/random_plan.h"
 
@@ -80,6 +81,26 @@ bool RmqSession::DoStep(const Deadline& budget) {
   // harness re-scores the frontier after every iteration; report a
   // potential change unconditionally.
   return true;
+}
+
+void RmqSession::OnCheckpoint(CheckpointWriter* writer) const {
+  writer->WriteI32(stats_.iterations);
+  writer->WriteIntVector(stats_.path_lengths);
+  writer->WriteI64(stats_.frontier_insertions);
+  writer->WriteU64(stats_.final_frontier_size);
+  writer->WriteI32(next_iteration_);
+  WritePlanCache(writer, cache_);
+}
+
+bool RmqSession::OnRestore(CheckpointReader* reader) {
+  stats_ = RmqStats();
+  stats_.iterations = reader->ReadI32();
+  stats_.path_lengths = reader->ReadIntVector();
+  stats_.frontier_insertions = reader->ReadI64();
+  stats_.final_frontier_size = reader->ReadU64();
+  next_iteration_ = reader->ReadI32();
+  all_ = factory()->query().AllTables();
+  return ReadPlanCache(reader, &cache_);
 }
 
 }  // namespace moqo

@@ -81,6 +81,9 @@ class RmqSession : public OptimizerSession {
  protected:
   void OnBegin() override;
   bool DoStep(const Deadline& budget) override;
+  const char* CheckpointTag() const override { return "rmq"; }
+  void OnCheckpoint(CheckpointWriter* writer) const override;
+  bool OnRestore(CheckpointReader* reader) override;
 
  private:
   RmqConfig config_;

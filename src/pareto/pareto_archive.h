@@ -42,6 +42,12 @@ class ParetoArchive {
   /// Removes all plans.
   void Clear() { plans_.clear(); }
 
+  /// Replaces the archive with a previously captured plans() snapshot,
+  /// preserving order (checkpoint restore). The caller guarantees the
+  /// plans are mutually non-dominated — the invariant plans() snapshots
+  /// hold by construction.
+  void Adopt(std::vector<PlanPtr> plans) { plans_ = std::move(plans); }
+
  private:
   std::vector<PlanPtr> plans_;
 };

@@ -73,7 +73,11 @@ BatchTaskResult BatchOptimizer::RunOne(int index, const BatchTask& task,
   result.optimize_millis = watch.ElapsedMillis();
   result.frontier = CanonicalFrontier(plans);
   result.steps = session->session_stats().steps;
-  result.deadline_hit = result.had_deadline && session->Done() && !expired;
+  result.gave_up = session->GaveUp();
+  // A gave-up session (DP abandoning the run) is Done with nothing to
+  // show; completing the window with no result is not a hit.
+  result.deadline_hit = result.had_deadline && session->Done() &&
+                        !result.gave_up && !expired;
 
   if (config_.hold_full_window && result.had_deadline) {
     int64_t remaining = deadline.RemainingMicros();
@@ -126,20 +130,31 @@ void BatchReport::Aggregate() {
   max_frontier = 0;
   deadline_tasks = 0;
   deadline_hits = 0;
+  migrated_tasks = 0;
+  size_t counted = 0;
   std::vector<double> optimize_times;
   optimize_times.reserve(tasks.size());
   for (const BatchTaskResult& task : tasks) {
+    if (task.migrated) {
+      // The task finished elsewhere; whatever scheduler resumed it reports
+      // it. Counting the stub slot here would dilute every aggregate.
+      ++migrated_tasks;
+      continue;
+    }
+    ++counted;
     total_frontier += task.frontier.size();
     max_frontier = std::max(max_frontier, task.frontier.size());
     optimize_times.push_back(task.optimize_millis);
     if (task.had_deadline) {
       ++deadline_tasks;
-      if (task.deadline_hit) ++deadline_hits;
+      // Belt and braces: producers already clear deadline_hit for gave-up
+      // runs, but an aggregate must never count one as a hit.
+      if (task.deadline_hit && !task.gave_up) ++deadline_hits;
     }
   }
-  mean_frontier = tasks.empty() ? 0.0
-                                : static_cast<double>(total_frontier) /
-                                      static_cast<double>(tasks.size());
+  mean_frontier = counted == 0 ? 0.0
+                               : static_cast<double>(total_frontier) /
+                                     static_cast<double>(counted);
   p50_optimize_millis = Percentile(optimize_times, 0.50);
   p95_optimize_millis = Percentile(optimize_times, 0.95);
   deadline_hit_rate = deadline_tasks == 0
@@ -159,6 +174,9 @@ std::string BatchReport::Summary() const {
   if (deadline_tasks > 0) {
     out << "deadlines: " << deadline_hits << "/" << deadline_tasks
         << " hit (" << 100.0 * deadline_hit_rate << "%)\n";
+  }
+  if (migrated_tasks > 0) {
+    out << "migrated away: " << migrated_tasks << " task(s)\n";
   }
   return out.str();
 }

@@ -85,7 +85,19 @@ struct BatchTaskResult {
   /// True if the task had a deadline and its session completed its
   /// configured work (Done) before that deadline expired — the headline
   /// service-level metric aggregated into BatchReport::deadline_hit_rate.
+  /// A gave-up session (see below) never hits, even inside the window.
   bool deadline_hit = false;
+  /// True if the session stopped without completing its configured work
+  /// (OptimizerSession::GaveUp — e.g. DP abandoning an oversized query or
+  /// an expired mid-lattice budget). Such a run reports an empty frontier
+  /// and must not be counted as a deadline hit.
+  bool gave_up = false;
+  /// True if the task was drained off this scheduler by Suspend() and
+  /// finished (or will finish) on whichever scheduler resumed it. The slot
+  /// keeps only the pre-migration step/time counters and is excluded from
+  /// report aggregation; the destination scheduler reports the final
+  /// result, and the original Submit() future delivers it.
+  bool migrated = false;
 };
 
 /// Aggregated outcome of one batch run.
@@ -109,6 +121,9 @@ struct BatchReport {
   /// deadline_hits / deadline_tasks; 1.0 (vacuously) when no task had a
   /// deadline.
   double deadline_hit_rate = 1.0;
+  /// Tasks suspended off this scheduler mid-run (their slots are excluded
+  /// from every aggregate above).
+  size_t migrated_tasks = 0;
 
   /// Recomputes the aggregate fields (frontier totals, percentiles) from
   /// `tasks`. Run() calls this; schedulers producing their own reports can

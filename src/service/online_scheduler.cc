@@ -14,9 +14,17 @@ namespace moqo {
 /// holding it: the submitter before it enters the ready queue, then exactly
 /// one worker per slice. Hand-offs go through mu_.
 struct OnlineScheduler::OpenQuery {
-  OpenQuery(const BatchTask& task, const CostModel* model)
-      : rng(task.seed), factory(task.query, model) {}
+  OpenQuery(const BatchTask& request, const CostModel* model)
+      : task(request), rng(request.seed), factory(request.query, model) {}
 
+  /// Where the per-task state currently lives. Hand-offs through mu_:
+  /// kQueued — in ready_, touched by nobody; kRunning — owned by exactly
+  /// one worker; kParked — pulled out of circulation for a Suspend() in
+  /// progress, owned by the suspending thread.
+  enum class RunState { kQueued, kRunning, kParked };
+
+  /// The original request, retained so Suspend() can hand it on.
+  BatchTask task;
   int index = -1;  // submission index == result slot
   Rng rng;
   PlanFactory factory;
@@ -30,6 +38,10 @@ struct OnlineScheduler::OpenQuery {
   bool begun = false;
   /// Sum of slice durations so far (excludes ready-queue wait time).
   double optimize_millis = 0.0;
+  RunState state = RunState::kQueued;
+  /// Set under mu_ by Suspend(); a worker seeing it after a slice parks
+  /// the query instead of requeueing it.
+  bool suspend_requested = false;
   std::promise<BatchTaskResult> promise;
 };
 
@@ -59,40 +71,137 @@ void OnlineScheduler::Start() {
   }
 }
 
+bool OnlineScheduler::WaitForAdmissionSlot(
+    std::unique_lock<std::mutex>& lock) {
+  if (stopping_) return false;
+  if (config_.max_open > 0 && open_ >= config_.max_open) {
+    if (config_.admission == AdmissionPolicy::kReject) return false;
+    admit_cv_.wait(lock, [this] {
+      return stopping_ || open_ < config_.max_open;
+    });
+    if (stopping_) return false;
+  }
+  return true;
+}
+
+void OnlineScheduler::EnqueueAdmitted(std::unique_ptr<OpenQuery> owned,
+                                      int64_t window_micros) {
+  OpenQuery* q = owned.get();
+  q->index = static_cast<int>(queries_.size());
+  q->admit_micros = epoch_.ElapsedMicros();
+  if (q->had_deadline) {
+    // The deadline starts at admission: queueing delay counts against it.
+    // The window is clamped (see kMaxDeadlineMicros), so adding it to the
+    // admission timestamp cannot overflow the EDF key.
+    q->deadline = Deadline::AfterMicros(window_micros);
+    q->deadline_key_micros = q->admit_micros + window_micros;
+  }
+  queries_.push_back(std::move(owned));
+  results_.emplace_back();
+  ++open_;
+  ready_.push(MakeReadyItem(q));
+}
+
 std::optional<std::future<BatchTaskResult>> OnlineScheduler::Submit(
     const BatchTask& task) {
   // Build the expensive per-task state (factory, session) outside the lock;
   // the factory callback is user code and must not run under mu_.
   auto owned = std::make_unique<OpenQuery>(task, &model_);
   owned->session = make_optimizer_()->NewSession();
+  owned->had_deadline = task.deadline_micros > 0;
+  std::future<BatchTaskResult> ticket = owned->promise.get_future();
+  int64_t window = task.deadline_micros > kMaxDeadlineMicros
+                       ? kMaxDeadlineMicros
+                       : task.deadline_micros;
 
   std::unique_lock<std::mutex> lock(mu_);
-  if (stopping_) return std::nullopt;
-  if (config_.max_open > 0 && open_ >= config_.max_open) {
-    if (config_.admission == AdmissionPolicy::kReject) return std::nullopt;
-    admit_cv_.wait(lock, [this] {
-      return stopping_ || open_ < config_.max_open;
-    });
-    if (stopping_) return std::nullopt;
-  }
-
-  OpenQuery* q = owned.get();
-  q->index = static_cast<int>(queries_.size());
-  q->had_deadline = task.deadline_micros > 0;
-  q->admit_micros = epoch_.ElapsedMicros();
-  if (q->had_deadline) {
-    // The deadline starts at admission: queueing delay counts against it.
-    q->deadline = Deadline::AfterMicros(task.deadline_micros);
-    q->deadline_key_micros = q->admit_micros + task.deadline_micros;
-  }
-  std::future<BatchTaskResult> ticket = q->promise.get_future();
-  queries_.push_back(std::move(owned));
-  results_.emplace_back();
-  ++open_;
-  ready_.push(MakeReadyItem(q));
+  if (!WaitForAdmissionSlot(lock)) return std::nullopt;
+  EnqueueAdmitted(std::move(owned), window);
   lock.unlock();
   work_cv_.notify_one();
   return ticket;
+}
+
+std::optional<SuspendedTask> OnlineScheduler::Suspend(
+    size_t submission_index) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (submission_index >= queries_.size()) return std::nullopt;
+  OpenQuery* q = queries_[submission_index].get();
+  if (q == nullptr || q->suspend_requested || stopping_) return std::nullopt;
+  q->suspend_requested = true;
+  if (q->state == OpenQuery::RunState::kQueued) {
+    RemoveFromReady(q);
+    q->state = OpenQuery::RunState::kParked;
+  } else {
+    // A worker owns the current slice; it parks the query (instead of
+    // requeueing) or finalizes it when the slice ends.
+    suspend_cv_.wait(lock, [&] {
+      OpenQuery* p = queries_[submission_index].get();
+      return p == nullptr || p->state == OpenQuery::RunState::kParked;
+    });
+    if (queries_[submission_index] == nullptr) {
+      // The slice completed the task; its future is already fulfilled.
+      return std::nullopt;
+    }
+  }
+
+  // Parked and out of the ready queue: this thread owns the query
+  // exclusively, so the (potentially large) checkpoint is serialized
+  // without blocking the workers.
+  lock.unlock();
+  SuspendedTask out;
+  out.task = q->task;
+  out.had_deadline = q->had_deadline;
+  if (q->had_deadline) out.remaining_micros = q->deadline.RemainingMicros();
+  out.optimize_millis = q->optimize_millis;
+  if (q->begun) {
+    out.checkpoint = q->session->Checkpoint();
+    out.steps = q->session->session_stats().steps;
+  }
+  out.promise = std::move(q->promise);
+
+  lock.lock();
+  BatchTaskResult& slot = results_[submission_index];
+  slot.index = q->index;
+  slot.migrated = true;
+  slot.had_deadline = q->had_deadline;
+  slot.optimize_millis = q->optimize_millis;
+  slot.admit_millis = static_cast<double>(q->admit_micros) / 1000.0;
+  slot.steps = out.steps;
+  queries_[submission_index].reset();
+  --open_;
+  admit_cv_.notify_one();
+  if (open_ == 0) drain_cv_.notify_all();
+  return out;
+}
+
+bool OnlineScheduler::Resume(SuspendedTask& task) {
+  if (task.consumed) return false;
+  auto owned = std::make_unique<OpenQuery>(task.task, &model_);
+  owned->session = make_optimizer_()->NewSession();
+  if (!task.checkpoint.empty()) {
+    // Restore eagerly (outside the lock) so a rejected checkpoint can be
+    // reported to the caller instead of surfacing as a worker error.
+    if (!owned->session->Restore(&owned->factory, &owned->rng,
+                                 task.checkpoint)) {
+      return false;
+    }
+    owned->begun = true;
+  }
+  owned->had_deadline = task.had_deadline;
+  owned->optimize_millis = task.optimize_millis;
+  int64_t window = task.remaining_micros;
+  if (window < 0) window = 0;
+  if (window > kMaxDeadlineMicros) window = kMaxDeadlineMicros;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!WaitForAdmissionSlot(lock)) return false;
+  task.consumed = true;
+  owned->promise = std::move(task.promise);
+  EnqueueAdmitted(std::move(owned), window);
+  lock.unlock();
+  work_cv_.notify_one();
+  return true;
 }
 
 void OnlineScheduler::Drain() {
@@ -177,7 +286,20 @@ void OnlineScheduler::Finalize(OpenQuery* query, BatchTaskResult result,
   queries_[static_cast<size_t>(query->index)].reset();
   --open_;
   admit_cv_.notify_one();
+  // A Suspend() may be waiting on this query; it observes the reset slot
+  // and reports that the task already finished.
+  suspend_cv_.notify_all();
   if (open_ == 0) drain_cv_.notify_all();
+}
+
+void OnlineScheduler::RemoveFromReady(OpenQuery* query) {
+  std::vector<ReadyItem> keep;
+  keep.reserve(ready_.size());
+  while (!ready_.empty()) {
+    if (ready_.top().query != query) keep.push_back(ready_.top());
+    ready_.pop();
+  }
+  for (ReadyItem& item : keep) ready_.push(item);
 }
 
 void OnlineScheduler::WorkerLoop() {
@@ -190,6 +312,7 @@ void OnlineScheduler::WorkerLoop() {
     if (ready_.empty()) return;
     OpenQuery* q = ready_.top().query;
     ready_.pop();
+    q->state = OpenQuery::RunState::kRunning;
     lock.unlock();
 
     // Run one slice without the lock; this worker owns `q` exclusively
@@ -222,8 +345,11 @@ void OnlineScheduler::WorkerLoop() {
         result.elapsed_millis = epoch_.ElapsedMillis() - result.admit_millis;
         result.steps = q->session->session_stats().steps;
         result.had_deadline = q->had_deadline;
-        result.deadline_hit =
-            q->had_deadline && q->session->Done() && !expired;
+        result.gave_up = q->session->GaveUp();
+        // A gave-up session (e.g. DP on an oversized query) is Done with
+        // an empty frontier; being inside the window is not a hit.
+        result.deadline_hit = q->had_deadline && q->session->Done() &&
+                              !result.gave_up && !expired;
       }
     } catch (...) {
       // A throwing optimizer must not take the service down: finalize the
@@ -238,7 +364,14 @@ void OnlineScheduler::WorkerLoop() {
     }
 
     lock.lock();
+    if (!finished && q->suspend_requested) {
+      // Hand the query to the waiting Suspend() instead of requeueing.
+      q->state = OpenQuery::RunState::kParked;
+      suspend_cv_.notify_all();
+      continue;
+    }
     if (!finished) {
+      q->state = OpenQuery::RunState::kQueued;
       ready_.push(MakeReadyItem(q));
       work_cv_.notify_one();
       continue;

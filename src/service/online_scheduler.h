@@ -77,6 +77,39 @@ enum class AdmissionPolicy {
   kReject,
 };
 
+/// A task drained off a scheduler mid-run by Suspend(): the original
+/// request, the serialized session state (checkpoint), the unexpired
+/// deadline budget, and the promise feeding the future handed out by the
+/// original Submit(). Resume() re-admits it to any scheduler instance
+/// whose optimizer configuration and cost metrics match — the in-process
+/// stand-in for migrating a session between worker processes — and the
+/// original future then delivers the final result. Destroying a
+/// SuspendedTask without resuming it breaks that future
+/// (std::future_error), exactly like killing a migrating task would.
+struct SuspendedTask {
+  BatchTask task;
+  /// OptimizerSession::Checkpoint() of the mid-run state (RNG stream
+  /// position included); empty if the task never ran a slice, in which
+  /// case Resume() simply begins the session from scratch.
+  std::vector<uint8_t> checkpoint;
+  bool had_deadline = false;
+  /// Unexpired window at suspension time, re-armed by Resume(). Time spent
+  /// suspended is a free pause: the clock restarts on re-admission, just
+  /// as a cross-process migration would re-arm its local timer.
+  int64_t remaining_micros = 0;
+  /// Slice time accumulated on the source scheduler; carried into the
+  /// destination's accounting.
+  double optimize_millis = 0.0;
+  /// Steps executed so far (also inside the checkpoint; exposed for logs).
+  int64_t steps = 0;
+  /// Fulfills the future returned by the original Submit().
+  std::promise<BatchTaskResult> promise;
+  /// Set by a successful Resume(); a second Resume() of the same object
+  /// returns false instead of admitting a duplicate whose moved-from
+  /// promise would blow up at finalization.
+  bool consumed = false;
+};
+
 /// Configuration for one OnlineScheduler instance.
 struct OnlineConfig {
   /// Worker threads serving all open sessions.
@@ -141,6 +174,28 @@ class OnlineScheduler {
   /// rejected; the scheduler cannot be restarted.
   BatchReport Stop();
 
+  /// Drains one admitted-but-unfinished task off this scheduler.
+  /// `submission_index` is the task's zero-based admission order — the
+  /// position of its result in the Stop() report. If the task is currently
+  /// running a slice, blocks until that slice completes (suspension happens
+  /// only at slice boundaries, where the session state is checkpointable).
+  /// Returns std::nullopt if the index is invalid, the task already
+  /// finished (its future is already fulfilled), it was already suspended,
+  /// or the scheduler is stopping. On success the task's report slot is
+  /// marked migrated and its admission-window slot is released.
+  std::optional<SuspendedTask> Suspend(size_t submission_index);
+
+  /// Re-admits a suspended task — from this scheduler or another instance
+  /// with the same optimizer configuration and metrics — restoring its
+  /// session from the checkpoint and re-arming the remaining deadline
+  /// window. Admission back-pressure applies exactly like Submit().
+  /// Returns false, leaving `task` intact for a retry elsewhere, if the
+  /// scheduler is stopping, the window is full under kReject, or the
+  /// checkpoint is rejected (wrong algorithm or corrupt buffer). On
+  /// success `task` is consumed and the original Submit() future will
+  /// deliver the task's final result from this scheduler.
+  bool Resume(SuspendedTask& task);
+
   const OnlineConfig& config() const { return config_; }
 
   /// Admitted-but-unfinished tasks.
@@ -173,6 +228,17 @@ class OnlineScheduler {
   /// releases the admission slot. Requires mu_.
   void Finalize(OpenQuery* query, BatchTaskResult result,
                 std::exception_ptr error);
+  /// Waits for an admission-window slot (kBlock) or reports rejection
+  /// (kReject / stopping). Requires mu_; shared by Submit() and Resume().
+  bool WaitForAdmissionSlot(std::unique_lock<std::mutex>& lock);
+  /// Assigns the submission index, arms the deadline window
+  /// (`window_micros`, already clamped; ignored unless the query has a
+  /// deadline), and enqueues the first slice. Requires mu_.
+  void EnqueueAdmitted(std::unique_ptr<OpenQuery> owned,
+                       int64_t window_micros);
+  /// Rebuilds ready_ without `query`'s entry (Suspend of a queued task).
+  /// Requires mu_. Seq keys are preserved, so relative order is unchanged.
+  void RemoveFromReady(OpenQuery* query);
 
   OnlineConfig config_;
   OptimizerFactory make_optimizer_;
@@ -184,6 +250,7 @@ class OnlineScheduler {
   std::condition_variable work_cv_;   // workers: ready work or shutdown
   std::condition_variable admit_cv_;  // Submit(kBlock): window slot freed
   std::condition_variable drain_cv_;  // Drain()/Stop(): open_ hit zero
+  std::condition_variable suspend_cv_;  // Suspend(): slice parked/finished
   std::vector<std::thread> workers_;
   std::priority_queue<ReadyItem, std::vector<ReadyItem>, std::greater<>>
       ready_;

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "baselines/dp.h"
 #include "core/rmq.h"
 #include "service/cooperative_scheduler.h"
 #include "service/thread_pool.h"
@@ -162,6 +163,72 @@ TEST(PercentileTest, NearestRank) {
   EXPECT_DOUBLE_EQ(Percentile(values, 0.5), 2.0);
   EXPECT_DOUBLE_EQ(Percentile(values, 0.95), 4.0);
   EXPECT_DOUBLE_EQ(Percentile(values, 1.0), 4.0);
+}
+
+// Regression: an empty sample — e.g. every submission of a batch bounced
+// off a full admission window under AdmissionPolicy::kReject, so no
+// optimize-time was ever recorded — must yield 0.0 at every quantile, not
+// an out-of-bounds read.
+TEST(PercentileTest, EmptySampleIsZeroAtEveryQuantile) {
+  for (double q : {0.0, 0.5, 0.95, 1.0, -3.0, 7.0}) {
+    EXPECT_DOUBLE_EQ(Percentile({}, q), 0.0) << "q=" << q;
+  }
+  // Aggregating a report with no tasks exercises the same path.
+  BatchReport empty;
+  empty.Aggregate();
+  EXPECT_DOUBLE_EQ(empty.p50_optimize_millis, 0.0);
+  EXPECT_DOUBLE_EQ(empty.p95_optimize_millis, 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean_frontier, 0.0);
+  EXPECT_DOUBLE_EQ(empty.deadline_hit_rate, 1.0);
+  EXPECT_FALSE(empty.Summary().empty());
+}
+
+// A report whose every slot was migrated away aggregates like an empty one
+// (the destination scheduler reports those tasks).
+TEST(BatchReportTest, MigratedSlotsAreExcludedFromAggregates) {
+  BatchReport report;
+  BatchTaskResult stub;
+  stub.index = 0;
+  stub.migrated = true;
+  stub.had_deadline = true;
+  stub.optimize_millis = 123.0;
+  report.tasks.push_back(stub);
+  BatchTaskResult real;
+  real.index = 1;
+  real.optimize_millis = 2.0;
+  real.frontier.resize(3);
+  report.tasks.push_back(real);
+  report.Aggregate();
+  EXPECT_EQ(report.migrated_tasks, 1u);
+  EXPECT_EQ(report.deadline_tasks, 0u);
+  EXPECT_EQ(report.total_frontier, 3u);
+  EXPECT_DOUBLE_EQ(report.mean_frontier, 3.0);
+  EXPECT_DOUBLE_EQ(report.p50_optimize_millis, 2.0);
+  EXPECT_NE(report.Summary().find("migrated away: 1"), std::string::npos);
+}
+
+// A gave-up run (DP abandoning an oversized query) must never be recorded
+// as a deadline hit, even though its session reports Done well inside the
+// window. Regression for the hit-rate bug where a 25-table DP task counted
+// as a hit with an empty frontier.
+TEST(BatchOptimizerTest, GaveUpDpRunIsNeverADeadlineHit) {
+  GeneratorConfig generator;
+  generator.num_tables = 25;  // beyond DpConfig::max_tables
+  std::vector<BatchTask> tasks =
+      GenerateBatch(1, generator, /*master_seed=*/3, /*deadline_micros=*/
+                    60 * 1000 * 1000);
+  BatchConfig config;
+  BatchReport report = BatchOptimizer(config, [] {
+                         return std::make_unique<DpOptimizer>();
+                       }).Run(tasks);
+  ASSERT_EQ(report.tasks.size(), 1u);
+  EXPECT_TRUE(report.tasks[0].gave_up);
+  EXPECT_TRUE(report.tasks[0].frontier.empty());
+  EXPECT_TRUE(report.tasks[0].had_deadline);
+  EXPECT_FALSE(report.tasks[0].deadline_hit);
+  EXPECT_EQ(report.deadline_tasks, 1u);
+  EXPECT_EQ(report.deadline_hits, 0u);
+  EXPECT_DOUBLE_EQ(report.deadline_hit_rate, 0.0);
 }
 
 TEST(BatchReportTest, SummaryReportsPercentilesAndTotals) {

@@ -1,0 +1,418 @@
+// Checkpoint/restore conformance suite: for every algorithm, suspending a
+// session mid-run (Checkpoint) and restoring it into a fresh session —
+// with a fresh PlanFactory and a fresh Rng, as a migration between
+// scheduler instances would — must be invisible: the resumed run produces
+// a frontier bitwise identical to the uninterrupted reference and executes
+// the same number of remaining steps. Also covers the serialization
+// substrate itself (round-trips, structural plan sharing, corruption
+// rejection).
+#include "core/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/dp.h"
+#include "baselines/iterative_improvement.h"
+#include "baselines/nsga2.h"
+#include "baselines/simulated_annealing.h"
+#include "baselines/two_phase.h"
+#include "baselines/weighted_sum.h"
+#include "core/rmq.h"
+#include "query/generator.h"
+#include "service/batch_optimizer.h"
+
+namespace moqo {
+namespace {
+
+struct Fixture {
+  QueryPtr query;
+  CostModel model;
+  PlanFactory factory;
+
+  explicit Fixture(int tables, uint64_t seed = 42)
+      : query([&] {
+          Rng rng(seed);
+          GeneratorConfig config;
+          config.num_tables = tables;
+          return GenerateQuery(config, &rng);
+        }()),
+        model({Metric::kTime, Metric::kBuffer}),
+        factory(query, &model) {}
+};
+
+struct BoundedAlgorithm {
+  std::string label;
+  std::function<std::unique_ptr<Optimizer>()> make;
+};
+
+// Iteration-bounded configurations (mirroring the session-conformance
+// suite) so every run has a deterministic end and a deterministic frontier.
+std::vector<BoundedAlgorithm> AllBoundedAlgorithms() {
+  std::vector<BoundedAlgorithm> algorithms;
+  algorithms.push_back({"RMQ", [] {
+                          RmqConfig config;
+                          config.max_iterations = 25;
+                          return std::make_unique<Rmq>(config);
+                        }});
+  algorithms.push_back({"DP(2)", [] {
+                          DpConfig config;
+                          config.alpha = 2.0;
+                          return std::make_unique<DpOptimizer>(config);
+                        }});
+  algorithms.push_back({"NSGA-II", [] {
+                          Nsga2Config config;
+                          config.population_size = 30;
+                          config.max_generations = 5;
+                          return std::make_unique<Nsga2>(config);
+                        }});
+  algorithms.push_back({"SA", [] {
+                          SaConfig config;
+                          config.max_epochs = 20;
+                          return std::make_unique<SimulatedAnnealing>(config);
+                        }});
+  algorithms.push_back({"II", [] {
+                          IiConfig config;
+                          config.max_iterations = 10;
+                          return std::make_unique<IterativeImprovement>(
+                              config);
+                        }});
+  algorithms.push_back({"2P", [] {
+                          TwoPhaseConfig config;
+                          config.phase_one_iterations = 5;
+                          config.max_phase_two_epochs = 10;
+                          return std::make_unique<TwoPhase>(config);
+                        }});
+  algorithms.push_back({"WeightedSum", [] {
+                          WeightedSumConfig config;
+                          config.num_weight_vectors = 8;
+                          config.max_climbs = 10;
+                          return std::make_unique<WeightedSum>(config);
+                        }});
+  return algorithms;
+}
+
+void ExpectBitwiseEqual(const std::vector<CostVector>& a,
+                        const std::vector<CostVector>& b,
+                        const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size()) << label << " vector " << i;
+    for (int j = 0; j < a[i].size(); ++j) {
+      EXPECT_EQ(a[i][j], b[i][j])
+          << label << " vector " << i << " metric " << j;
+    }
+  }
+}
+
+class CheckpointConformanceTest : public ::testing::TestWithParam<size_t> {};
+
+// The tentpole property: checkpoint after k steps, restore into a fresh
+// session bound to a *fresh* factory and Rng (the migration scenario), run
+// both to Done — frontier and total step count must match the
+// uninterrupted run exactly, for every pause point.
+TEST_P(CheckpointConformanceTest, RestoredRunIsBitwiseIndistinguishable) {
+  BoundedAlgorithm algorithm = AllBoundedAlgorithms()[GetParam()];
+  constexpr uint64_t kSeed = 2016;
+
+  // Uninterrupted reference.
+  Fixture reference_fx(6);
+  std::unique_ptr<OptimizerSession> reference =
+      algorithm.make()->NewSession();
+  Rng reference_rng(kSeed);
+  reference->Begin(&reference_fx.factory, &reference_rng);
+  while (!reference->Done()) reference->Step();
+  std::vector<CostVector> expected =
+      CanonicalFrontier(reference->Frontier());
+  int64_t expected_steps = reference->session_stats().steps;
+  ASSERT_FALSE(expected.empty()) << algorithm.label;
+
+  for (int64_t pause_after : {int64_t{0}, int64_t{1}, expected_steps / 2,
+                              expected_steps}) {
+    // Run a fresh session up to the pause point and checkpoint it.
+    Fixture source_fx(6);
+    std::unique_ptr<OptimizerSession> source =
+        algorithm.make()->NewSession();
+    Rng source_rng(kSeed);
+    source->Begin(&source_fx.factory, &source_rng);
+    for (int64_t s = 0; s < pause_after && !source->Done(); ++s) {
+      source->Step();
+    }
+    std::vector<uint8_t> checkpoint = source->Checkpoint();
+
+    // Restore into a different session / factory / Rng, as after a
+    // migration; the Rng seed is deliberately wrong (the checkpointed
+    // stream position must win).
+    Fixture target_fx(6);
+    std::unique_ptr<OptimizerSession> target =
+        algorithm.make()->NewSession();
+    Rng target_rng(kSeed + 999);
+    ASSERT_TRUE(target->Restore(&target_fx.factory, &target_rng, checkpoint))
+        << algorithm.label << " pause " << pause_after;
+    EXPECT_EQ(target->session_stats().steps,
+              source->session_stats().steps);
+
+    while (!target->Done()) target->Step();
+    EXPECT_EQ(target->session_stats().steps, expected_steps)
+        << algorithm.label << " pause " << pause_after;
+    ExpectBitwiseEqual(
+        CanonicalFrontier(target->Frontier()), expected,
+        algorithm.label + " pause " + std::to_string(pause_after));
+  }
+}
+
+// Checkpointing must not perturb the source session: continuing it after
+// Checkpoint() still reproduces the reference run.
+TEST_P(CheckpointConformanceTest, CheckpointDoesNotDisturbSource) {
+  BoundedAlgorithm algorithm = AllBoundedAlgorithms()[GetParam()];
+  constexpr uint64_t kSeed = 7;
+
+  Fixture reference_fx(5);
+  std::unique_ptr<OptimizerSession> reference =
+      algorithm.make()->NewSession();
+  Rng reference_rng(kSeed);
+  reference->Begin(&reference_fx.factory, &reference_rng);
+  while (!reference->Done()) reference->Step();
+
+  Fixture fx(5);
+  std::unique_ptr<OptimizerSession> session = algorithm.make()->NewSession();
+  Rng rng(kSeed);
+  session->Begin(&fx.factory, &rng);
+  while (!session->Done()) {
+    session->Checkpoint();  // discard; must be a pure read
+    session->Step();
+  }
+  EXPECT_EQ(session->session_stats().steps,
+            reference->session_stats().steps);
+  ExpectBitwiseEqual(CanonicalFrontier(session->Frontier()),
+                     CanonicalFrontier(reference->Frontier()),
+                     algorithm.label);
+}
+
+// A checkpoint only restores into a session of the same algorithm; any
+// other session rejects it instead of resuming garbage.
+TEST_P(CheckpointConformanceTest, RejectsForeignAndCorruptCheckpoints) {
+  std::vector<BoundedAlgorithm> algorithms = AllBoundedAlgorithms();
+  BoundedAlgorithm algorithm = algorithms[GetParam()];
+  Fixture fx(5);
+  std::unique_ptr<OptimizerSession> session = algorithm.make()->NewSession();
+  Rng rng(11);
+  session->Begin(&fx.factory, &rng);
+  session->Step();
+  std::vector<uint8_t> checkpoint = session->Checkpoint();
+
+  // Foreign algorithm.
+  BoundedAlgorithm other = algorithms[(GetParam() + 1) % algorithms.size()];
+  std::unique_ptr<OptimizerSession> foreign = other.make()->NewSession();
+  Rng foreign_rng(11);
+  Fixture foreign_fx(5);
+  EXPECT_FALSE(
+      foreign->Restore(&foreign_fx.factory, &foreign_rng, checkpoint))
+      << other.label << " accepted a " << algorithm.label << " checkpoint";
+
+  // Truncation and trailing garbage.
+  std::vector<uint8_t> truncated(checkpoint.begin(),
+                                 checkpoint.end() - checkpoint.size() / 3);
+  std::vector<uint8_t> padded = checkpoint;
+  padded.push_back(0xff);
+  std::vector<uint8_t> empty;
+  for (const std::vector<uint8_t>* bad : {&truncated, &padded, &empty}) {
+    Fixture bad_fx(5);
+    std::unique_ptr<OptimizerSession> target =
+        algorithm.make()->NewSession();
+    Rng bad_rng(11);
+    EXPECT_FALSE(target->Restore(&bad_fx.factory, &bad_rng, *bad))
+        << algorithm.label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, CheckpointConformanceTest,
+    ::testing::Range<size_t>(0, 7),
+    [](const ::testing::TestParamInfo<size_t>& info) {
+      std::string name = AllBoundedAlgorithms()[info.param].label;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Substrate tests.
+
+TEST(CheckpointIoTest, PrimitiveRoundTrip) {
+  CheckpointWriter writer;
+  writer.WriteU8(0xab);
+  writer.WriteU32(0xdeadbeef);
+  writer.WriteI32(-42);
+  writer.WriteU64(0x0123456789abcdefull);
+  writer.WriteI64(INT64_MIN);
+  writer.WriteDouble(3.141592653589793);
+  writer.WriteDouble(-0.0);
+  writer.WriteString("checkpoint");
+  writer.WriteIntVector({1, -2, 3});
+  writer.WriteDoubleVector({0.5, 1e300});
+  TableSet set;
+  set.Add(0);
+  set.Add(63);
+  set.Add(200);
+  writer.WriteTableSet(set);
+  std::vector<uint8_t> buffer = writer.Take();
+
+  CheckpointReader reader(buffer, nullptr);
+  EXPECT_EQ(reader.ReadU8(), 0xab);
+  EXPECT_EQ(reader.ReadU32(), 0xdeadbeefu);
+  EXPECT_EQ(reader.ReadI32(), -42);
+  EXPECT_EQ(reader.ReadU64(), 0x0123456789abcdefull);
+  EXPECT_EQ(reader.ReadI64(), INT64_MIN);
+  EXPECT_EQ(reader.ReadDouble(), 3.141592653589793);
+  double negative_zero = reader.ReadDouble();
+  EXPECT_EQ(negative_zero, 0.0);
+  EXPECT_TRUE(std::signbit(negative_zero));
+  EXPECT_EQ(reader.ReadString(), "checkpoint");
+  EXPECT_EQ(reader.ReadIntVector(), (std::vector<int>{1, -2, 3}));
+  EXPECT_EQ(reader.ReadDoubleVector(), (std::vector<double>{0.5, 1e300}));
+  EXPECT_EQ(reader.ReadTableSet(), set);
+  EXPECT_TRUE(reader.ok());
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(CheckpointIoTest, ReadPastEndFailsInsteadOfThrowing) {
+  CheckpointWriter writer;
+  writer.WriteU32(7);
+  std::vector<uint8_t> buffer = writer.Take();
+  CheckpointReader reader(buffer, nullptr);
+  EXPECT_EQ(reader.ReadU64(), 0u);  // only 4 bytes available
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.ReadString(), "");  // stays failed
+}
+
+// Structural sharing survives the round-trip: a sub-plan referenced by two
+// plans is serialized once and restored as one shared node.
+TEST(CheckpointIoTest, PlanRoundTripPreservesSharingAndCosts) {
+  Fixture fx(4);
+  Rng rng(5);
+  PlanPtr scan0 = fx.factory.MakeScan(0, ScanAlgorithm::kFullScan);
+  PlanPtr scan1 = fx.factory.MakeScan(1, ScanAlgorithm::kFullScan);
+  PlanPtr shared = fx.factory.MakeJoin(scan0, scan1,
+                                       JoinAlgorithm::kHashSmall);
+  PlanPtr scan2 = fx.factory.MakeScan(2, ScanAlgorithm::kFullScan);
+  PlanPtr scan3 = fx.factory.MakeScan(3, ScanAlgorithm::kFullScan);
+  PlanPtr a = fx.factory.MakeJoin(shared, scan2, JoinAlgorithm::kNestedLoop);
+  PlanPtr b = fx.factory.MakeJoin(shared, scan3,
+                                  JoinAlgorithm::kSortMergeLarge);
+
+  CheckpointWriter writer;
+  writer.WritePlans({a, b});
+  std::vector<uint8_t> buffer = writer.Take();
+
+  Fixture target(4);
+  CheckpointReader reader(buffer, &target.factory);
+  std::vector<PlanPtr> restored = reader.ReadPlans();
+  ASSERT_TRUE(reader.ok());
+  ASSERT_EQ(restored.size(), 2u);
+  // Same shared node object, not two structural copies.
+  EXPECT_EQ(restored[0]->outer().get(), restored[1]->outer().get());
+  // Costs restamped by the fresh factory are bit-identical.
+  for (size_t i = 0; i < 2; ++i) {
+    const CostVector& original = (i == 0 ? a : b)->cost();
+    const CostVector& copy = restored[i]->cost();
+    ASSERT_EQ(copy.size(), original.size());
+    for (int m = 0; m < original.size(); ++m) {
+      EXPECT_EQ(copy[m], original[m]);
+    }
+  }
+  EXPECT_EQ(restored[0]->ToString(), a->ToString());
+  EXPECT_EQ(restored[1]->ToString(), b->ToString());
+}
+
+TEST(CheckpointIoTest, RejectsOutOfRangePlanRecords) {
+  Fixture fx(3);
+  {
+    // Scan of a table beyond the query.
+    CheckpointWriter writer;
+    PlanPtr scan = fx.factory.MakeScan(0, ScanAlgorithm::kFullScan);
+    writer.WritePlan(scan);
+    std::vector<uint8_t> buffer = writer.Take();
+    buffer[1] = 250;  // table id byte of the scan-def record
+    CheckpointReader reader(buffer, &fx.factory);
+    EXPECT_EQ(reader.ReadPlan(), nullptr);
+    EXPECT_FALSE(reader.ok());
+  }
+  {
+    // Reference to a node id that was never defined.
+    CheckpointWriter writer;
+    writer.WriteU8(1);  // kPlanRef
+    writer.WriteU32(99);
+    std::vector<uint8_t> buffer = writer.Take();
+    CheckpointReader reader(buffer, &fx.factory);
+    EXPECT_EQ(reader.ReadPlan(), nullptr);
+    EXPECT_FALSE(reader.ok());
+  }
+}
+
+// WritePlans never emits null elements, so a null inside a plan-list is
+// corruption; accepting it would plant nullptrs in restored archives and
+// crash the next Step(). Regression for the ReadPlans null check.
+TEST(CheckpointIoTest, RejectsNullElementsInPlanLists) {
+  Fixture fx(3);
+  CheckpointWriter writer;
+  writer.WriteU64(1);  // one-element plan list...
+  writer.WriteU8(0);   // ...holding a kPlanNull record
+  std::vector<uint8_t> buffer = writer.Take();
+  CheckpointReader reader(buffer, &fx.factory);
+  EXPECT_TRUE(reader.ReadPlans().empty());
+  EXPECT_FALSE(reader.ok());
+}
+
+// Restore() must also reject buffers that parse cleanly but violate the
+// algorithm's own invariants (Release builds have no asserts to catch
+// them later). Crafted here: a weighted-sum checkpoint whose weight
+// vectors are shorter than the cost model's metric count.
+TEST(CheckpointIoTest, RejectsSemanticallyInvalidSessionState) {
+  Fixture fx(4);
+  Rng rng(3);
+  CheckpointWriter writer;
+  writer.WriteU32(kCheckpointMagic);
+  writer.WriteU32(kCheckpointVersion);
+  writer.WriteString("weighted-sum");
+  writer.WriteString(rng.SaveState());
+  writer.WriteI64(0);        // steps
+  writer.WriteU64(0);        // empty archive
+  writer.WriteU64(1);        // one weight vector...
+  writer.WriteDoubleVector({});  // ...with zero entries (metrics = 2)
+  writer.WriteDoubleVector({});  // empty norms
+  writer.WriteU64(0);        // next_weight
+  writer.WriteI32(0);        // climbs
+  std::vector<uint8_t> buffer = writer.Take();
+
+  WeightedSumConfig config;
+  config.max_climbs = 4;
+  std::unique_ptr<OptimizerSession> session =
+      WeightedSum(config).NewSession();
+  Rng target_rng(9);
+  EXPECT_FALSE(session->Restore(&fx.factory, &target_rng, buffer));
+}
+
+TEST(RngStateTest, SaveLoadContinuesTheStream) {
+  Rng rng(123);
+  for (int i = 0; i < 100; ++i) rng.UniformInt(0, 1000);
+  std::string state = rng.SaveState();
+  std::vector<int> expected;
+  for (int i = 0; i < 50; ++i) expected.push_back(rng.UniformInt(0, 1000));
+
+  Rng other(999);  // seed is irrelevant once state is loaded
+  ASSERT_TRUE(other.LoadState(state));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(other.UniformInt(0, 1000), expected[static_cast<size_t>(i)]);
+  }
+  EXPECT_FALSE(other.LoadState("not an engine state"));
+}
+
+}  // namespace
+}  // namespace moqo

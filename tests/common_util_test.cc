@@ -82,7 +82,49 @@ TEST(CombineSeedTest, SensitiveToEveryArgument) {
 TEST(DeadlineTest, DefaultNeverExpires) {
   Deadline d;
   EXPECT_FALSE(d.Expired());
-  EXPECT_EQ(d.RemainingMicros(), INT64_MAX);
+  // Unbounded reports the saturation bound, not INT64_MAX, so callers can
+  // add the remaining window to a timestamp without overflowing.
+  EXPECT_EQ(d.RemainingMicros(), kMaxDeadlineMicros);
+}
+
+// Regression: negative windows (admission-relative deadlines computed by
+// subtraction can go past due) must arm an already-expired deadline, not
+// one ~292 millennia out via signed wrap-around.
+TEST(DeadlineTest, NegativeWindowIsAlreadyExpired) {
+  EXPECT_TRUE(Deadline::AfterMicros(-1).Expired());
+  EXPECT_TRUE(Deadline::AfterMicros(INT64_MIN).Expired());
+  EXPECT_TRUE(Deadline::AfterMillis(-5).Expired());
+  EXPECT_TRUE(Deadline::AfterMillis(INT64_MIN).Expired());
+  EXPECT_EQ(Deadline::AfterMicros(-100).RemainingMicros(), 0);
+}
+
+// Regression: near-INT64_MAX windows used to overflow — AfterMillis
+// multiplied by 1000 before clamping, and the chrono time_point wrapped —
+// producing deadlines that were spuriously expired. They must saturate.
+TEST(DeadlineTest, HugeWindowSaturatesInsteadOfWrapping) {
+  Deadline micros = Deadline::AfterMicros(INT64_MAX);
+  EXPECT_FALSE(micros.Expired());
+  EXPECT_GT(micros.RemainingMicros(), kMaxDeadlineMicros / 2);
+  EXPECT_LE(micros.RemainingMicros(), kMaxDeadlineMicros);
+
+  Deadline millis = Deadline::AfterMillis(INT64_MAX);
+  EXPECT_FALSE(millis.Expired());
+  EXPECT_GT(millis.RemainingMicros(), kMaxDeadlineMicros / 2);
+}
+
+// RemainingMicros() is bounded for every deadline, so adding it to a
+// microsecond timestamp (the EDF scheduler key) cannot overflow.
+TEST(DeadlineTest, RemainingMicrosIsSafeToAddToTimestamps) {
+  const Deadline deadlines[] = {Deadline(), Deadline::AfterMicros(INT64_MAX),
+                                Deadline::AfterMicros(50),
+                                Deadline::AfterMicros(-50)};
+  for (const Deadline& d : deadlines) {
+    int64_t remaining = d.RemainingMicros();
+    EXPECT_GE(remaining, 0);
+    EXPECT_LE(remaining, kMaxDeadlineMicros);
+    // A century's worth of microsecond timestamps still fits.
+    EXPECT_GT(remaining + int64_t{3'155'760'000'000'000}, 0);
+  }
 }
 
 TEST(DeadlineTest, ExpiresAfterBudget) {

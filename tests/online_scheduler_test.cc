@@ -8,8 +8,10 @@
 
 #include <future>
 #include <memory>
+#include <thread>
 #include <vector>
 
+#include "baselines/dp.h"
 #include "core/rmq.h"
 #include "service/batch_optimizer.h"
 
@@ -292,6 +294,213 @@ TEST(OnlineSchedulerTest, StopRejectsFurtherSubmissions) {
   EXPECT_TRUE(report.tasks.empty());
   EXPECT_DOUBLE_EQ(report.deadline_hit_rate, 1.0);
   EXPECT_FALSE(service.Submit(SmallBatch(1, 5)[0]).has_value());
+}
+
+// A DP task on an oversized query gives up immediately: Done, empty
+// frontier, wall-clock window wide open. It must be finalized as a miss,
+// never a hit — regression for the gave-up/deadline_hit bug.
+TEST(OnlineSchedulerTest, GaveUpDpTaskIsNeverADeadlineHit) {
+  OnlineConfig config;
+  config.num_threads = 1;
+  OnlineScheduler service(config, [] {
+    return std::make_unique<DpOptimizer>();  // max_tables = 20
+  });
+  GeneratorConfig generator;
+  generator.num_tables = 25;
+  std::vector<BatchTask> tasks =
+      GenerateBatch(1, generator, /*master_seed=*/5, /*deadline_micros=*/
+                    60 * 1000 * 1000);
+  auto ticket = service.Submit(tasks[0]);
+  ASSERT_TRUE(ticket.has_value());
+  BatchReport report = service.Stop();
+
+  BatchTaskResult result = ticket->get();
+  EXPECT_TRUE(result.gave_up);
+  EXPECT_TRUE(result.frontier.empty());
+  EXPECT_TRUE(result.had_deadline);
+  EXPECT_FALSE(result.deadline_hit);
+  EXPECT_EQ(report.deadline_tasks, 1u);
+  EXPECT_EQ(report.deadline_hits, 0u);
+  EXPECT_DOUBLE_EQ(report.deadline_hit_rate, 0.0);
+}
+
+// Migration correctness: tasks suspended off one scheduler instance and
+// resumed on another mid-run must still produce frontiers bitwise
+// identical to the blocking single-thread reference, delivered through
+// the *original* Submit() futures.
+TEST(OnlineSchedulerTest, SuspendResumeMigrationMatchesBlockingReference) {
+  std::vector<BatchTask> tasks = SmallBatch(8, 6);
+
+  BatchConfig single;
+  single.num_threads = 1;
+  BatchReport reference = BatchOptimizer(single, RmqFactory(20)).Run(tasks);
+
+  OnlineConfig config;
+  config.num_threads = 2;
+  OnlineScheduler source(config, RmqFactory(20));
+  OnlineScheduler destination(config, RmqFactory(20));
+  source.Start();
+  destination.Start();
+
+  std::vector<std::future<BatchTaskResult>> tickets;
+  size_t migrated = 0;
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    auto ticket = source.Submit(tasks[i]);
+    ASSERT_TRUE(ticket.has_value());
+    tickets.push_back(std::move(*ticket));
+    // Migrate every second submission right away: the workers race us, so
+    // the suspension lands pre-Begin, mid-run, or not at all (finished) —
+    // all three must preserve the result.
+    if (i % 2 == 1) {
+      auto suspended = source.Suspend(i);
+      if (suspended.has_value()) {
+        ASSERT_TRUE(destination.Resume(*suspended));
+        ++migrated;
+      }
+    }
+  }
+  source.Drain();
+  destination.Drain();
+
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    BatchTaskResult result = tickets[i].get();
+    EXPECT_EQ(result.steps, 20);
+    EXPECT_TRUE(BitwiseEqual(result.frontier, reference.tasks[i].frontier))
+        << "task " << i << " diverged after migration";
+  }
+  BatchReport source_report = source.Stop();
+  BatchReport destination_report = destination.Stop();
+  EXPECT_EQ(source_report.migrated_tasks, migrated);
+  EXPECT_EQ(destination_report.tasks.size(), migrated);
+  EXPECT_EQ(source_report.tasks.size(), tasks.size());
+}
+
+// A pre-Start backlog task has never run a slice; suspending it yields an
+// empty checkpoint and resuming it (even into the same scheduler) begins
+// the session from scratch with its original seed.
+TEST(OnlineSchedulerTest, SuspendFromBacklogAndResumeIntoSameScheduler) {
+  std::vector<BatchTask> tasks = SmallBatch(2, 5);
+  BatchConfig single;
+  single.num_threads = 1;
+  BatchReport reference = BatchOptimizer(single, RmqFactory(8)).Run(tasks);
+
+  OnlineConfig config;
+  config.num_threads = 1;
+  OnlineScheduler service(config, RmqFactory(8));
+  auto ticket0 = service.Submit(tasks[0]);
+  auto ticket1 = service.Submit(tasks[1]);
+  ASSERT_TRUE(ticket0.has_value() && ticket1.has_value());
+
+  // Workers are not running: the suspension must find the task queued.
+  auto suspended = service.Suspend(0);
+  ASSERT_TRUE(suspended.has_value());
+  EXPECT_TRUE(suspended->checkpoint.empty());
+  EXPECT_EQ(suspended->steps, 0);
+  EXPECT_EQ(service.open_count(), 1u);
+  // Double-suspension is refused.
+  EXPECT_FALSE(service.Suspend(0).has_value());
+
+  ASSERT_TRUE(service.Resume(*suspended));
+  service.Drain();
+  EXPECT_TRUE(BitwiseEqual(ticket0->get().frontier,
+                           reference.tasks[0].frontier));
+  EXPECT_TRUE(BitwiseEqual(ticket1->get().frontier,
+                           reference.tasks[1].frontier));
+  BatchReport report = service.Stop();
+  // Three slots: two submissions plus the re-admission; slot 0 is a stub.
+  ASSERT_EQ(report.tasks.size(), 3u);
+  EXPECT_TRUE(report.tasks[0].migrated);
+  EXPECT_EQ(report.migrated_tasks, 1u);
+}
+
+// Suspending an already-completed task reports nullopt, and a suspension
+// releases the admission-window slot (back-pressure accounting).
+TEST(OnlineSchedulerTest, SuspendReleasesWindowSlotAndRefusesFinished) {
+  std::vector<BatchTask> tasks = SmallBatch(3, 5);
+  OnlineConfig config;
+  config.num_threads = 1;
+  config.max_open = 2;
+  config.admission = AdmissionPolicy::kReject;
+  OnlineScheduler service(config, RmqFactory(6));
+
+  // Pre-Start: fill the window, then make room by suspending.
+  ASSERT_TRUE(service.Submit(tasks[0]).has_value());
+  ASSERT_TRUE(service.Submit(tasks[1]).has_value());
+  EXPECT_FALSE(service.Submit(tasks[2]).has_value());
+  auto suspended = service.Suspend(1);
+  ASSERT_TRUE(suspended.has_value());
+  EXPECT_EQ(service.open_count(), 1u);
+  auto ticket = service.Submit(tasks[2]);
+  ASSERT_TRUE(ticket.has_value());
+
+  service.Drain();
+  // Every admitted task has finished; suspension is now impossible.
+  EXPECT_FALSE(service.Suspend(0).has_value());
+  EXPECT_FALSE(service.Suspend(2).has_value());
+  EXPECT_FALSE(service.Suspend(99).has_value());
+  ASSERT_TRUE(service.Resume(*suspended));
+  // A consumed SuspendedTask is refused: re-admitting it would duplicate
+  // the task with a moved-from promise.
+  EXPECT_FALSE(service.Resume(*suspended));
+  service.Drain();
+  BatchReport report = service.Stop();
+  EXPECT_EQ(report.migrated_tasks, 1u);
+}
+
+// Stress the suspension hand-off under load (the TSan tier runs this):
+// a migrator thread ping-pongs tasks between two live schedulers while
+// their workers are mid-slice; every future must still deliver the
+// blocking reference bitwise.
+TEST(OnlineSchedulerTest, ConcurrentSuspendResumeUnderLoadIsRaceFree) {
+  constexpr int kTasks = 12;
+  std::vector<BatchTask> tasks = SmallBatch(kTasks, 6);
+  BatchConfig single;
+  single.num_threads = 1;
+  BatchReport reference = BatchOptimizer(single, RmqFactory(30)).Run(tasks);
+
+  OnlineConfig config;
+  config.num_threads = 4;
+  config.steps_per_slice = 1;
+  OnlineScheduler ping(config, RmqFactory(30));
+  OnlineScheduler pong(config, RmqFactory(30));
+  ping.Start();
+  pong.Start();
+
+  std::vector<std::future<BatchTaskResult>> tickets;
+  for (const BatchTask& task : tasks) {
+    auto ticket = ping.Submit(task);
+    ASSERT_TRUE(ticket.has_value());
+    tickets.push_back(std::move(*ticket));
+  }
+
+  // Hop every task once ping -> pong while the workers are running, and
+  // hop the even ones straight back pong -> ping.
+  std::thread migrator([&] {
+    for (size_t i = 0; i < kTasks; ++i) {
+      auto suspended = ping.Suspend(i);
+      if (!suspended.has_value()) continue;
+      ASSERT_TRUE(pong.Resume(*suspended));
+      if (i % 2 == 0) {
+        // Its index on pong is pong's latest submission.
+        auto back = pong.Suspend(pong.submitted_count() - 1);
+        if (back.has_value()) {
+          ASSERT_TRUE(ping.Resume(*back));
+        }
+      }
+    }
+  });
+  migrator.join();
+  ping.Drain();
+  pong.Drain();
+
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    BatchTaskResult result = tickets[i].get();
+    EXPECT_EQ(result.steps, 30);
+    EXPECT_TRUE(BitwiseEqual(result.frontier, reference.tasks[i].frontier))
+        << "task " << i << " diverged after ping-pong migration";
+  }
+  ping.Stop();
+  pong.Stop();
 }
 
 // Destruction without an explicit Stop() drains admitted work so that no
