@@ -257,10 +257,11 @@ int main(int argc, char** argv) {
         if (!BitwiseEqual(result.frontier, reference.tasks[i].frontier)) {
           migrate_identical = false;
         }
-      } catch (const std::future_error&) {
-        // A rejected Resume() broke this task's promise; record the
-        // failure instead of crashing before the FAIL line and the JSON
-        // report are written.
+      } catch (const std::exception&) {
+        // A rejected Resume() abandoned this task's SuspendedTask, which
+        // fails the promise with a descriptive std::runtime_error; record
+        // the failure instead of crashing before the FAIL line and the
+        // JSON report are written.
         migrate_identical = false;
       }
     }

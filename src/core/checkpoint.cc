@@ -1,5 +1,7 @@
 #include "core/checkpoint.h"
 
+#include <array>
+#include <cmath>
 #include <cstring>
 
 #include "plan/plan_factory.h"
@@ -307,6 +309,122 @@ bool ReadPlanCache(CheckpointReader* reader, PlanCache* cache) {
     cache->Adopt(rel, std::move(plans));
   }
   return reader->ok();
+}
+
+uint32_t Crc32(const uint8_t* data, size_t size) {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+void WriteCatalog(CheckpointWriter* writer, const Catalog& catalog) {
+  writer->WriteU32(static_cast<uint32_t>(catalog.NumTables()));
+  for (int t = 0; t < catalog.NumTables(); ++t) {
+    const TableStats& stats = catalog.Table(t);
+    writer->WriteDouble(stats.cardinality);
+    writer->WriteDouble(stats.tuple_bytes);
+    writer->WriteU8(stats.has_index ? 1 : 0);
+  }
+}
+
+bool ReadCatalog(CheckpointReader* reader, Catalog* catalog) {
+  uint32_t num_tables = reader->ReadU32();
+  // A query joins at least one table; plan generation indexes table 0
+  // unconditionally (its n >= 1 precondition is a Debug-only assert), so
+  // an empty catalog must be rejected here, on any build type.
+  if (!reader->ok() || num_tables == 0 ||
+      num_tables > static_cast<uint32_t>(TableSet::kCapacity)) {
+    return false;
+  }
+  std::vector<TableStats> stats;
+  stats.reserve(num_tables);
+  for (uint32_t t = 0; t < num_tables && reader->ok(); ++t) {
+    TableStats s;
+    s.cardinality = reader->ReadDouble();
+    s.tuple_bytes = reader->ReadDouble();
+    uint8_t has_index = reader->ReadU8();
+    // The cost model divides by these; a zero, negative, NaN, or infinite
+    // statistic would poison every cost stamped from the catalog.
+    if (!std::isfinite(s.cardinality) || s.cardinality <= 0.0 ||
+        !std::isfinite(s.tuple_bytes) || s.tuple_bytes <= 0.0 ||
+        has_index > 1) {
+      return false;
+    }
+    s.has_index = has_index == 1;
+    stats.push_back(s);
+  }
+  if (!reader->ok()) return false;
+  *catalog = Catalog(std::move(stats));
+  return true;
+}
+
+void WriteJoinGraph(CheckpointWriter* writer, const JoinGraph& graph) {
+  writer->WriteU64(graph.Edges().size());
+  for (const JoinEdge& edge : graph.Edges()) {
+    writer->WriteU32(static_cast<uint32_t>(edge.left));
+    writer->WriteU32(static_cast<uint32_t>(edge.right));
+    writer->WriteDouble(edge.selectivity);
+  }
+}
+
+bool ReadJoinGraph(CheckpointReader* reader, int num_tables,
+                   JoinGraph* graph) {
+  uint64_t num_edges = reader->ReadU64();
+  // Each serialized edge is 16 bytes; a count beyond what the buffer could
+  // hold is corruption, not a request to reserve terabytes.
+  if (!reader->ok() || num_edges > (1u << 24)) return false;
+  JoinGraph out(num_tables);
+  for (uint64_t i = 0; i < num_edges && reader->ok(); ++i) {
+    uint32_t left = reader->ReadU32();
+    uint32_t right = reader->ReadU32();
+    double selectivity = reader->ReadDouble();
+    // AddEdge's preconditions are Debug-only asserts; a decoder must
+    // enforce them on any build type.
+    if (left >= static_cast<uint32_t>(num_tables) ||
+        right >= static_cast<uint32_t>(num_tables) || left == right ||
+        !std::isfinite(selectivity) || selectivity <= 0.0 ||
+        selectivity > 1.0) {
+      return false;
+    }
+    out.AddEdge(static_cast<int>(left), static_cast<int>(right),
+                selectivity);
+  }
+  if (!reader->ok()) return false;
+  *graph = std::move(out);
+  return true;
+}
+
+void WriteQuery(CheckpointWriter* writer, const Query& query) {
+  WriteCatalog(writer, query.catalog());
+  writer->WriteTableSet(query.AllTables());
+  WriteJoinGraph(writer, query.graph());
+}
+
+QueryPtr ReadQuery(CheckpointReader* reader) {
+  Catalog catalog;
+  if (!ReadCatalog(reader, &catalog)) return nullptr;
+  TableSet joined = reader->ReadTableSet();
+  // Every query in this library joins all of its catalog's tables; a frame
+  // claiming otherwise was not produced by WriteQuery.
+  if (!reader->ok() || joined != TableSet::FirstN(catalog.NumTables())) {
+    return nullptr;
+  }
+  JoinGraph graph;
+  if (!ReadJoinGraph(reader, catalog.NumTables(), &graph)) return nullptr;
+  return std::make_shared<const Query>(std::move(catalog), std::move(graph));
 }
 
 }  // namespace moqo

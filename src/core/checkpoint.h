@@ -31,6 +31,7 @@
 #include "common/table_set.h"
 #include "core/plan_cache.h"
 #include "plan/plan.h"
+#include "query/query.h"
 
 namespace moqo {
 
@@ -120,6 +121,13 @@ class CheckpointReader {
   /// checkpoint is treated as corruption by Restore()).
   bool AtEnd() const { return pos_ == buf_->size(); }
 
+  /// Bytes consumed so far. Monotonic, so a decoder parsing a payload
+  /// embedded in a larger buffer (the wire format's CRC-framed body) can
+  /// require exact consumption without copying the payload out: an
+  /// accepted parse ending exactly at the payload boundary cannot have
+  /// read past it.
+  size_t position() const { return pos_; }
+
  private:
   /// Marks the reader failed and returns a default value.
   void Fail() { ok_ = false; }
@@ -150,6 +158,47 @@ void WritePlanCache(CheckpointWriter* writer, const PlanCache& cache);
 /// under the alpha in effect when they were inserted. Rejects (returns
 /// false) entries whose plans do not cover their key's relation set.
 bool ReadPlanCache(CheckpointReader* reader, PlanCache* cache);
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320, the zlib/PNG
+/// variant) over `size` bytes. Used as the integrity trailer of wire frames
+/// (service/wire.h); lives here so all framing primitives share one home.
+uint32_t Crc32(const uint8_t* data, size_t size);
+inline uint32_t Crc32(const std::vector<uint8_t>& bytes) {
+  return Crc32(bytes.data(), bytes.size());
+}
+
+/// Query serialization records, shared by the wire format and anything
+/// else that needs to ship a query next to a session checkpoint. A query
+/// is written as catalog + join graph; the table set joined is implied
+/// (every query joins all of its catalog's tables, see query/query.h) but
+/// written explicitly anyway so a frame is self-describing and a decoder
+/// can reject a mismatched set without reconstructing the query first.
+
+/// Per-table statistics, bit-exact (doubles keep their IEEE-754 pattern,
+/// so a restored catalog stamps identical costs).
+void WriteCatalog(CheckpointWriter* writer, const Catalog& catalog);
+
+/// Mirrors WriteCatalog. Returns false (also clearing the reader's ok())
+/// on malformed input: zero tables or more than TableSet::kCapacity,
+/// non-finite or non-positive statistics, or a truncated record.
+bool ReadCatalog(CheckpointReader* reader, Catalog* catalog);
+
+/// Join predicates in stored order (order is preserved, so selectivity
+/// products recompute in the same sequence and round bit-identically).
+void WriteJoinGraph(CheckpointWriter* writer, const JoinGraph& graph);
+
+/// Mirrors WriteJoinGraph into a graph over `num_tables` tables. Returns
+/// false on malformed input: out-of-range or self-join endpoints, or a
+/// selectivity outside (0, 1].
+bool ReadJoinGraph(CheckpointReader* reader, int num_tables,
+                   JoinGraph* graph);
+
+/// Writes catalog + joined table set + join graph.
+void WriteQuery(CheckpointWriter* writer, const Query& query);
+
+/// Mirrors WriteQuery. Returns null on malformed input, including a joined
+/// table set that is not exactly {0, ..., NumTables()-1}.
+QueryPtr ReadQuery(CheckpointReader* reader);
 
 }  // namespace moqo
 

@@ -19,6 +19,17 @@ struct TableStats {
   bool has_index = false;
 };
 
+/// Bit-exact equality (doubles compared by value, no tolerance): two equal
+/// stats stamp identical costs, which is what wire round-trip verification
+/// and shard-compatibility checks need.
+inline bool operator==(const TableStats& a, const TableStats& b) {
+  return a.cardinality == b.cardinality && a.tuple_bytes == b.tuple_bytes &&
+         a.has_index == b.has_index;
+}
+inline bool operator!=(const TableStats& a, const TableStats& b) {
+  return !(a == b);
+}
+
 /// Immutable collection of table statistics, indexed by table id.
 class Catalog {
  public:
@@ -48,6 +59,18 @@ class Catalog {
  private:
   std::vector<TableStats> stats_;
 };
+
+/// Table-by-table bit-exact equality.
+inline bool operator==(const Catalog& a, const Catalog& b) {
+  if (a.NumTables() != b.NumTables()) return false;
+  for (int t = 0; t < a.NumTables(); ++t) {
+    if (a.Table(t) != b.Table(t)) return false;
+  }
+  return true;
+}
+inline bool operator!=(const Catalog& a, const Catalog& b) {
+  return !(a == b);
+}
 
 }  // namespace moqo
 

@@ -23,6 +23,15 @@ struct JoinEdge {
   double selectivity = 1.0;
 };
 
+/// Bit-exact equality (selectivity compared by value, no tolerance).
+inline bool operator==(const JoinEdge& a, const JoinEdge& b) {
+  return a.left == b.left && a.right == b.right &&
+         a.selectivity == b.selectivity;
+}
+inline bool operator!=(const JoinEdge& a, const JoinEdge& b) {
+  return !(a == b);
+}
+
 /// Undirected multigraph of join predicates over `num_tables` tables.
 class JoinGraph {
  public:
@@ -65,6 +74,17 @@ class JoinGraph {
   std::vector<JoinEdge> edges_;
   std::vector<TableSet> adjacency_;  // adjacency_[t] = neighbor set of t
 };
+
+/// Structural equality: same table count and the same predicate list in the
+/// same order. Order matters because selectivity products are accumulated
+/// in edge order, so only order-identical graphs are guaranteed to stamp
+/// bit-identical costs.
+inline bool operator==(const JoinGraph& a, const JoinGraph& b) {
+  return a.NumTables() == b.NumTables() && a.Edges() == b.Edges();
+}
+inline bool operator!=(const JoinGraph& a, const JoinGraph& b) {
+  return !(a == b);
+}
 
 }  // namespace moqo
 

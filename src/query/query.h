@@ -38,6 +38,15 @@ class Query {
   JoinGraph graph_;
 };
 
+/// Structural equality: identical catalog statistics and predicate lists.
+/// Two equal queries produce bit-identical cost stampings under the same
+/// cost model — the property a wire decoder relies on when it rebuilds a
+/// query on another shard and restores a checkpoint against it.
+inline bool operator==(const Query& a, const Query& b) {
+  return a.catalog() == b.catalog() && a.graph() == b.graph();
+}
+inline bool operator!=(const Query& a, const Query& b) { return !(a == b); }
+
 using QueryPtr = std::shared_ptr<const Query>;
 
 }  // namespace moqo

@@ -2,11 +2,42 @@
 
 #include <algorithm>
 #include <limits>
+#include <stdexcept>
 #include <utility>
 
 #include "plan/plan_factory.h"
 
 namespace moqo {
+
+void SuspendedTask::Abandon() noexcept {
+  if (consumed) return;
+  try {
+    promise.set_exception(std::make_exception_ptr(std::runtime_error(
+        "SuspendedTask dropped without Resume(): the session was suspended "
+        "off its scheduler and abandoned mid-migration, so its result will "
+        "never be produced")));
+  } catch (const std::future_error&) {
+    // No shared state (the promise was moved to a transport or rebuilt
+    // task) or the future was already satisfied — nothing to fail.
+  }
+}
+
+SuspendedTask::~SuspendedTask() { Abandon(); }
+
+SuspendedTask& SuspendedTask::operator=(SuspendedTask&& other) noexcept {
+  if (this != &other) {
+    Abandon();
+    task = std::move(other.task);
+    checkpoint = std::move(other.checkpoint);
+    had_deadline = other.had_deadline;
+    remaining_micros = other.remaining_micros;
+    optimize_millis = other.optimize_millis;
+    steps = other.steps;
+    promise = std::move(other.promise);
+    consumed = other.consumed;
+  }
+  return *this;
+}
 
 /// All state of one admitted query. Lives at a stable address (behind a
 /// unique_ptr) until finalization because the session keeps pointers to
@@ -177,6 +208,16 @@ std::optional<SuspendedTask> OnlineScheduler::Suspend(
 
 bool OnlineScheduler::Resume(SuspendedTask& task) {
   if (task.consumed) return false;
+  {
+    // A migration destination must be live: enqueueing into a scheduler
+    // that was never started (or is stopping) would park the task where no
+    // worker will ever run it, while its submitter waits forever. Refuse
+    // up front — before the expensive restore — leaving `task` resumable
+    // elsewhere. started_ never reverts, so the recheck under the
+    // admission lock below only needs to watch stopping_.
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!started_ || stopping_) return false;
+  }
   auto owned = std::make_unique<OpenQuery>(task.task, &model_);
   owned->session = make_optimizer_()->NewSession();
   if (!task.checkpoint.empty()) {

@@ -84,9 +84,22 @@ enum class AdmissionPolicy {
 /// whose optimizer configuration and cost metrics match — the in-process
 /// stand-in for migrating a session between worker processes — and the
 /// original future then delivers the final result. Destroying a
-/// SuspendedTask without resuming it breaks that future
-/// (std::future_error), exactly like killing a migrating task would.
+/// SuspendedTask without resuming it fails that future with a descriptive
+/// std::runtime_error (not a bare broken_promise), exactly like a
+/// migration coordinator reporting a task lost in transit.
 struct SuspendedTask {
+  SuspendedTask() = default;
+  SuspendedTask(SuspendedTask&&) noexcept = default;
+  /// Abandons any live un-resumed promise this object currently holds
+  /// (failing its future descriptively) before adopting `other`'s state.
+  SuspendedTask& operator=(SuspendedTask&& other) noexcept;
+  SuspendedTask(const SuspendedTask&) = delete;
+  SuspendedTask& operator=(const SuspendedTask&) = delete;
+  /// Fails the original Submit() future with a descriptive exception if
+  /// the task was never resumed. A dropped migration must surface as an
+  /// explicit error at the submitter, not as an opaque broken promise.
+  ~SuspendedTask();
+
   BatchTask task;
   /// OptimizerSession::Checkpoint() of the mid-run state (RNG stream
   /// position included); empty if the task never ran a slice, in which
@@ -106,8 +119,14 @@ struct SuspendedTask {
   std::promise<BatchTaskResult> promise;
   /// Set by a successful Resume(); a second Resume() of the same object
   /// returns false instead of admitting a duplicate whose moved-from
-  /// promise would blow up at finalization.
+  /// promise would blow up at finalization. Also set by a transport that
+  /// moved the promise into a rebuilt task (see service/wire.h), which
+  /// keeps the destructor from failing the moved-away future.
   bool consumed = false;
+
+ private:
+  /// Destructor/move-assign helper: fails the promise if still live.
+  void Abandon() noexcept;
 };
 
 /// Configuration for one OnlineScheduler instance.
@@ -167,6 +186,9 @@ class OnlineScheduler {
   /// Blocks until every admitted task has completed (session done or
   /// deadline expired). Starts the workers if Start() was never called.
   /// Tasks submitted by other threads while draining extend the wait.
+  /// Tasks migrated away by Suspend() released their slot at suspension,
+  /// so Drain() never waits on them — even if the suspended task was
+  /// abandoned and will never finish anywhere.
   void Drain();
 
   /// Drains, joins the workers, and returns the aggregated report over all
@@ -190,8 +212,10 @@ class OnlineScheduler {
   /// session from the checkpoint and re-arming the remaining deadline
   /// window. Admission back-pressure applies exactly like Submit().
   /// Returns false, leaving `task` intact for a retry elsewhere, if the
-  /// scheduler is stopping, the window is full under kReject, or the
-  /// checkpoint is rejected (wrong algorithm or corrupt buffer). On
+  /// scheduler is not running (Start() never called, or Stop() begun — a
+  /// migration destination must be live, or the work would be enqueued
+  /// for workers that never run it), the window is full under kReject, or
+  /// the checkpoint is rejected (wrong algorithm or corrupt buffer). On
   /// success `task` is consumed and the original Submit() future will
   /// deliver the task's final result from this scheduler.
   bool Resume(SuspendedTask& task);

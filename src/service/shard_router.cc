@@ -1,0 +1,270 @@
+#include "service/shard_router.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/rng.h"
+#include "service/wire.h"
+
+namespace moqo {
+
+namespace {
+
+/// Hash of one ring point. Seeded by a fixed tag plus the shard's stable
+/// id and the replica number, so every router instance — in any process —
+/// derives the identical ring for the same membership.
+uint64_t RingPointHash(size_t shard_id, int replica) {
+  return CombineSeed(0x52494e47ull /* "RING" */,
+                     static_cast<uint64_t>(shard_id),
+                     static_cast<uint64_t>(replica));
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(ShardRouterConfig config,
+                         OptimizerFactory make_optimizer)
+    : config_(std::move(config)), make_optimizer_(std::move(make_optimizer)) {
+  config_.num_shards = std::max(1, config_.num_shards);
+  config_.virtual_nodes = std::max(1, config_.virtual_nodes);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (int i = 0; i < config_.num_shards; ++i) {
+    size_t id = next_shard_id_++;
+    shards_.emplace(id, std::make_unique<OnlineScheduler>(config_.shard,
+                                                          make_optimizer_));
+  }
+  peak_shards_ = shards_.size();
+  RebuildRingLocked();
+}
+
+ShardRouter::~ShardRouter() {
+  bool stopped;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopped = stopped_;
+  }
+  if (!stopped) Stop();
+}
+
+void ShardRouter::StartLocked() {
+  if (started_) return;
+  started_ = true;
+  for (auto& [id, shard] : shards_) shard->Start();
+}
+
+void ShardRouter::Start() {
+  std::unique_lock<std::mutex> lock(mu_);
+  StartLocked();
+}
+
+void ShardRouter::RebuildRingLocked() {
+  ring_.clear();
+  ring_.reserve(shards_.size() *
+                static_cast<size_t>(config_.virtual_nodes));
+  for (const auto& [id, shard] : shards_) {
+    for (int replica = 0; replica < config_.virtual_nodes; ++replica) {
+      ring_.push_back(RingPoint{RingPointHash(id, replica), id});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+size_t ShardRouter::OwnerLocked(uint64_t key) const {
+  // First point at or after the key, wrapping to the ring's start.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), key,
+      [](const RingPoint& point, uint64_t k) { return point.hash < k; });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->shard_id;
+}
+
+std::optional<std::future<BatchTaskResult>> ShardRouter::Submit(
+    const BatchTask& task) {
+  // The placement key depends only on the immutable task; serializing the
+  // query for it must not run under mu_.
+  uint64_t key = RouteKey(task);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopped_) return std::nullopt;
+  size_t owner = OwnerLocked(key);
+  OnlineScheduler* shard = shards_.at(owner).get();
+  auto ticket = shard->Submit(task);
+  if (!ticket.has_value()) return std::nullopt;
+  // No other router-driven admission can interleave (mu_ is held), so the
+  // task's shard-local index is the shard's latest submission.
+  entries_.push_back(Entry{key, owner, shard->submitted_count() - 1});
+  return ticket;
+}
+
+void ShardRouter::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  StartLocked();
+  // Shard workers never take mu_, so holding it while the shards drain is
+  // safe; it also pins membership for the duration.
+  for (auto& [id, shard] : shards_) shard->Drain();
+}
+
+BatchReport ShardRouter::Stop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  BatchReport report;
+  if (stopped_) return report;
+  stopped_ = true;
+  for (auto& [id, shard] : shards_) retired_[id] = shard->Stop();
+  shards_.clear();
+  ring_.clear();
+
+  report.num_threads = static_cast<int>(peak_shards_) *
+                       std::max(1, config_.shard.num_threads);
+  report.tasks.reserve(entries_.size());
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& entry = entries_[i];
+    // The entry always points at the shard that last admitted the task —
+    // its slot there is the real result, never a migrated-away stub. Each
+    // slot is read by exactly one entry and retired_ dies with this call,
+    // so the (frontier-carrying) result is moved out, not copied.
+    BatchTaskResult result = std::move(
+        retired_.at(entry.shard_id).tasks.at(entry.local_index));
+    result.index = static_cast<int>(i);
+    report.tasks.push_back(std::move(result));
+  }
+  report.wall_millis = epoch_.ElapsedMillis();
+  report.Aggregate();
+  // Aggregate() counts migrated stub slots, of which the router keeps
+  // none; repurpose the field for the router-level hop count.
+  report.migrated_tasks = migrations_;
+  return report;
+}
+
+size_t ShardRouter::AddShard() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopped_) return static_cast<size_t>(-1);
+  // A rebalance Resume()s onto live shards only, so membership changes
+  // imply a running service.
+  StartLocked();
+  size_t id = next_shard_id_++;
+  auto shard =
+      std::make_unique<OnlineScheduler>(config_.shard, make_optimizer_);
+  shard->Start();
+  shards_.emplace(id, std::move(shard));
+  peak_shards_ = std::max(peak_shards_, shards_.size());
+  RebuildRingLocked();
+  RebalanceLocked();
+  return id;
+}
+
+bool ShardRouter::RemoveShard(size_t shard_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopped_) return false;
+  auto it = shards_.find(shard_id);
+  if (it == shards_.end() || shards_.size() == 1) return false;
+  StartLocked();
+  // Take the departing shard off the ring first: the rebalance below then
+  // re-derives owners without it and migrates its in-flight tasks away. A
+  // task whose new owner refuses it falls back onto the departing
+  // scheduler (still live here) and simply finishes there before the
+  // Stop() below retires it — never lost, only un-moved.
+  std::unique_ptr<OnlineScheduler> departing = std::move(it->second);
+  shards_.erase(it);
+  RebuildRingLocked();
+  for (Entry& entry : entries_) {
+    if (entry.shard_id != shard_id) continue;
+    MigrateLocked(departing.get(), &entry, OwnerLocked(entry.key));
+  }
+  retired_[shard_id] = departing->Stop();
+  // Also re-derive owners for everyone else: removing points can only move
+  // keys that lived on the departed shard, so this is a no-op by
+  // construction — but a cheap invariant to hold rather than assume.
+  RebalanceLocked();
+  return true;
+}
+
+void ShardRouter::RebalanceLocked() {
+  for (Entry& entry : entries_) {
+    // An entry pointing at a retired shard finished there before the shard
+    // left; its result lives in the retired report and never moves again.
+    auto it = shards_.find(entry.shard_id);
+    if (it == shards_.end()) continue;
+    size_t owner = OwnerLocked(entry.key);
+    if (owner != entry.shard_id) {
+      MigrateLocked(it->second.get(), &entry, owner);
+    }
+  }
+}
+
+bool ShardRouter::MigrateLocked(OnlineScheduler* source, Entry* entry,
+                                size_t to_shard) {
+  std::optional<SuspendedTask> suspended =
+      source->Suspend(entry->local_index);
+  // Already finished on the current shard: its report slot is final.
+  if (!suspended.has_value()) return false;
+
+  // Round-trip through the wire exactly as a cross-process transport
+  // would: the destination sees only what the frame carries (the query is
+  // rebuilt value-for-value, the checkpoint is opaque bytes). The promise
+  // is the in-process reply channel and stays on this side of the "wire".
+  std::vector<uint8_t> frame = EncodeWireTask(MakeWireTask(*suspended));
+  WireTask wire;
+  if (!DecodeWireTask(frame, &wire)) {
+    // Decoding our own frame cannot fail short of a framing bug; resume in
+    // place so the task is not lost to one.
+    if (source->Resume(*suspended)) {
+      entry->local_index = source->submitted_count() - 1;
+    }
+    return false;
+  }
+  bool mid_run = !wire.checkpoint.empty();
+  SuspendedTask rebuilt =
+      ToSuspendedTask(std::move(wire), std::move(suspended->promise));
+  suspended->consumed = true;
+
+  OnlineScheduler* destination = shards_.at(to_shard).get();
+  if (!destination->Resume(rebuilt)) {
+    // Destination refused (stopping or full kReject window): fall back to
+    // the old owner rather than dropping the task. If even that fails the
+    // rebuilt task's destructor fails the submitter's future descriptively.
+    if (source->Resume(rebuilt)) {
+      entry->local_index = source->submitted_count() - 1;
+    }
+    return false;
+  }
+  entry->shard_id = to_shard;
+  entry->local_index = destination->submitted_count() - 1;
+  ++migrations_;
+  if (mid_run) ++checkpointed_migrations_;
+  return true;
+}
+
+std::vector<size_t> ShardRouter::shard_ids() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::vector<size_t> ids;
+  ids.reserve(shards_.size());
+  for (const auto& [id, shard] : shards_) ids.push_back(id);
+  return ids;
+}
+
+size_t ShardRouter::shard_count() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return shards_.size();
+}
+
+size_t ShardRouter::ShardFor(const BatchTask& task) const {
+  uint64_t key = RouteKey(task);  // query serialization: not under mu_
+  std::unique_lock<std::mutex> lock(mu_);
+  if (ring_.empty()) return static_cast<size_t>(-1);  // stopped
+  return OwnerLocked(key);
+}
+
+size_t ShardRouter::submitted_count() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+size_t ShardRouter::migrations() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return migrations_;
+}
+
+size_t ShardRouter::checkpointed_migrations() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return checkpointed_migrations_;
+}
+
+}  // namespace moqo

@@ -1,0 +1,196 @@
+// Consistent-hash shard router: the online service scaled across N
+// scheduler shards behind one Submit/Drain/Stop + futures front door.
+//
+// A ShardRouter owns a set of in-process OnlineScheduler shards and places
+// every submitted query on a consistent-hash ring: each shard contributes
+// `virtual_nodes` points keyed by its stable shard id, and a query lands
+// on the first point at or after its RouteKey (service/wire.h). Placement
+// therefore depends only on the query content, the seed, and the current
+// membership — never on submission order — and changing membership moves
+// only the keys between the departed/arrived shard's points and their
+// predecessors, not the whole keyspace.
+//
+// Elasticity: AddShard()/RemoveShard() change membership while the service
+// runs. The router re-derives every in-flight task's owner and migrates
+// the ones whose owner changed: Suspend() drains the task (a portable
+// session checkpoint plus its unexpired deadline remainder) off the old
+// shard, the task is round-tripped through the wire format — encoded and
+// decoded exactly as a cross-process transport would put it on a socket,
+// so the destination sees only what the wire carries — and Resume() lands
+// it on the new owner. The future handed out by the original Submit() is
+// untouched throughout and delivers the final result from whichever shard
+// finishes the task.
+//
+// Determinism contract (inherited from the schedulers underneath): every
+// task owns an Rng seeded from its submission, so shard placement and
+// rebalancing affect only timing. Iteration-bounded tasks produce
+// frontiers bitwise identical to an unsharded OnlineScheduler reference —
+// across any shard count and any AddShard/RemoveShard schedule — which
+// bench/shard_throughput.cc gates on every run.
+//
+// Thread-safety: Submit/Drain/AddShard/RemoveShard/observers may be called
+// concurrently from any thread (one router mutex serializes them; worker
+// threads inside the shards never take it). Start() and Stop() follow the
+// OnlineScheduler contract: at most once each.
+#ifndef MOQO_SERVICE_SHARD_ROUTER_H_
+#define MOQO_SERVICE_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "service/batch_optimizer.h"
+#include "service/online_scheduler.h"
+
+namespace moqo {
+
+/// Configuration for one ShardRouter instance.
+struct ShardRouterConfig {
+  /// Configuration applied to every shard (thread count, metrics, policy,
+  /// admission window). Keep retain_frontiers = true if the Stop() report
+  /// should carry frontiers for reference comparison.
+  OnlineConfig shard;
+  /// Shards created up front (clamped to >= 1).
+  int num_shards = 2;
+  /// Ring points per shard (clamped to >= 1). More points smooth the key
+  /// distribution; 64 keeps the worst shard within a few percent of fair
+  /// share for realistic shard counts.
+  int virtual_nodes = 64;
+};
+
+/// A sharded online optimization service. See file header.
+class ShardRouter {
+ public:
+  ShardRouter(ShardRouterConfig config, OptimizerFactory make_optimizer);
+
+  /// Stops the router (draining all shards) if Stop() was not called.
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Starts every shard's workers. Idempotent; called implicitly by
+  /// Drain() and by membership changes (a rebalance needs live
+  /// destinations to Resume() onto).
+  void Start();
+
+  /// Routes the task to its ring owner and admits it there. Returns the
+  /// shard's future for the result, or std::nullopt if the owner rejected
+  /// it (full window under kReject, or the router is stopping). Under
+  /// kBlock a full owner window blocks the caller — and any concurrent
+  /// membership change — until the owner frees a slot.
+  std::optional<std::future<BatchTaskResult>> Submit(const BatchTask& task);
+
+  /// Blocks until every admitted task on every shard has completed.
+  void Drain();
+
+  /// Drains, stops every shard, and returns one report over all router
+  /// submissions in router submission order: task i is the i-th successful
+  /// Submit(), with its result taken from the shard that finished it
+  /// (migrated-away stub slots are skipped). `migrated_tasks` counts
+  /// rebalance hops performed by this router. After Stop() every Submit()
+  /// is rejected; the router cannot be restarted.
+  BatchReport Stop();
+
+  /// Adds a shard, rebalancing in-flight tasks whose ring owner changed
+  /// onto it via suspend → wire round-trip → resume. Starts the router if
+  /// it was not running. Returns the new shard's stable id, or size_t(-1)
+  /// — changing nothing — once the router is stopped.
+  size_t AddShard();
+
+  /// Removes shard `shard_id`, first migrating its in-flight tasks to
+  /// their new ring owners (a task whose new owner refuses it finishes on
+  /// the departing shard before retirement — never dropped), then
+  /// stopping it and retiring its report (finished results keep being
+  /// served from the retired report by Stop()). Returns false — changing
+  /// nothing — for an unknown id, the last shard, or a stopped router.
+  /// Starts the router if it was not running.
+  bool RemoveShard(size_t shard_id);
+
+  /// Live shard ids in ascending order.
+  std::vector<size_t> shard_ids() const;
+
+  /// Live shards.
+  size_t shard_count() const;
+
+  /// The shard id `task` currently routes to (for tests and placement
+  /// diagnostics; Submit() recomputes this under the same lock). Returns
+  /// size_t(-1) once the router is stopped.
+  size_t ShardFor(const BatchTask& task) const;
+
+  /// Successful Submit() calls so far.
+  size_t submitted_count() const;
+
+  /// In-flight tasks moved between shards by membership changes.
+  size_t migrations() const;
+
+  /// The subset of migrations() that carried a non-empty mid-run session
+  /// checkpoint across the wire (the rest were still queued, fresh).
+  size_t checkpointed_migrations() const;
+
+  const ShardRouterConfig& config() const { return config_; }
+
+ private:
+  /// One router submission: its placement key and where it currently
+  /// lives (shard id + that shard's submission index).
+  struct Entry {
+    uint64_t key = 0;
+    size_t shard_id = 0;
+    size_t local_index = 0;
+  };
+
+  /// One ring point; shard ids are stable across membership changes.
+  struct RingPoint {
+    uint64_t hash = 0;
+    size_t shard_id = 0;
+    bool operator<(const RingPoint& other) const {
+      if (hash != other.hash) return hash < other.hash;
+      return shard_id < other.shard_id;
+    }
+  };
+
+  void StartLocked();
+  /// Recomputes ring_ from the current shards_ membership.
+  void RebuildRingLocked();
+  /// Ring owner of `key`; requires a non-empty ring.
+  size_t OwnerLocked(uint64_t key) const;
+  /// Re-derives every in-flight entry's owner and migrates the moved ones.
+  void RebalanceLocked();
+  /// Moves one entry off `source` (the scheduler it currently lives on,
+  /// which RemoveShard may have already taken out of shards_) to
+  /// `to_shard` via suspend → wire → resume. Returns false if the task
+  /// had already finished on its current shard (nothing to move). A task
+  /// is never lost: if the destination refuses, it is resumed back onto
+  /// `source`.
+  bool MigrateLocked(OnlineScheduler* source, Entry* entry,
+                     size_t to_shard);
+
+  ShardRouterConfig config_;
+  OptimizerFactory make_optimizer_;
+  /// Epoch of the Stop() report's wall clock: construction time.
+  Stopwatch epoch_;
+
+  mutable std::mutex mu_;
+  /// Live shards by stable id.
+  std::map<size_t, std::unique_ptr<OnlineScheduler>> shards_;
+  /// Final reports of removed (and, after Stop(), all) shards.
+  std::map<size_t, BatchReport> retired_;
+  std::vector<RingPoint> ring_;
+  /// Router submission i is entries_[i].
+  std::vector<Entry> entries_;
+  size_t next_shard_id_ = 0;
+  size_t migrations_ = 0;
+  size_t checkpointed_migrations_ = 0;
+  /// Peak live shard count, for the report's num_threads.
+  size_t peak_shards_ = 0;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_SERVICE_SHARD_ROUTER_H_

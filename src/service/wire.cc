@@ -1,0 +1,139 @@
+#include "service/wire.h"
+
+#include <cmath>
+#include <utility>
+
+#include "core/checkpoint.h"
+
+namespace moqo {
+
+namespace {
+
+/// FNV-1a over a byte string; the 64-bit placement hash behind RouteKey.
+uint64_t Fnv1a64(const std::vector<uint8_t>& bytes) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// The scheduler treats deadline_micros <= 0 as "no deadline"; the frame
+/// stores the normal form so the decoder's non-negativity check never
+/// rejects a frame the encoder produced from a healthy task.
+int64_t NormalizedDeadline(int64_t deadline_micros) {
+  if (deadline_micros <= 0) return 0;
+  return deadline_micros > kMaxDeadlineMicros ? kMaxDeadlineMicros
+                                              : deadline_micros;
+}
+
+}  // namespace
+
+WireTask MakeWireTask(const BatchTask& task) {
+  WireTask wire;
+  wire.task = task;
+  wire.task.deadline_micros = NormalizedDeadline(task.deadline_micros);
+  wire.had_deadline = wire.task.deadline_micros > 0;
+  wire.remaining_micros = wire.task.deadline_micros;
+  return wire;
+}
+
+WireTask MakeWireTask(const SuspendedTask& task) {
+  WireTask wire;
+  wire.task = task.task;
+  wire.task.deadline_micros = NormalizedDeadline(task.task.deadline_micros);
+  wire.had_deadline = task.had_deadline;
+  wire.remaining_micros = task.remaining_micros;
+  wire.optimize_millis = task.optimize_millis;
+  wire.steps = task.steps;
+  wire.checkpoint = task.checkpoint;
+  return wire;
+}
+
+std::vector<uint8_t> EncodeWireTask(const WireTask& task) {
+  CheckpointWriter writer;
+  writer.WriteU32(kWireMagic);
+  writer.WriteU32(kWireVersion);
+  WriteQuery(&writer, *task.task.query);
+  writer.WriteU64(task.task.seed);
+  writer.WriteI64(task.task.deadline_micros);
+  writer.WriteU8(task.had_deadline ? 1 : 0);
+  writer.WriteI64(task.remaining_micros);
+  writer.WriteDouble(task.optimize_millis);
+  writer.WriteI64(task.steps);
+  writer.WriteBytes(task.checkpoint);
+  std::vector<uint8_t> frame = writer.Take();
+  uint32_t crc = Crc32(frame);
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<uint8_t>(crc >> (8 * i)));
+  }
+  return frame;
+}
+
+bool DecodeWireTask(const std::vector<uint8_t>& frame, WireTask* out) {
+  // Smallest conceivable frame: magic + version + CRC trailer.
+  if (frame.size() < 12) return false;
+  const size_t body_size = frame.size() - 4;
+  uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<uint32_t>(frame[body_size + i]) << (8 * i);
+  }
+  if (Crc32(frame.data(), body_size) != stored_crc) return false;
+
+  // The CRC covers exactly the body; the reader parses the frame in place
+  // and the position() == body_size check below guarantees the accepted
+  // parse consumed the body exactly — position is monotonic, so a parse
+  // that read even one trailer byte cannot end at the boundary.
+  CheckpointReader reader(frame, /*factory=*/nullptr);
+  if (reader.ReadU32() != kWireMagic) return false;
+  if (reader.ReadU32() != kWireVersion) return false;
+  WireTask wire;
+  wire.task.query = ReadQuery(&reader);
+  if (wire.task.query == nullptr || !reader.ok()) return false;
+  wire.task.seed = reader.ReadU64();
+  wire.task.deadline_micros = reader.ReadI64();
+  uint8_t had_deadline = reader.ReadU8();
+  wire.remaining_micros = reader.ReadI64();
+  wire.optimize_millis = reader.ReadDouble();
+  wire.steps = reader.ReadI64();
+  wire.checkpoint = reader.ReadBytes();
+  // A frame with leftover bytes between a well-formed payload and the CRC
+  // trailer is corrupt even though every individual field decoded (the
+  // CRC passed, so the garbage was framed deliberately or the encoder
+  // disagrees with us on the layout — reject either way).
+  if (!reader.ok() || reader.position() != body_size) return false;
+  if (had_deadline > 1) return false;
+  wire.had_deadline = had_deadline == 1;
+  if (wire.task.deadline_micros < 0 ||
+      wire.task.deadline_micros > kMaxDeadlineMicros ||
+      wire.remaining_micros < 0 ||
+      wire.remaining_micros > kMaxDeadlineMicros || wire.steps < 0 ||
+      !std::isfinite(wire.optimize_millis) || wire.optimize_millis < 0.0) {
+    return false;
+  }
+  *out = std::move(wire);
+  return true;
+}
+
+SuspendedTask ToSuspendedTask(WireTask&& wire,
+                              std::promise<BatchTaskResult> promise) {
+  SuspendedTask task;
+  task.task = std::move(wire.task);
+  task.checkpoint = std::move(wire.checkpoint);
+  task.had_deadline = wire.had_deadline;
+  task.remaining_micros = wire.remaining_micros;
+  task.optimize_millis = wire.optimize_millis;
+  task.steps = wire.steps;
+  task.promise = std::move(promise);
+  return task;
+}
+
+uint64_t RouteKey(const BatchTask& task) {
+  CheckpointWriter writer;
+  WriteQuery(&writer, *task.query);
+  writer.WriteU64(task.seed);
+  return Fnv1a64(writer.Take());
+}
+
+}  // namespace moqo

@@ -8,7 +8,10 @@
 
 #include <future>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "baselines/dp.h"
@@ -400,6 +403,11 @@ TEST(OnlineSchedulerTest, SuspendFromBacklogAndResumeIntoSameScheduler) {
   // Double-suspension is refused.
   EXPECT_FALSE(service.Suspend(0).has_value());
 
+  // A never-started scheduler refuses the re-admission (no worker would
+  // ever run it); the task stays intact and resumable once it is running.
+  EXPECT_FALSE(service.Resume(*suspended));
+  EXPECT_FALSE(suspended->consumed);
+  service.Start();
   ASSERT_TRUE(service.Resume(*suspended));
   service.Drain();
   EXPECT_TRUE(BitwiseEqual(ticket0->get().frontier,
@@ -445,6 +453,101 @@ TEST(OnlineSchedulerTest, SuspendReleasesWindowSlotAndRefusesFinished) {
   service.Drain();
   BatchReport report = service.Stop();
   EXPECT_EQ(report.migrated_tasks, 1u);
+}
+
+// An abandoned migration must surface as an explicit error at the
+// submitter: dropping a SuspendedTask without Resume() fails the original
+// Submit() future with a descriptive exception (not a bare broken
+// promise), and the source scheduler's Drain()/Stop() complete without
+// waiting on the migrated-away slot.
+TEST(OnlineSchedulerTest, AbandonedSuspensionFailsFutureDescriptively) {
+  std::vector<BatchTask> tasks = SmallBatch(2, 5);
+  OnlineConfig config;
+  config.num_threads = 1;
+  OnlineScheduler service(config, RmqFactory(6));
+  auto ticket0 = service.Submit(tasks[0]);
+  auto ticket1 = service.Submit(tasks[1]);
+  ASSERT_TRUE(ticket0.has_value() && ticket1.has_value());
+
+  {
+    auto suspended = service.Suspend(0);
+    ASSERT_TRUE(suspended.has_value());
+    // Dropped here without Resume() — the task is lost in transit.
+  }
+  try {
+    ticket0->get();
+    FAIL() << "an abandoned task delivered a result";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("Resume"), std::string::npos)
+        << "unhelpful abandonment message: " << error.what();
+  } catch (const std::future_error&) {
+    FAIL() << "abandonment surfaced as a bare broken promise";
+  }
+
+  // The suspension released its slot, so draining the remaining work must
+  // not hang on the task that migrated away and died.
+  service.Drain();
+  EXPECT_EQ(ticket1->get().steps, 6);
+  BatchReport report = service.Stop();
+  EXPECT_EQ(report.migrated_tasks, 1u);
+}
+
+// Move-assigning over a live SuspendedTask abandons the overwritten task
+// the same way destruction does.
+TEST(OnlineSchedulerTest, MoveAssignAbandonsOverwrittenSuspension) {
+  std::vector<BatchTask> tasks = SmallBatch(2, 5);
+  OnlineConfig config;
+  config.num_threads = 1;
+  OnlineScheduler service(config, RmqFactory(6));
+  auto ticket0 = service.Submit(tasks[0]);
+  auto ticket1 = service.Submit(tasks[1]);
+  ASSERT_TRUE(ticket0.has_value() && ticket1.has_value());
+  auto first = service.Suspend(0);
+  auto second = service.Suspend(1);
+  ASSERT_TRUE(first.has_value() && second.has_value());
+
+  *first = std::move(*second);  // task 0's promise must fail descriptively
+  EXPECT_THROW(ticket0->get(), std::runtime_error);
+
+  service.Start();
+  ASSERT_TRUE(service.Resume(*first));  // holds task 1 now
+  service.Drain();
+  EXPECT_EQ(ticket1->get().steps, 6);
+  service.Stop();
+}
+
+// A migration destination must be live: Resume() on a never-started or
+// stopped scheduler returns false and leaves the task untouched, so the
+// caller can land it on a running instance instead of parking it where no
+// worker will ever pick it up.
+TEST(OnlineSchedulerTest, ResumeRequiresRunningScheduler) {
+  std::vector<BatchTask> tasks = SmallBatch(1, 5);
+  OnlineConfig config;
+  config.num_threads = 1;
+  OnlineScheduler source(config, RmqFactory(6));
+  auto ticket = source.Submit(tasks[0]);
+  ASSERT_TRUE(ticket.has_value());
+  auto suspended = source.Suspend(0);
+  ASSERT_TRUE(suspended.has_value());
+
+  OnlineScheduler never_started(config, RmqFactory(6));
+  EXPECT_FALSE(never_started.Resume(*suspended));
+  EXPECT_FALSE(suspended->consumed);
+
+  OnlineScheduler stopped(config, RmqFactory(6));
+  stopped.Stop();
+  EXPECT_FALSE(stopped.Resume(*suspended));
+  EXPECT_FALSE(suspended->consumed);
+
+  // The same object still lands on a running scheduler, and the original
+  // future delivers from there.
+  OnlineScheduler running(config, RmqFactory(6));
+  running.Start();
+  ASSERT_TRUE(running.Resume(*suspended));
+  running.Drain();
+  EXPECT_EQ(ticket->get().steps, 6);
+  running.Stop();
+  source.Stop();
 }
 
 // Stress the suspension hand-off under load (the TSan tier runs this):
