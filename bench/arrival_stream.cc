@@ -43,6 +43,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_report.h"
 #include "common/flags.h"
 #include "common/rng.h"
 #include "core/rmq.h"
@@ -294,44 +295,48 @@ int main(int argc, char** argv) {
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
-    out << "{\n"
-        << "  \"bench\": \"arrival_stream\",\n"
-        << "  \"queries\": " << queries << ",\n"
-        << "  \"loose\": " << loose << ",\n"
-        << "  \"tight\": " << tight << ",\n"
-        << "  \"tables\": " << tables << ",\n"
-        << "  \"iterations\": " << iterations << ",\n"
-        << "  \"threads\": " << threads << ",\n"
-        << "  \"utilization\": " << utilization << ",\n"
-        << "  \"per_query_ms\": " << per_query_ms << ",\n"
-        << "  \"tight_window_ms\": " << tight_window_us / 1000.0 << ",\n"
-        << "  \"loose_window_ms\": " << loose_window_us / 1000.0 << ",\n"
-        << "  \"policies\": {\n";
+    bench::JsonWriter w(out);
+    bench::BeginReport(&w, "arrival_stream");
+    w.BeginObject("config");
+    w.Field("queries", queries);
+    w.Field("loose", loose);
+    w.Field("tight", tight);
+    w.Field("tables", tables);
+    w.Field("iterations", iterations);
+    w.Field("threads", threads);
+    w.Field("utilization", utilization);
+    w.Field("seed", static_cast<int64_t>(seed));
+    if (migrate_every > 0) w.Field("migrate_every", migrate_every);
+    w.EndObject();
+    w.BeginObject("metrics");
+    w.Field("per_query_ms", per_query_ms);
+    w.Field("tight_window_ms", tight_window_us / 1000.0);
+    w.Field("loose_window_ms", loose_window_us / 1000.0);
     const PolicyOutcome* outcomes[] = {&fifo, &edf};
-    for (int i = 0; i < 2; ++i) {
-      const PolicyOutcome& o = *outcomes[i];
-      out << "    \"" << o.name << "\": {\n"
-          << "      \"deadline_hits\": " << o.report.deadline_hits << ",\n"
-          << "      \"deadline_tasks\": " << o.report.deadline_tasks << ",\n"
-          << "      \"deadline_hit_rate\": " << o.report.deadline_hit_rate
-          << ",\n"
-          << "      \"lat_p50_ms\": " << o.p50_latency_ms << ",\n"
-          << "      \"lat_p95_ms\": " << o.p95_latency_ms << ",\n"
-          << "      \"wall_ms\": " << o.report.wall_millis << "\n"
-          << "    }" << (i == 0 ? "," : "") << "\n";
+    for (const PolicyOutcome* o : outcomes) {
+      w.BeginObject(o->name);
+      w.Field("deadline_hits", o->report.deadline_hits);
+      w.Field("deadline_tasks", o->report.deadline_tasks);
+      w.Field("deadline_hit_rate", o->report.deadline_hit_rate);
+      w.Field("lat_p50_ms", o->p50_latency_ms);
+      w.Field("lat_p95_ms", o->p95_latency_ms);
+      w.Field("wall_ms", o->report.wall_millis);
+      w.EndObject();
     }
-    out << "  },\n"
-        << "  \"hit_frontiers_identical\": " << (identical ? "true" : "false")
-        << ",\n";
     if (migrate_every > 0) {
-      out << "  \"migrate_every\": " << migrate_every << ",\n"
-          << "  \"migrations_attempted\": " << migrations_attempted << ",\n"
-          << "  \"migrations_done\": " << migrations_done << ",\n"
-          << "  \"migrated_frontiers_identical\": "
-          << (migrate_identical ? "true" : "false") << ",\n";
+      w.Field("migrations_attempted", migrations_attempted);
+      w.Field("migrations_done", migrations_done);
     }
-    out << "  \"pass\": " << (pass ? "true" : "false") << "\n"
-        << "}\n";
+    w.EndObject();
+    w.BeginObject("gates");
+    w.Field("hit_frontiers_identical", identical);
+    if (migrate_every > 0) {
+      w.Field("migrated_frontiers_identical", migrate_identical);
+    }
+    w.EndObject();
+    w.Field("pass", pass);
+    w.EndObject();
+    out << "\n";
     std::printf("wrote %s\n", json_path.c_str());
   }
   return pass ? 0 : 1;

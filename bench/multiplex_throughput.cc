@@ -13,7 +13,7 @@
 //
 //   $ ./bench/multiplex_throughput [--queries=64] [--tables=8]
 //         [--iterations=40] [--threads=8] [--steps-per-slice=1]
-//         [--seed=2016] [--min-speedup=0]
+//         [--seed=2016] [--min-speedup=0] [--json=out.json]
 //
 // Prints the blocking single-thread reference, the single-thread
 // cooperative run, and the multi-thread cooperative run, with per-query
@@ -23,9 +23,12 @@
 // available; pass --min-speedup to additionally gate the verdict on it
 // when the host has the cores (e.g. --min-speedup=3 on 8 cores).
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "bench_report.h"
 #include "common/flags.h"
 #include "core/rmq.h"
 #include "service/batch_optimizer.h"
@@ -74,6 +77,7 @@ int main(int argc, char** argv) {
       static_cast<int>(flags.GetInt("steps-per-slice", 1));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 2016));
   const double min_speedup = flags.GetDouble("min-speedup", 0.0);
+  const std::string json_path = flags.GetString("json", "");
 
   // Iteration-bounded tasks without wall-clock deadlines: the determinism
   // contract only holds when no budget can cut a step short.
@@ -128,5 +132,41 @@ int main(int argc, char** argv) {
       "single-thread reference\n",
       pass ? "PASS" : "FAIL", cmp_multi.speedup, threads,
       identical ? "bitwise identical" : "DIVERGED");
+
+  if (!json_path.empty()) {
+    LatencyStats lat = Latencies(coop_multi);
+    std::ofstream out(json_path);
+    bench::JsonWriter w(out);
+    bench::BeginReport(&w, "multiplex_throughput");
+    w.BeginObject("config");
+    w.Field("queries", queries);
+    w.Field("tables", tables);
+    w.Field("iterations", iterations);
+    w.Field("threads", threads);
+    w.Field("steps_per_slice", steps_per_slice);
+    w.Field("seed", static_cast<int64_t>(seed));
+    w.Field("min_speedup", min_speedup);
+    w.EndObject();
+    w.BeginObject("metrics");
+    w.Field("blocking_wall_ms", reference.wall_millis);
+    w.Field("coop_single_wall_ms", coop_single.wall_millis);
+    w.Field("coop_multi_wall_ms", coop_multi.wall_millis);
+    w.Field("coop_multi_speedup", cmp_multi.speedup);
+    w.Field("coop_multi_qps",
+            coop_multi.wall_millis > 0.0
+                ? 1000.0 * queries / coop_multi.wall_millis
+                : 0.0);
+    w.Field("lat_p50_ms", lat.p50);
+    w.Field("lat_p95_ms", lat.p95);
+    w.Field("lat_max_ms", lat.max);
+    w.EndObject();
+    w.BeginObject("gates");
+    w.Field("frontiers_identical", identical);
+    w.EndObject();
+    w.Field("pass", pass);
+    w.EndObject();
+    out << "\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return pass ? 0 : 1;
 }

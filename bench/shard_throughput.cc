@@ -30,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_report.h"
 #include "common/flags.h"
 #include "common/rng.h"
 #include "core/checkpoint.h"
@@ -258,31 +259,35 @@ int main(int argc, char** argv) {
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
-    out << "{\n"
-        << "  \"bench\": \"shard_throughput\",\n"
-        << "  \"queries\": " << queries << ",\n"
-        << "  \"tables\": " << tables << ",\n"
-        << "  \"iterations\": " << iterations << ",\n"
-        << "  \"threads_per_shard\": " << threads << ",\n"
-        << "  \"shards\": " << shards << ",\n"
-        << "  \"virtual_nodes\": " << virtual_nodes << ",\n"
-        << "  \"unsharded_wall_ms\": " << unsharded_run.wall_ms << ",\n"
-        << "  \"unsharded_qps\": " << unsharded_run.queries_per_sec << ",\n"
-        << "  \"static_wall_ms\": " << static_run.wall_ms << ",\n"
-        << "  \"static_qps\": " << static_run.queries_per_sec << ",\n"
-        << "  \"static_identical\": "
-        << (static_run.identical ? "true" : "false") << ",\n"
-        << "  \"elastic_wall_ms\": " << elastic_run.wall_ms << ",\n"
-        << "  \"elastic_qps\": " << elastic_run.queries_per_sec << ",\n"
-        << "  \"elastic_identical\": "
-        << (elastic_run.identical ? "true" : "false") << ",\n"
-        << "  \"migrations\": " << elastic_run.migrations << ",\n"
-        << "  \"checkpointed_migrations\": "
-        << elastic_run.checkpointed_migrations << ",\n"
-        << "  \"wire_roundtrip_identical\": "
-        << (wire_identical ? "true" : "false") << ",\n"
-        << "  \"pass\": " << (pass ? "true" : "false") << "\n"
-        << "}\n";
+    bench::JsonWriter w(out);
+    bench::BeginReport(&w, "shard_throughput");
+    w.BeginObject("config");
+    w.Field("queries", queries);
+    w.Field("tables", tables);
+    w.Field("iterations", iterations);
+    w.Field("threads_per_shard", threads);
+    w.Field("shards", shards);
+    w.Field("virtual_nodes", virtual_nodes);
+    w.Field("seed", static_cast<int64_t>(seed));
+    w.EndObject();
+    w.BeginObject("metrics");
+    w.Field("unsharded_wall_ms", unsharded_run.wall_ms);
+    w.Field("unsharded_qps", unsharded_run.queries_per_sec);
+    w.Field("static_wall_ms", static_run.wall_ms);
+    w.Field("static_qps", static_run.queries_per_sec);
+    w.Field("elastic_wall_ms", elastic_run.wall_ms);
+    w.Field("elastic_qps", elastic_run.queries_per_sec);
+    w.Field("migrations", elastic_run.migrations);
+    w.Field("checkpointed_migrations", elastic_run.checkpointed_migrations);
+    w.EndObject();
+    w.BeginObject("gates");
+    w.Field("static_identical", static_run.identical);
+    w.Field("elastic_identical", elastic_run.identical);
+    w.Field("wire_roundtrip_identical", wire_identical);
+    w.EndObject();
+    w.Field("pass", pass);
+    w.EndObject();
+    out << "\n";
     std::printf("wrote %s\n", json_path.c_str());
   }
   return pass ? 0 : 1;

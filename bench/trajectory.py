@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Perf-trajectory driver: run the benchmark suite, emit one BENCH_<pr>.json.
+
+Runs the three machine-readable benches with fixed seeds and merges their
+reports (schema moqo-bench-v1, see bench/bench_report.h) into a single
+trajectory document:
+
+    {
+      "schema": "moqo-trajectory-v1",
+      "machine": { ...fingerprint of this run... },
+      "benches": {
+        "micro_substrates":     { config / metrics / gates / pass },
+        "multiplex_throughput": { ... },
+        "shard_throughput":     { ... }
+      },
+      "gates_passed": true
+    }
+
+The per-PR ritual (documented in README.md): after landing a perf-relevant
+change, run
+
+    python3 bench/trajectory.py --output BENCH_<pr>.json
+
+on a quiet machine and commit the file. The committed BENCH_*.json series
+is the measured performance trajectory of the repo, and CI's
+bench-regression job replays this script against the newest committed
+report on every push.
+
+Regression checking: --check-against <file|auto> compares the fresh run to
+a baseline report. "auto" picks the newest committed BENCH_*.json (by PR
+number) in the repo root. The comparison
+
+  * hard-fails if any bench's gates regressed (true -> false) or its
+    overall "pass" flipped to false;
+  * hard-fails if a speedup-type metric (new vs legacy ratio, thread
+    speedup — machine-relative, so portable) dropped by more than
+    --tolerance (default 25%) of the baseline value;
+  * compares absolute rates (steps/sec, qps, latency) only when the
+    machine fingerprints match, and then only warns, because absolute
+    numbers move with the hardware.
+
+Exit code: 0 if all benches passed (and the regression check, if any,
+passed); 1 otherwise.
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+# (benchmark binary, fixed arguments) — seeds pinned so runs are
+# reproducible; parameters match the CI smoke runs so every environment
+# exercises the same workload.
+BENCHES = {
+    "micro_substrates": [
+        "--gate", "--tables=10", "--population=200", "--reps=3",
+        "--min-ms=200", "--min-speedup=2.0",
+    ],
+    "multiplex_throughput": [
+        "--queries=32", "--tables=6", "--iterations=20", "--threads=2",
+        "--seed=2016",
+    ],
+    "shard_throughput": [
+        "--queries=32", "--tables=6", "--iterations=15", "--threads=2",
+        "--shards=4", "--seed=2016",
+    ],
+}
+
+QUICK_OVERRIDES = {
+    "micro_substrates": ["--reps=2", "--min-ms=80"],
+    "multiplex_throughput": ["--queries=16", "--iterations=10"],
+    "shard_throughput": ["--queries=24", "--iterations=10"],
+}
+
+# Metrics that are ratios of two rates measured in the same run on the same
+# machine: portable across hosts, so they gate hard everywhere.
+SPEEDUP_METRIC = re.compile(r"(_speedup$)")
+
+
+def run_bench(build_dir, name, extra_args):
+    exe = os.path.join(build_dir, "bench", name)
+    if not os.path.exists(exe):
+        sys.exit(f"trajectory: missing benchmark binary {exe} "
+                 f"(build with -DMOQO_BUILD_BENCHES=ON)")
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        json_path = tmp.name
+    try:
+        cmd = [exe] + extra_args + [f"--json={json_path}"]
+        print(f"trajectory: running {' '.join(cmd)}", flush=True)
+        proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                              stderr=subprocess.STDOUT, text=True)
+        sys.stdout.write(proc.stdout)
+        with open(json_path) as f:
+            report = json.load(f)
+        if proc.returncode != 0 and report.get("pass", False):
+            # The bench's own verdict is authoritative; a nonzero exit with
+            # pass=true would mean the report and exit code disagree.
+            sys.exit(f"trajectory: {name} exited {proc.returncode} "
+                     "but reported pass=true")
+        return report
+    finally:
+        os.unlink(json_path)
+
+
+def newest_committed_baseline(repo_root, exclude=None):
+    candidates = glob.glob(os.path.join(repo_root, "BENCH_*.json"))
+    best, best_pr = None, -1
+    for path in candidates:
+        if exclude and os.path.abspath(path) == os.path.abspath(exclude):
+            continue  # never compare a run against its own output
+        m = re.fullmatch(r"BENCH_(\d+)\.json", os.path.basename(path))
+        if m and int(m.group(1)) > best_pr:
+            best, best_pr = path, int(m.group(1))
+    return best
+
+
+def check_regressions(current, baseline, tolerance):
+    failures, warnings = [], []
+    same_machine = current.get("machine") == baseline.get("machine")
+    if not same_machine:
+        warnings.append("machine fingerprints differ; absolute rates not "
+                        "compared, speedup ratios still gate")
+    for name, base_bench in baseline.get("benches", {}).items():
+        cur_bench = current.get("benches", {}).get(name)
+        if cur_bench is None:
+            failures.append(f"{name}: present in baseline but not rerun")
+            continue
+        if base_bench.get("pass", False) and not cur_bench.get("pass", False):
+            failures.append(f"{name}: pass regressed true -> false")
+        for gate, ok in base_bench.get("gates", {}).items():
+            cur_ok = cur_bench.get("gates", {}).get(gate)
+            if ok and cur_ok is False:
+                failures.append(f"{name}: gate {gate} regressed")
+        base_metrics = base_bench.get("metrics", {})
+        cur_metrics = cur_bench.get("metrics", {})
+        for key, base_val in base_metrics.items():
+            cur_val = cur_metrics.get(key)
+            if not isinstance(base_val, (int, float)) or \
+               not isinstance(cur_val, (int, float)) or base_val <= 0:
+                continue
+            drop = (base_val - cur_val) / base_val
+            if SPEEDUP_METRIC.search(key):
+                if drop > tolerance:
+                    failures.append(
+                        f"{name}: {key} fell {drop:.0%} "
+                        f"({base_val:.3g} -> {cur_val:.3g}), "
+                        f"tolerance {tolerance:.0%}")
+            elif same_machine and drop > tolerance:
+                warnings.append(
+                    f"{name}: {key} fell {drop:.0%} "
+                    f"({base_val:.3g} -> {cur_val:.3g}) on the same machine")
+    return failures, warnings
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build directory containing bench/")
+    parser.add_argument("--output", default="BENCH_6.json",
+                        help="merged trajectory report to write")
+    parser.add_argument("--check-against", default=None, metavar="FILE",
+                        help="baseline BENCH_*.json to compare to, or "
+                             "'auto' for the newest committed one")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional drop in speedup metrics")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink workloads (CI smoke); ratios and gates "
+                             "are still meaningful, absolute rates less so")
+    args = parser.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+    benches = {}
+    for name, bench_args in BENCHES.items():
+        extra = list(bench_args)
+        if args.quick:
+            extra += QUICK_OVERRIDES.get(name, [])
+        benches[name] = run_bench(args.build_dir, name, extra)
+
+    machines = [b.get("machine", {}) for b in benches.values()]
+    gates_passed = all(b.get("pass", False) for b in benches.values())
+    trajectory = {
+        "schema": "moqo-trajectory-v1",
+        "machine": machines[0] if machines else {},
+        "quick": args.quick,
+        "benches": benches,
+        "gates_passed": gates_passed,
+    }
+    with open(args.output, "w") as f:
+        json.dump(trajectory, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print(f"trajectory: wrote {args.output} (gates_passed={gates_passed})")
+
+    ok = gates_passed
+    if args.check_against:
+        baseline_path = args.check_against
+        if baseline_path == "auto":
+            baseline_path = newest_committed_baseline(repo_root,
+                                                      exclude=args.output)
+            if baseline_path is None:
+                print("trajectory: no committed BENCH_*.json baseline; "
+                      "skipping regression check")
+        if baseline_path:
+            print(f"trajectory: checking against {baseline_path}")
+            with open(baseline_path) as f:
+                baseline = json.load(f)
+            failures, warnings = check_regressions(trajectory, baseline,
+                                                   args.tolerance)
+            for w in warnings:
+                print(f"trajectory: WARNING {w}")
+            for f_ in failures:
+                print(f"trajectory: FAIL {f_}")
+            if failures:
+                ok = False
+            else:
+                print("trajectory: no regressions vs baseline")
+
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

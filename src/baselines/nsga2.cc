@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <limits>
 #include <numeric>
 
@@ -9,23 +10,47 @@
 
 namespace moqo {
 
-std::vector<int> FastNonDominatedSort(const std::vector<CostVector>& costs) {
-  const int n = static_cast<int>(costs.size());
+std::vector<int> FastNonDominatedSort(const CostMatrix& costs) {
+  const int n = static_cast<int>(costs.rows());
   std::vector<int> rank(static_cast<size_t>(n), -1);
   std::vector<int> domination_count(static_cast<size_t>(n), 0);
-  std::vector<std::vector<int>> dominates(static_cast<size_t>(n));
 
+  // The O(n^2) pairwise stage dominates a generation's cost. One fused
+  // comparison per pair yields both dominance directions (the scalar code
+  // called StrictlyDominates twice per pair), and the verdict is stored in
+  // a flat upper-triangle byte array — 1 if i strictly dominates j, 2 if j
+  // strictly dominates i — with branch-free degree accounting, instead of
+  // growing one dominated-list vector per individual. Front propagation
+  // reads dominated sets straight out of the triangle (one O(n) row scan
+  // per individual, O(n^2) total — the same asymptotics as the pairwise
+  // stage it follows). Ranks depend only on the verdicts, which are the
+  // same booleans the scalar code computed, so the fronts are identical.
+  std::vector<std::uint8_t> verdict(
+      static_cast<size_t>(n) * static_cast<size_t>(n > 0 ? n - 1 : 0) / 2);
+  // offset[i] = start of row i's (j > i) verdicts in the triangle.
+  std::vector<size_t> offset(static_cast<size_t>(n), 0);
+  {
+    size_t pos = 0;
+    for (int i = 0; i < n; ++i) {
+      offset[static_cast<size_t>(i)] = pos;
+      pos += static_cast<size_t>(n - i - 1);
+    }
+  }
   for (int i = 0; i < n; ++i) {
+    const double* row_i = costs.Row(static_cast<size_t>(i));
+    std::uint8_t* out = verdict.data() + offset[static_cast<size_t>(i)];
     for (int j = i + 1; j < n; ++j) {
-      if (costs[static_cast<size_t>(i)].StrictlyDominates(
-              costs[static_cast<size_t>(j)])) {
-        dominates[static_cast<size_t>(i)].push_back(j);
-        ++domination_count[static_cast<size_t>(j)];
-      } else if (costs[static_cast<size_t>(j)].StrictlyDominates(
-                     costs[static_cast<size_t>(i)])) {
-        dominates[static_cast<size_t>(j)].push_back(i);
-        ++domination_count[static_cast<size_t>(i)];
-      }
+      bool i_le_j = false;
+      bool j_le_i = false;
+      DominanceCompare(row_i, costs.Row(static_cast<size_t>(j)), &i_le_j,
+                       &j_le_i);
+      const std::uint8_t fwd =
+          static_cast<std::uint8_t>(i_le_j & !j_le_i);  // i dominates j
+      const std::uint8_t bwd =
+          static_cast<std::uint8_t>(j_le_i & !i_le_j);  // j dominates i
+      out[j - i - 1] = static_cast<std::uint8_t>(fwd | (bwd << 1));
+      domination_count[static_cast<size_t>(j)] += fwd;
+      domination_count[static_cast<size_t>(i)] += bwd;
     }
   }
 
@@ -40,8 +65,21 @@ std::vector<int> FastNonDominatedSort(const std::vector<CostVector>& costs) {
   while (!current.empty()) {
     std::vector<int> next;
     for (int i : current) {
-      for (int j : dominates[static_cast<size_t>(i)]) {
-        if (--domination_count[static_cast<size_t>(j)] == 0) {
+      // j dominated by i: triangle(j, i) == 2 for j < i, and
+      // triangle(i, j) == 1 for j > i.
+      for (int j = 0; j < i; ++j) {
+        const size_t p = offset[static_cast<size_t>(j)] +
+                         static_cast<size_t>(i - j - 1);
+        if (verdict[p] == 2 &&
+            --domination_count[static_cast<size_t>(j)] == 0) {
+          rank[static_cast<size_t>(j)] = front + 1;
+          next.push_back(j);
+        }
+      }
+      const std::uint8_t* row = verdict.data() + offset[static_cast<size_t>(i)];
+      for (int j = i + 1; j < n; ++j) {
+        if (row[j - i - 1] == 1 &&
+            --domination_count[static_cast<size_t>(j)] == 0) {
           rank[static_cast<size_t>(j)] = front + 1;
           next.push_back(j);
         }
@@ -53,36 +91,47 @@ std::vector<int> FastNonDominatedSort(const std::vector<CostVector>& costs) {
   return rank;
 }
 
-std::vector<double> CrowdingDistances(const std::vector<CostVector>& costs,
+std::vector<int> FastNonDominatedSort(const std::vector<CostVector>& costs) {
+  CostMatrix matrix;
+  for (const CostVector& c : costs) matrix.PushRow(c);
+  return FastNonDominatedSort(matrix);
+}
+
+std::vector<double> CrowdingDistances(const CostMatrix& costs,
                                       const std::vector<int>& front) {
   const double kInf = std::numeric_limits<double>::infinity();
   std::vector<double> distance(front.size(), 0.0);
   if (front.empty()) return distance;
-  int metrics = costs[static_cast<size_t>(front[0])].size();
+  const int metrics = costs.metrics();
+  auto at = [&](size_t k, int m) {
+    return costs.Row(static_cast<size_t>(front[k]))[m];
+  };
 
   std::vector<int> order(front.size());
   std::iota(order.begin(), order.end(), 0);
   for (int m = 0; m < metrics; ++m) {
     std::sort(order.begin(), order.end(), [&](int a, int b) {
-      return costs[static_cast<size_t>(front[static_cast<size_t>(a)])][m] <
-             costs[static_cast<size_t>(front[static_cast<size_t>(b)])][m];
+      return at(static_cast<size_t>(a), m) < at(static_cast<size_t>(b), m);
     });
-    double lo = costs[static_cast<size_t>(front[static_cast<size_t>(
-        order.front())])][m];
-    double hi = costs[static_cast<size_t>(front[static_cast<size_t>(
-        order.back())])][m];
+    double lo = at(static_cast<size_t>(order.front()), m);
+    double hi = at(static_cast<size_t>(order.back()), m);
     distance[static_cast<size_t>(order.front())] = kInf;
     distance[static_cast<size_t>(order.back())] = kInf;
     if (hi <= lo) continue;  // all equal in this metric
     for (size_t k = 1; k + 1 < order.size(); ++k) {
-      double prev = costs[static_cast<size_t>(
-          front[static_cast<size_t>(order[k - 1])])][m];
-      double next = costs[static_cast<size_t>(
-          front[static_cast<size_t>(order[k + 1])])][m];
+      double prev = at(static_cast<size_t>(order[k - 1]), m);
+      double next = at(static_cast<size_t>(order[k + 1]), m);
       distance[static_cast<size_t>(order[k])] += (next - prev) / (hi - lo);
     }
   }
   return distance;
+}
+
+std::vector<double> CrowdingDistances(const std::vector<CostVector>& costs,
+                                      const std::vector<int>& front) {
+  CostMatrix matrix;
+  for (const CostVector& c : costs) matrix.PushRow(c);
+  return CrowdingDistances(matrix, front);
 }
 
 PlanPtr DecodeGenome(const Nsga2Genome& genome, PlanFactory* factory) {
@@ -199,11 +248,12 @@ const Individual& Tournament(const std::vector<Individual>& pop, Rng* rng) {
   return a.crowding >= b.crowding ? a : b;
 }
 
-// Assigns ranks and crowding distances to `pop` in place.
+// Assigns ranks and crowding distances to `pop` in place. The cost matrix
+// is gathered once per ranking; sorting and crowding then run over flat
+// rows without touching plan nodes.
 void RankPopulation(std::vector<Individual>* pop) {
-  std::vector<CostVector> costs;
-  costs.reserve(pop->size());
-  for (const Individual& ind : *pop) costs.push_back(ind.plan->cost());
+  CostMatrix costs;
+  for (const Individual& ind : *pop) costs.PushRow(ind.plan->cost());
   std::vector<int> ranks = FastNonDominatedSort(costs);
   int max_rank = 0;
   for (size_t i = 0; i < pop->size(); ++i) {

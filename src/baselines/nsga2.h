@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/optimizer.h"
+#include "cost/cost_matrix.h"
 #include "pareto/pareto_archive.h"
 
 namespace moqo {
@@ -52,11 +53,20 @@ struct Nsga2Individual {
 };
 
 /// Fast non-dominated sort: returns the front index (0 = best) of each cost
-/// vector. Exposed for unit tests.
+/// row. The matrix form is the hot path — the pairwise dominance loop runs
+/// fused one-pass comparisons over contiguous rows.
+std::vector<int> FastNonDominatedSort(const CostMatrix& costs);
+
+/// Convenience overload for unit tests and callers holding CostVectors;
+/// delegates to the matrix form (identical results).
 std::vector<int> FastNonDominatedSort(const std::vector<CostVector>& costs);
 
-/// Crowding distances within one front (indices into `costs`); boundary
-/// points receive +infinity. Exposed for unit tests.
+/// Crowding distances within one front (indices into `costs` rows);
+/// boundary points receive +infinity.
+std::vector<double> CrowdingDistances(const CostMatrix& costs,
+                                      const std::vector<int>& front);
+
+/// Convenience overload; delegates to the matrix form (identical results).
 std::vector<double> CrowdingDistances(const std::vector<CostVector>& costs,
                                       const std::vector<int>& front);
 

@@ -290,9 +290,9 @@ bool AllPlansCover(const std::vector<PlanPtr>& plans, const TableSet& rel) {
 
 void WritePlanCache(CheckpointWriter* writer, const PlanCache& cache) {
   writer->WriteU64(cache.entries().size());
-  for (const auto& [rel, plans] : cache.entries()) {
+  for (const auto& [rel, entry] : cache.entries()) {
     writer->WriteTableSet(rel);
-    writer->WritePlans(plans);
+    writer->WritePlans(entry.plans);
   }
 }
 

@@ -7,13 +7,21 @@
 // how RMQ shares Pareto-optimal partial plans across iterations: frontier
 // approximation recombines cached sub-plans that may stem from *different*
 // join orders than the current locally optimal plan.
+//
+// Each entry keeps a struct-of-arrays mirror of its plans' cost vectors
+// (cost/cost_matrix.h) plus a flat output-format tag array, so the pruning
+// sweep of Insert runs over contiguous doubles and bytes instead of
+// dereferencing a plan node per comparison. Prune decisions are bit-for-bit
+// those of the scalar implementation.
 #ifndef MOQO_CORE_PLAN_CACHE_H_
 #define MOQO_CORE_PLAN_CACHE_H_
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "common/table_set.h"
+#include "cost/cost_matrix.h"
 #include "plan/plan.h"
 
 namespace moqo {
@@ -21,13 +29,21 @@ namespace moqo {
 /// Maps table sets to alpha-pruned sets of non-dominated partial plans.
 class PlanCache {
  public:
+  /// One cached table set: the plans plus flat mirrors of their cost rows
+  /// and output-format tags, kept in lockstep (same order).
+  struct Entry {
+    std::vector<PlanPtr> plans;
+    CostMatrix costs;
+    std::vector<std::uint8_t> formats;
+  };
+
   PlanCache() = default;
 
   /// The paper's Prune (Algorithm 3): inserts `plan` under `rel` unless an
   /// existing same-representation plan alpha-approximately dominates it;
   /// evicts existing plans that the new plan (factor 1) dominates. Returns
   /// true if the plan was inserted.
-  bool Insert(const TableSet& rel, PlanPtr plan, double alpha);
+  bool Insert(const TableSet& rel, const PlanPtr& plan, double alpha);
 
   /// Cached plans for `rel`; empty if the table set was never seen.
   const std::vector<PlanPtr>& Lookup(const TableSet& rel) const;
@@ -42,8 +58,7 @@ class PlanCache {
   void Clear() { cache_.clear(); }
 
   /// Read access to the underlying map, for checkpoint serialization.
-  const std::unordered_map<TableSet, std::vector<PlanPtr>, TableSetHash>&
-  entries() const {
+  const std::unordered_map<TableSet, Entry, TableSetHash>& entries() const {
     return cache_;
   }
 
@@ -52,12 +67,12 @@ class PlanCache {
   /// pruned under the alpha in effect when they were inserted, so
   /// re-running Insert with the current alpha could evict plans the
   /// original cache still holds and diverge the resumed run.
-  void Adopt(const TableSet& rel, std::vector<PlanPtr> plans) {
-    cache_[rel] = std::move(plans);
-  }
+  void Adopt(const TableSet& rel, std::vector<PlanPtr> plans);
 
  private:
-  std::unordered_map<TableSet, std::vector<PlanPtr>, TableSetHash> cache_;
+  std::unordered_map<TableSet, Entry, TableSetHash> cache_;
+  // Scratch keep-mask reused across inserts to avoid reallocation.
+  std::vector<std::uint8_t> keep_;
 };
 
 }  // namespace moqo

@@ -1,0 +1,31 @@
+#include "cost/cost_matrix.h"
+
+#include <algorithm>
+
+namespace moqo {
+
+void CostMatrix::Compact(const std::vector<std::uint8_t>& keep) {
+  assert(keep.size() == rows_);
+  const size_t stride = static_cast<size_t>(CostVector::kMaxMetrics);
+  size_t out = 0;
+  for (size_t r = 0; r < rows_; ++r) {
+    if (!keep[r]) continue;
+    if (out != r) {
+      std::copy_n(data_.data() + r * stride, stride,
+                  data_.data() + out * stride);
+    }
+    ++out;
+  }
+  rows_ = out;
+  data_.resize(rows_ * stride);
+}
+
+void CostMatrix::EraseRow(size_t r) {
+  assert(r < rows_);
+  const size_t stride = static_cast<size_t>(CostVector::kMaxMetrics);
+  data_.erase(data_.begin() + static_cast<std::ptrdiff_t>(r * stride),
+              data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * stride));
+  --rows_;
+}
+
+}  // namespace moqo

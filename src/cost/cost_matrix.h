@@ -1,0 +1,92 @@
+// Struct-of-arrays cost storage for dominance sweeps.
+//
+// Archives and frontiers compare one candidate cost vector against *every*
+// archived vector on each insert. Stored as one CostVector per plan node,
+// each comparison dereferences a plan pointer and runs short scalar loops
+// with early-outs — cache-hostile and branch-heavy. A CostMatrix keeps the
+// same vectors as one contiguous row-major double array (row per plan,
+// column per metric), so a sweep is a single linear pass over flat doubles
+// computing the fused dominance bits of DominanceCompare (cost_vector.h).
+//
+// The matrix mirrors an owner's plan vector: rows are appended in insert
+// order and compacted with an order-preserving keep mask, exactly matching
+// `erase(remove_if(...))` over the plan vector. Comparison results are
+// bit-identical to the scalar CostVector relations (same doubles, same
+// comparisons), so frontiers are unchanged — only the loop shape differs.
+#ifndef MOQO_COST_COST_MATRIX_H_
+#define MOQO_COST_COST_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cost/cost_vector.h"
+
+namespace moqo {
+
+/// Row-major matrix of cost vectors: row per plan, column per metric. The
+/// metric count is fixed by the first appended row and persists across
+/// Clear() so a reused matrix stays consistent.
+class CostMatrix {
+ public:
+  CostMatrix() = default;
+
+  /// Number of metrics per row (0 until the first row is appended).
+  int metrics() const { return metrics_; }
+
+  /// Number of rows.
+  size_t rows() const { return rows_; }
+
+  /// True if the matrix has no rows.
+  bool empty() const { return rows_ == 0; }
+
+  /// Appends `v` as the last row. All rows must have identical size.
+  /// Rows are stored at a fixed kMaxMetrics stride with unused trailing
+  /// lanes zero (CostVector zero-fills its padding), so DominanceCompare
+  /// can run branch-free over all lanes.
+  void PushRow(const CostVector& v) {
+    if (rows_ == 0 && metrics_ == 0) metrics_ = v.size();
+    assert(v.size() == metrics_);
+    data_.insert(data_.end(), v.data(),
+                 v.data() + CostVector::kMaxMetrics);
+    ++rows_;
+  }
+
+  /// Flat row accessor (kMaxMetrics doubles; the metrics() leading lanes
+  /// are live, the rest are zero).
+  const double* Row(size_t r) const {
+    assert(r < rows_);
+    return data_.data() + r * static_cast<size_t>(CostVector::kMaxMetrics);
+  }
+
+  /// Copies row `r` back into CostVector form.
+  CostVector RowVector(size_t r) const {
+    const double* row = Row(r);
+    CostVector v(metrics_);
+    for (int i = 0; i < metrics_; ++i) v[i] = row[i];
+    return v;
+  }
+
+  /// Removes all rows, keeping the metric count.
+  void Clear() {
+    data_.clear();
+    rows_ = 0;
+  }
+
+  /// Keeps exactly the rows with keep[r] != 0, preserving their order —
+  /// the SoA equivalent of erase(remove_if(...)) on the mirrored vector.
+  void Compact(const std::vector<std::uint8_t>& keep);
+
+  /// Removes the single row `r`, preserving the order of the others.
+  void EraseRow(size_t r);
+
+ private:
+  std::vector<double> data_;
+  size_t rows_ = 0;
+  int metrics_ = 0;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_COST_COST_MATRIX_H_

@@ -29,7 +29,18 @@ bool CostVector::WeakDominates(const CostVector& other) const {
 }
 
 bool CostVector::StrictlyDominates(const CostVector& other) const {
-  return WeakDominates(other) && !EqualTo(other);
+  // One pass: weakly dominating and strictly lower somewhere. Equivalent to
+  // WeakDominates(other) && !EqualTo(other), without walking the metrics
+  // twice (this is the hottest comparison in the optimizer).
+  assert(size_ == other.size_);
+  bool strictly_lower = false;
+  for (int i = 0; i < size_; ++i) {
+    const double a = values_[static_cast<size_t>(i)];
+    const double b = other.values_[static_cast<size_t>(i)];
+    if (a > b) return false;
+    strictly_lower |= a < b;
+  }
+  return strictly_lower;
 }
 
 bool CostVector::ApproxDominates(const CostVector& other, double alpha) const {

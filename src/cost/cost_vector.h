@@ -11,6 +11,10 @@
 #include <cassert>
 #include <string>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 namespace moqo {
 
 /// Upper bound on plan cost components. Costs are clamped here so that
@@ -95,10 +99,52 @@ class CostVector {
   /// Renders e.g. "(12.5, 3e4)" for debugging.
   std::string ToString() const;
 
+  /// Raw component storage (size() leading entries are meaningful). Used by
+  /// the struct-of-arrays dominance kernels in cost_matrix.h.
+  const double* data() const { return values_.data(); }
+
  private:
   std::array<double, kMaxMetrics> values_;
   int size_;
 };
+
+/// True iff a[i] <= b[i] in every one of the kMaxMetrics lanes. Both inputs
+/// must be kMaxMetrics doubles with unused trailing lanes zero (the
+/// invariant CostVector and CostMatrix maintain): padding lanes then
+/// contribute 0 <= 0 and never change the verdict. Evaluating all lanes
+/// unconditionally removes the trip-count and early-exit branches of the
+/// scalar relations, and on x86-64 compiles to two packed compares; the
+/// verdict is identical to the scalar `<=` loop (CMPLEPD, like scalar
+/// comparison, is false on NaN — and costs are clamped so NaN never
+/// appears).
+inline bool AllLanesLE(const double* a, const double* b) {
+  static_assert(CostVector::kMaxMetrics == 4,
+                "dominance kernels assume 4 cost lanes");
+#if defined(__SSE2__)
+  const __m128d a0 = _mm_loadu_pd(a);
+  const __m128d a1 = _mm_loadu_pd(a + 2);
+  const __m128d b0 = _mm_loadu_pd(b);
+  const __m128d b1 = _mm_loadu_pd(b + 2);
+  return (_mm_movemask_pd(_mm_cmple_pd(a0, b0)) &
+          _mm_movemask_pd(_mm_cmple_pd(a1, b1))) == 0x3;
+#else
+  bool le = true;
+  for (int i = 0; i < CostVector::kMaxMetrics; ++i) le &= a[i] <= b[i];
+  return le;
+#endif
+}
+
+/// Fused one-pass dominance comparison between two kMaxMetrics-wide cost
+/// rows: sets *a_le_b iff a weakly dominates b and *b_le_a iff b weakly
+/// dominates a. From those two bits every relation follows: equal = both,
+/// a strictly dominates b = *a_le_b && !*b_le_a. Costs are clamped at
+/// construction, so components are never NaN and `<=` is a total order per
+/// component.
+inline void DominanceCompare(const double* a, const double* b, bool* a_le_b,
+                             bool* b_le_a) {
+  *a_le_b = AllLanesLE(a, b);
+  *b_le_a = AllLanesLE(b, a);
+}
 
 }  // namespace moqo
 

@@ -1,28 +1,49 @@
 #include "pareto/epsilon_indicator.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
+
+#include "cost/cost_matrix.h"
 
 namespace moqo {
 
 std::vector<CostVector> ParetoFilter(std::vector<CostVector> vectors) {
-  std::vector<CostVector> out;
+  // Struct-of-arrays filter: the kept set lives in a flat cost matrix and
+  // each incoming vector runs one fused reject/evict sweep over it — the
+  // same scan order and comparisons as the former two-pass loop (reject on
+  // a weak dominator aborts before any mutation; after a reject-free sweep
+  // "strictly dominates" reduces to "weakly dominates" because equality
+  // would have rejected). Identical output, one pass per candidate.
+  CostMatrix kept;
+  std::vector<std::uint8_t> keep;
   for (const CostVector& v : vectors) {
-    bool dominated = false;
-    for (const CostVector& kept : out) {
-      if (kept.WeakDominates(v)) {
-        dominated = true;
+    const double* cand = v.data();
+    const size_t n = kept.rows();
+    bool rejected = false;
+    bool any_evicted = false;
+    for (size_t r = 0; r < n; ++r) {
+      bool row_le_cand = false;
+      bool cand_le_row = false;
+      DominanceCompare(kept.Row(r), cand, &row_le_cand, &cand_le_row);
+      if (row_le_cand) {
+        rejected = true;
         break;
       }
+      if (cand_le_row) {
+        if (!any_evicted) keep.assign(n, 1);
+        keep[r] = 0;
+        any_evicted = true;
+      }
     }
-    if (dominated) continue;
-    out.erase(std::remove_if(out.begin(), out.end(),
-                             [&](const CostVector& kept) {
-                               return v.StrictlyDominates(kept);
-                             }),
-              out.end());
-    out.push_back(v);
+    if (rejected) continue;
+    if (any_evicted) kept.Compact(keep);
+    kept.PushRow(v);
   }
+
+  std::vector<CostVector> out;
+  out.reserve(kept.rows());
+  for (size_t r = 0; r < kept.rows(); ++r) out.push_back(kept.RowVector(r));
   return out;
 }
 

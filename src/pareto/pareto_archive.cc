@@ -4,25 +4,60 @@
 
 namespace moqo {
 
-bool ParetoArchive::Insert(PlanPtr plan) {
-  for (const PlanPtr& p : plans_) {
-    if (p->cost().WeakDominates(plan->cost())) return false;
+// `plan` is taken by reference and only copied in on acceptance, so
+// rejected candidates never touch the shared_ptr control block.
+bool ParetoArchive::Insert(const PlanPtr& plan) {
+  const CostVector& cost = plan->cost();
+  const double* cand = cost.data();
+  const size_t n = costs_.rows();
+  assert(plans_.size() == n);
+
+  // Fused one-pass sweep, replacing the former reject pass (any archived
+  // plan weakly dominates the candidate?) followed by an evict pass (which
+  // archived plans does the candidate strictly dominate?). Scanning rows in
+  // the same order with the same comparisons, a reject aborts the sweep
+  // before any mutation — exactly the old early return — and if no row
+  // rejects, no row weakly dominates the candidate, so "candidate strictly
+  // dominates row" reduces to "candidate weakly dominates row" (equality
+  // would have rejected). Bit-identical outcomes, one pass. The keep mask
+  // is initialized lazily on the first eviction; reject and clean-append
+  // sweeps never touch it.
+  bool any_evicted = false;
+  for (size_t r = 0; r < n; ++r) {
+    bool row_le_cand = false;
+    bool cand_le_row = false;
+    DominanceCompare(costs_.Row(r), cand, &row_le_cand, &cand_le_row);
+    if (row_le_cand) return false;
+    if (cand_le_row) {
+      if (!any_evicted) keep_.assign(n, 1);
+      keep_[r] = 0;
+      any_evicted = true;
+    }
   }
-  plans_.erase(std::remove_if(plans_.begin(), plans_.end(),
-                              [&](const PlanPtr& p) {
-                                return plan->cost().StrictlyDominates(
-                                    p->cost());
-                              }),
-               plans_.end());
-  plans_.push_back(std::move(plan));
+  if (any_evicted) {
+    size_t out = 0;
+    for (size_t r = 0; r < n; ++r) {
+      if (keep_[r]) plans_[out++] = std::move(plans_[r]);
+    }
+    plans_.resize(out);
+    costs_.Compact(keep_);
+  }
+  costs_.PushRow(cost);
+  plans_.push_back(plan);
   return true;
 }
 
 std::vector<CostVector> ParetoArchive::Frontier() const {
   std::vector<CostVector> out;
   out.reserve(plans_.size());
-  for (const PlanPtr& p : plans_) out.push_back(p->cost());
+  for (size_t r = 0; r < plans_.size(); ++r) out.push_back(costs_.RowVector(r));
   return out;
+}
+
+void ParetoArchive::Adopt(std::vector<PlanPtr> plans) {
+  plans_ = std::move(plans);
+  costs_.Clear();
+  for (const PlanPtr& p : plans_) costs_.PushRow(p->cost());
 }
 
 }  // namespace moqo

@@ -10,8 +10,10 @@
 #ifndef MOQO_PARETO_PARETO_ARCHIVE_H_
 #define MOQO_PARETO_PARETO_ARCHIVE_H_
 
+#include <cstdint>
 #include <vector>
 
+#include "cost/cost_matrix.h"
 #include "cost/cost_vector.h"
 #include "plan/plan.h"
 
@@ -25,7 +27,7 @@ class ParetoArchive {
   /// Inserts `plan` unless an archived plan weakly dominates it; evicts
   /// archived plans that `plan` strictly dominates. Returns true if the
   /// plan was inserted.
-  bool Insert(PlanPtr plan);
+  bool Insert(const PlanPtr& plan);
 
   /// The archived plans (unspecified order).
   const std::vector<PlanPtr>& plans() const { return plans_; }
@@ -40,16 +42,25 @@ class ParetoArchive {
   bool empty() const { return plans_.empty(); }
 
   /// Removes all plans.
-  void Clear() { plans_.clear(); }
+  void Clear() {
+    plans_.clear();
+    costs_.Clear();
+  }
 
   /// Replaces the archive with a previously captured plans() snapshot,
   /// preserving order (checkpoint restore). The caller guarantees the
   /// plans are mutually non-dominated — the invariant plans() snapshots
   /// hold by construction.
-  void Adopt(std::vector<PlanPtr> plans) { plans_ = std::move(plans); }
+  void Adopt(std::vector<PlanPtr> plans);
 
  private:
   std::vector<PlanPtr> plans_;
+  // Struct-of-arrays mirror of plans_[i]->cost(): row i holds plan i's cost
+  // components, so Insert sweeps flat doubles instead of chasing plan
+  // pointers. Kept in lockstep with plans_ (same order).
+  CostMatrix costs_;
+  // Scratch keep-mask reused across inserts to avoid reallocation.
+  std::vector<std::uint8_t> keep_;
 };
 
 }  // namespace moqo

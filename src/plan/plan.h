@@ -2,18 +2,29 @@
 //
 // A plan is a labeled binary tree (Section 3 of the paper): leaves are
 // ScanPlan(table, scanOp) nodes and inner nodes are JoinPlan(outer, inner,
-// joinOp) nodes. Plans are immutable and reference-counted, so the plan
-// cache, Pareto archives, and optimizers share sub-plans structurally —
-// each cached plan costs O(1) additional space exactly as the paper's
-// space analysis (Theorem 5) assumes.
+// joinOp) nodes. Plans are immutable and share sub-plans structurally, so
+// the plan cache, Pareto archives, and optimizers keep each cached plan at
+// O(1) additional space exactly as the paper's space analysis (Theorem 5)
+// assumes.
 //
 // Every node carries its derived properties, computed once at construction
 // by the PlanFactory: the joined table set `rel`, the estimated output
 // cardinality and tuple width, the output data representation, and the full
 // cost vector under the factory's cost model.
+//
+// Storage and ownership: nodes live in the factory's PlanArena (see
+// plan_arena.h) as trivially destructible values, not as individual heap
+// objects. A PlanPtr is still a `shared_ptr<const Plan>`, but handles from
+// the factory are *aliasing* pointers that own the whole arena rather than
+// one node — refcounting is per-arena, so a frontier that escapes a session
+// keeps its arena (and hence every reachable sub-plan) alive with a single
+// control block. Child links are raw pointers into the same arena;
+// `outer()`/`inner()` return non-owning views that are valid as long as any
+// owning handle to the tree (or the factory) exists.
 #ifndef MOQO_PLAN_PLAN_H_
 #define MOQO_PLAN_PLAN_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -24,9 +35,19 @@
 namespace moqo {
 
 class Plan;
+class PlanArena;
 
-/// Shared handle to an immutable plan node.
+/// Shared handle to an immutable plan node. Handles returned by PlanFactory
+/// own the node's arena (aliasing shared_ptr); handles returned by
+/// Plan::outer()/inner() are non-owning views into a live tree.
 using PlanPtr = std::shared_ptr<const Plan>;
+
+/// Dense per-arena node index (allocation order). 32 bits: no realistic
+/// optimization run allocates 4B nodes in one session.
+using PlanIndex = std::uint32_t;
+
+/// arena_index() value of a node not allocated from an arena.
+inline constexpr PlanIndex kInvalidPlanIndex = ~PlanIndex{0};
 
 /// One node of an immutable plan tree. Construct via PlanFactory.
 class Plan {
@@ -37,11 +58,19 @@ class Plan {
   /// Set of tables joined by this (sub-)plan.
   const TableSet& rel() const { return rel_; }
 
-  /// Outer child (join nodes only).
-  const PlanPtr& outer() const { return outer_; }
+  /// Outer child (join nodes only). Non-owning view: valid while an owning
+  /// handle to this tree (or its factory) is alive; re-own via the factory
+  /// if it must escape.
+  PlanPtr outer() const { return PlanPtr(PlanPtr(), outer_); }
 
-  /// Inner child (join nodes only).
-  const PlanPtr& inner() const { return inner_; }
+  /// Inner child (join nodes only). Non-owning view; see outer().
+  PlanPtr inner() const { return PlanPtr(PlanPtr(), inner_); }
+
+  /// Outer child as a raw pointer (join nodes only).
+  const Plan* outer_node() const { return outer_; }
+
+  /// Inner child as a raw pointer (join nodes only).
+  const Plan* inner_node() const { return inner_; }
 
   /// Scanned table id (scan leaves only).
   int table() const { return table_; }
@@ -68,16 +97,24 @@ class Plan {
   /// Total number of nodes in this subtree (2 * |rel| - 1).
   int NodeCount() const { return node_count_; }
 
+  /// Dense index of this node within its arena (allocation order), or
+  /// kInvalidPlanIndex if the node was not arena-allocated.
+  PlanIndex arena_index() const { return arena_index_; }
+
   /// Renders e.g. "((T0 HJ T1) SM T2)" for debugging and logs.
   std::string ToString() const;
 
  private:
   friend class PlanFactory;
+  friend class PlanArena;
   Plan() = default;
 
   TableSet rel_;
-  PlanPtr outer_;
-  PlanPtr inner_;
+  // Raw pointers into the same arena: an owning child handle would make the
+  // arena keep itself alive. Parent handles own the arena, which owns the
+  // children, so the links can never dangle while a tree is reachable.
+  const Plan* outer_ = nullptr;
+  const Plan* inner_ = nullptr;
   int table_ = -1;
   ScanAlgorithm scan_op_ = ScanAlgorithm::kFullScan;
   JoinAlgorithm join_op_ = JoinAlgorithm::kNestedLoop;
@@ -86,6 +123,7 @@ class Plan {
   double tuple_bytes_ = 0.0;
   OutputFormat format_ = OutputFormat::kUnsorted;
   int node_count_ = 1;
+  PlanIndex arena_index_ = kInvalidPlanIndex;
 };
 
 /// True if `a` and `b` produce the same output data representation; plans

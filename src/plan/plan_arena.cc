@@ -1,0 +1,32 @@
+#include "plan/plan_arena.h"
+
+#include <limits>
+#include <type_traits>
+
+namespace moqo {
+
+// Arena nodes are reclaimed wholesale (chunk arrays of trivially destructible
+// Plans), never one at a time; this is what makes bump allocation safe.
+static_assert(std::is_trivially_destructible<Plan>::value,
+              "Plan must stay trivially destructible for arena storage");
+
+PlanArena::~PlanArena() = default;
+
+Plan* PlanArena::Allocate() {
+  assert(size_ < std::numeric_limits<PlanIndex>::max());
+  const size_t offset = size_ % kChunkNodes;
+  if (offset == 0) {
+    chunks_.emplace_back(new Plan[kChunkNodes]);
+  }
+  Plan* node = &chunks_.back()[offset];
+  node->arena_index_ = static_cast<PlanIndex>(size_);
+  ++size_;
+  return node;
+}
+
+size_t PlanArena::ApproxBytes() const {
+  return chunks_.size() * kChunkNodes * sizeof(Plan) +
+         chunks_.capacity() * sizeof(chunks_[0]);
+}
+
+}  // namespace moqo

@@ -7,10 +7,14 @@
 namespace moqo {
 
 PlanFactory::PlanFactory(QueryPtr query, const CostModel* cost_model)
-    : query_(std::move(query)), cost_model_(cost_model) {
+    : query_(std::move(query)),
+      cost_model_(cost_model),
+      arena_(PlanArena::Create()) {
   assert(query_ != nullptr);
   assert(cost_model_ != nullptr);
 }
+
+void PlanFactory::ResetArena() { arena_ = PlanArena::Create(); }
 
 const PlanFactory::SetStats& PlanFactory::StatsFor(const TableSet& s) {
   auto it = set_stats_.find(s);
@@ -50,7 +54,7 @@ PlanPtr PlanFactory::MakeScan(int table, ScanAlgorithm op) {
   const TableStats& stats = query_->catalog().Table(table);
   assert(cost_model_->ScanApplicable(stats, op));
 
-  auto plan = std::shared_ptr<Plan>(new Plan());
+  Plan* plan = arena_->Allocate();
   plan->rel_ = TableSet::Singleton(table);
   plan->table_ = table;
   plan->scan_op_ = op;
@@ -60,7 +64,7 @@ PlanPtr PlanFactory::MakeScan(int table, ScanAlgorithm op) {
   plan->cost_ = cost_model_->ScanCost(stats, op);
   plan->node_count_ = 1;
   ++plans_built_;
-  return plan;
+  return PlanPtr(arena_, plan);
 }
 
 PlanPtr PlanFactory::MakeJoin(PlanPtr outer, PlanPtr inner, JoinAlgorithm op) {
@@ -68,7 +72,7 @@ PlanPtr PlanFactory::MakeJoin(PlanPtr outer, PlanPtr inner, JoinAlgorithm op) {
   assert(!outer->rel().Empty() && !inner->rel().Empty());
   assert(outer->rel().DisjointWith(inner->rel()));
 
-  auto plan = std::shared_ptr<Plan>(new Plan());
+  Plan* plan = arena_->Allocate();
   plan->rel_ = outer->rel().Union(inner->rel());
   const SetStats& stats = StatsFor(plan->rel_);
   plan->join_op_ = op;
@@ -81,10 +85,15 @@ PlanPtr PlanFactory::MakeJoin(PlanPtr outer, PlanPtr inner, JoinAlgorithm op) {
       stats.cardinality);
   plan->cost_ = cost_model_->Combine(outer->cost(), inner->cost(), op_cost);
   plan->node_count_ = outer->NodeCount() + inner->NodeCount() + 1;
-  plan->outer_ = std::move(outer);
-  plan->inner_ = std::move(inner);
+  // Children are linked as raw pointers; the parent's owning handle keeps
+  // the (shared) arena — and with it both children — alive. Children built
+  // by this factory live in arena_ or, after ResetArena, in an arena kept
+  // alive by the caller's own handles; either way the link cannot dangle
+  // while the returned handle is reachable.
+  plan->outer_ = outer.get();
+  plan->inner_ = inner.get();
   ++plans_built_;
-  return plan;
+  return PlanPtr(arena_, plan);
 }
 
 PlanPtr PlanFactory::Rebuild(const PlanPtr& plan) {

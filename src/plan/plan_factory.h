@@ -9,12 +9,14 @@
 #ifndef MOQO_PLAN_PLAN_FACTORY_H_
 #define MOQO_PLAN_PLAN_FACTORY_H_
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "common/table_set.h"
 #include "cost/cost_model.h"
 #include "plan/plan.h"
+#include "plan/plan_arena.h"
 #include "query/query.h"
 
 namespace moqo {
@@ -59,6 +61,15 @@ class PlanFactory {
   /// Number of plans constructed so far (observability for benches).
   int64_t plans_built() const { return plans_built_; }
 
+  /// The arena holding every node built by this factory since the last
+  /// ResetArena(). Shared so escaped PlanPtr handles keep it alive.
+  const std::shared_ptr<PlanArena>& arena() const { return arena_; }
+
+  /// Swaps in a fresh empty arena. Existing PlanPtr handles stay valid —
+  /// they own the old arena, which is freed when the last of them dies.
+  /// Call between queries/sessions to reclaim plan memory wholesale.
+  void ResetArena();
+
  private:
   struct SetStats {
     double cardinality;
@@ -69,6 +80,7 @@ class PlanFactory {
 
   QueryPtr query_;
   const CostModel* cost_model_;
+  std::shared_ptr<PlanArena> arena_;
   std::unordered_map<TableSet, SetStats, TableSetHash> set_stats_;
   int64_t plans_built_ = 0;
 };

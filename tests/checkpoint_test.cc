@@ -331,6 +331,50 @@ TEST(CheckpointIoTest, PlanRoundTripPreservesSharingAndCosts) {
   EXPECT_EQ(restored[1]->ToString(), b->ToString());
 }
 
+// Arena lifetime across restore: restored plans are built into the target
+// factory's arena, so they must survive the source fixture (factory +
+// arena) being destroyed — and the target factory too, because escaped
+// PlanPtr handles co-own the arena generation they were built in. The
+// weak handle proves the arena is reclaimed exactly when the last plan
+// handle dies, not before.
+TEST(CheckpointIoTest, RestoredPlansOutliveSourceAndTargetFactories) {
+  std::vector<uint8_t> buffer;
+  std::string expected_repr;
+  CostVector expected_cost;
+  {
+    Fixture source(4);
+    PlanPtr s0 = source.factory.MakeScan(0, ScanAlgorithm::kFullScan);
+    PlanPtr s1 = source.factory.MakeScan(1, ScanAlgorithm::kFullScan);
+    PlanPtr plan =
+        source.factory.MakeJoin(s0, s1, JoinAlgorithm::kHashSmall);
+    expected_repr = plan->ToString();
+    expected_cost = plan->cost();
+    CheckpointWriter writer;
+    writer.WritePlan(plan);
+    buffer = writer.Take();
+  }
+
+  PlanPtr restored;
+  std::weak_ptr<PlanArena> target_arena;
+  {
+    Fixture target(4);
+    target_arena = target.factory.arena();
+    CheckpointReader reader(buffer, &target.factory);
+    restored = reader.ReadPlan();
+    ASSERT_TRUE(reader.ok());
+    ASSERT_NE(restored, nullptr);
+  }
+
+  EXPECT_FALSE(target_arena.expired());
+  EXPECT_EQ(restored->ToString(), expected_repr);
+  ASSERT_EQ(restored->cost().size(), expected_cost.size());
+  for (int m = 0; m < expected_cost.size(); ++m) {
+    EXPECT_EQ(restored->cost()[m], expected_cost[m]);
+  }
+  restored = nullptr;
+  EXPECT_TRUE(target_arena.expired());
+}
+
 TEST(CheckpointIoTest, RejectsOutOfRangePlanRecords) {
   Fixture fx(3);
   {

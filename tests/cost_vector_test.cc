@@ -124,6 +124,52 @@ TEST(CostVectorTest, ToStringFormat) {
   EXPECT_EQ(v.ToString(), "(1, 2.5)");
 }
 
+// Regression: StrictlyDominates is evaluated in one pass (abort on any
+// greater component, remember any strictly lower one). It must stay
+// exactly WeakDominates && !EqualTo — in particular, equal vectors must
+// not strictly dominate, and a vector lower in one component but higher
+// in another must not either, regardless of component order.
+TEST(CostVectorTest, StrictDominanceMatchesTwoPassDefinition) {
+  const CostVector vectors[] = {
+      {1.0, 2.0, 3.0},  {1.0, 2.0, 2.0},  {2.0, 2.0, 3.0},
+      {1.0, 1.0, 4.0},  {4.0, 1.0, 1.0},  {1.0, 2.0, 3.0},
+      {0.0, 0.0, 0.0},  {1.0, 2.0, 2.99},
+  };
+  for (const CostVector& a : vectors) {
+    for (const CostVector& b : vectors) {
+      EXPECT_EQ(a.StrictlyDominates(b), a.WeakDominates(b) && !a.EqualTo(b))
+          << a.ToString() << " vs " << b.ToString();
+    }
+  }
+}
+
+// The branch-free fixed-lane kernel must agree with the scalar relations
+// for any live metric count: the padding lanes (zero by CostVector's
+// invariant) contribute 0 <= 0 to both directions and never flip a
+// verdict.
+TEST(CostVectorTest, DominanceCompareMatchesScalarRelations) {
+  std::mt19937 gen(2016);
+  std::uniform_real_distribution<double> dist(0.1, 10.0);
+  for (int metrics = 1; metrics <= CostVector::kMaxMetrics; ++metrics) {
+    for (int trial = 0; trial < 200; ++trial) {
+      CostVector a(metrics);
+      CostVector b(metrics);
+      for (int i = 0; i < metrics; ++i) {
+        a[i] = dist(gen);
+        // Force frequent ties so the equality direction is exercised.
+        b[i] = (trial % 3 == 0) ? a[i] : dist(gen);
+      }
+      bool a_le_b = false;
+      bool b_le_a = false;
+      DominanceCompare(a.data(), b.data(), &a_le_b, &b_le_a);
+      EXPECT_EQ(a_le_b, a.WeakDominates(b));
+      EXPECT_EQ(b_le_a, b.WeakDominates(a));
+      EXPECT_EQ(a_le_b && !b_le_a, a.StrictlyDominates(b));
+      EXPECT_EQ(a_le_b && b_le_a, a.EqualTo(b));
+    }
+  }
+}
+
 // Property sweep: strict dominance and approximate dominance must be
 // consistent for random vector pairs.
 class DominancePropertyTest : public ::testing::TestWithParam<int> {};

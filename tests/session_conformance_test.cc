@@ -189,6 +189,71 @@ TEST_P(SessionConformanceTest, BeginResetsSession) {
   ExpectBitwiseEqual(first, second, algorithm.label);
 }
 
+// Arena reclamation contract: ResetArena() frees the previous generation
+// wholesale, but only once every escaped PlanPtr has died — handles pin
+// the arena they were built in (observable through a weak handle), so
+// recycling the factory between sessions can never invalidate plans the
+// caller still holds.
+TEST(PlanArenaLifetimeTest, ResetArenaReclaimsOldArenaOnceHandlesDie) {
+  Fixture fx(5);
+  std::weak_ptr<PlanArena> old_arena = fx.factory.arena();
+  {
+    PlanPtr scan = fx.factory.MakeScan(0, ScanAlgorithm::kFullScan);
+    fx.factory.ResetArena();
+    // The escaped handle still pins the old generation; the factory has
+    // already moved on to a fresh arena.
+    EXPECT_FALSE(old_arena.expired());
+    EXPECT_NE(fx.factory.arena().get(), old_arena.lock().get());
+    EXPECT_FALSE(scan->ToString().empty());
+  }
+  EXPECT_TRUE(old_arena.expired());
+}
+
+// A finished session's frontier must survive arena recycling bit-for-bit:
+// the service layer hands frontiers to clients while the factory is being
+// reset for the next query, and new plans built into the fresh arena must
+// not disturb the escaped ones.
+TEST(PlanArenaLifetimeTest, FrontierSurvivesResetArenaAndSessionTeardown) {
+  Fixture fx(6);
+  RmqConfig config;
+  config.max_iterations = 25;
+  Rmq rmq(config);
+  Rng rng(2016);
+  std::unique_ptr<OptimizerSession> session = rmq.NewSession();
+  session->Begin(&fx.factory, &rng);
+  while (!session->Done()) session->Step();
+
+  std::vector<PlanPtr> frontier = session->Frontier();
+  ASSERT_FALSE(frontier.empty());
+  std::vector<std::string> reprs;
+  std::vector<CostVector> costs;
+  for (const PlanPtr& plan : frontier) {
+    reprs.push_back(plan->ToString());
+    costs.push_back(plan->cost());
+  }
+
+  std::weak_ptr<PlanArena> old_arena = fx.factory.arena();
+  fx.factory.ResetArena();
+  session.reset();
+  EXPECT_FALSE(old_arena.expired());  // the frontier pins its generation
+
+  // Build into the fresh arena, then verify the escaped frontier is
+  // untouched — structure and costs bitwise identical.
+  PlanPtr fresh = fx.factory.MakeScan(0, ScanAlgorithm::kFullScan);
+  ASSERT_NE(fresh, nullptr);
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    EXPECT_EQ(frontier[i]->ToString(), reprs[i]);
+    const CostVector& cost = frontier[i]->cost();
+    ASSERT_EQ(cost.size(), costs[i].size());
+    for (int m = 0; m < cost.size(); ++m) {
+      EXPECT_EQ(cost[m], costs[i][m]);
+    }
+  }
+
+  frontier.clear();
+  EXPECT_TRUE(old_arena.expired());
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllAlgorithms, SessionConformanceTest,
     ::testing::Range<size_t>(0, 7),
