@@ -1,0 +1,251 @@
+// Supervised failover bench: the same paced query stream through (a) an
+// unsharded OnlineScheduler reference and (b) a process-per-shard
+// deployment — local shards plus real shardd children spawned by a
+// ShardSupervisor — with one shard process killed (SIGKILL) mid-stream.
+// All work is iteration-bounded, so the run gates on:
+//
+//   * every original Submit() future delivering (no task lost);
+//   * every delivered frontier bitwise identical to the unsharded
+//     reference (the kill affects timing only);
+//   * >= 1 failover completed and >= 1 in-flight task replayed.
+//
+// Reported metrics: recovery latency (SIGKILL -> failover complete, i.e.
+// death detected, child reaped, orphans replayed onto survivors) and the
+// replay overhead in optimizer steps — the steps re-run because they
+// post-dated the last checkpoint snapshot, versus the steps the snapshots
+// saved (steps_saved = failover_resume_steps). Throughput is
+// informational, never a gate.
+//
+//   $ ./bench/failover_bench [--queries=32] [--tables=6]
+//         [--iterations=40] [--threads=2] [--local-shards=1]
+//         [--remote-shards=2] [--steps-per-slice=2] [--snapshot-every=2]
+//         [--kill-at=16] [--pace-us=2000] [--seed=2016] [--json=out.json]
+#include <signal.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_report.h"
+#include "common/deadline.h"
+#include "common/flags.h"
+#include "core/rmq.h"
+#include "service/batch_optimizer.h"
+#include "service/online_scheduler.h"
+#include "service/shard_router.h"
+#include "service/shard_supervisor.h"
+
+using namespace moqo;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int queries = static_cast<int>(flags.GetInt("queries", 32));
+  const int tables = static_cast<int>(flags.GetInt("tables", 6));
+  const int iterations = static_cast<int>(flags.GetInt("iterations", 40));
+  const int threads = static_cast<int>(flags.GetInt("threads", 2));
+  const int local_shards =
+      static_cast<int>(flags.GetInt("local-shards", 1));
+  const int remote_shards =
+      static_cast<int>(flags.GetInt("remote-shards", 2));
+  const int steps_per_slice =
+      static_cast<int>(flags.GetInt("steps-per-slice", 2));
+  const int snapshot_every =
+      static_cast<int>(flags.GetInt("snapshot-every", 2));
+  const size_t kill_at =
+      static_cast<size_t>(flags.GetInt("kill-at", queries / 2));
+  const int64_t pace_us = flags.GetInt("pace-us", 2000);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 2016));
+  const std::string json_path = flags.GetString("json", "");
+
+  GeneratorConfig generator;
+  generator.num_tables = tables;
+  std::vector<BatchTask> tasks =
+      GenerateBatch(queries, generator, seed, /*deadline_micros=*/0);
+
+  OptimizerFactory make_rmq = [iterations] {
+    RmqConfig config;
+    config.max_iterations = iterations;
+    return std::make_unique<Rmq>(config);
+  };
+
+  std::printf(
+      "failover_bench: %d queries x %d tables, %d RMQ iterations, "
+      "%d local + %d remote shard(s) x %d thread(s), snapshot every %d "
+      "slices, SIGKILL after submit %zu\n\n",
+      queries, tables, iterations, local_shards, remote_shards, threads,
+      snapshot_every, kill_at);
+
+  // Unsharded reference: the bitwise yardstick.
+  OnlineConfig unsharded;
+  unsharded.num_threads = threads;
+  BatchReport reference;
+  {
+    OnlineScheduler service(unsharded, make_rmq);
+    service.Start();
+    for (const BatchTask& task : tasks) {
+      if (!service.Submit(task).has_value()) {
+        std::printf("FAIL: unsharded reference rejected a task\n");
+        return 1;
+      }
+    }
+    service.Drain();
+    reference = service.Stop();
+  }
+
+  // Process-per-shard run with one mid-stream SIGKILL.
+  ShardRouterConfig router_config;
+  router_config.num_shards = local_shards;
+  router_config.shard.num_threads = threads;
+  router_config.shard.steps_per_slice = steps_per_slice;
+  ShardRouter router(router_config, make_rmq);
+  router.Start();
+
+  ShardSupervisorConfig supervisor_config;
+  supervisor_config.server_binary = MOQO_SHARDD_PATH;
+  supervisor_config.server_args = {
+      "--iterations=" + std::to_string(iterations),
+      "--steps-per-slice=" + std::to_string(steps_per_slice),
+      "--snapshot-every=" + std::to_string(snapshot_every),
+      "--threads=" + std::to_string(threads), "--heartbeat-ms=100"};
+  supervisor_config.remote.silence_timeout_ms = 20000;
+  ShardSupervisor supervisor(supervisor_config, &router);
+  std::vector<size_t> remote_ids;
+  for (int i = 0; i < remote_shards; ++i) {
+    size_t id = supervisor.SpawnShard();
+    if (id == static_cast<size_t>(-1)) {
+      std::printf("FAIL: could not spawn shard process %d\n", i);
+      return 1;
+    }
+    remote_ids.push_back(id);
+  }
+
+  double recovery_ms = 0.0;
+  bool killed = false;
+  bool failed_over = false;
+  std::vector<std::future<BatchTaskResult>> tickets;
+  Stopwatch wall;
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    auto ticket = router.Submit(tasks[i]);
+    if (!ticket.has_value()) {
+      std::printf("FAIL: router rejected task %zu\n", i);
+      return 1;
+    }
+    tickets.push_back(std::move(*ticket));
+    // Open-loop pacing so tasks are genuinely mid-run when the kill
+    // lands — otherwise every orphan would replay from scratch and the
+    // snapshot path would go unexercised.
+    if (pace_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(pace_us));
+    }
+    if (i + 1 == kill_at && !remote_ids.empty()) {
+      // Kill the remote owner of the just-submitted task if it has one;
+      // any remote otherwise.
+      size_t victim = remote_ids[0];
+      for (size_t id : remote_ids) {
+        if (router.ShardFor(tasks[i]) == id) victim = id;
+      }
+      auto kill_start = std::chrono::steady_clock::now();
+      killed = supervisor.KillShard(victim, SIGKILL);
+      if (!killed) {
+        std::printf("FAIL: could not SIGKILL shard %zu\n", victim);
+        return 1;
+      }
+      failed_over = supervisor.WaitForFailovers(1, /*timeout_ms=*/30000);
+      recovery_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - kill_start)
+              .count();
+    }
+  }
+  router.Drain();
+  const double wall_ms = wall.ElapsedMillis();
+
+  bool all_delivered = true;
+  bool identical = true;
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    try {
+      BatchTaskResult result = tickets[i].get();
+      if (!BitwiseEqual(result.frontier, reference.tasks[i].frontier)) {
+        std::printf("DIVERGED: task %zu\n", i);
+        identical = false;
+      }
+    } catch (const std::exception& e) {
+      std::printf("LOST: task %zu: %s\n", i, e.what());
+      all_delivered = false;
+    }
+  }
+  router.Stop();
+
+  const size_t replayed = router.failover_replayed();
+  const size_t checkpointed = router.failover_checkpointed();
+  const int64_t steps_saved = router.failover_resume_steps();
+  const int64_t steps_rerun =
+      static_cast<int64_t>(replayed) * iterations - steps_saved;
+  const double qps =
+      wall_ms <= 0.0
+          ? 0.0
+          : static_cast<double>(tasks.size()) * 1000.0 / wall_ms;
+
+  std::printf("recovery_ms          %10.1f\n", recovery_ms);
+  std::printf("replayed_tasks       %10zu (%zu with mid-run snapshots)\n",
+              replayed, checkpointed);
+  std::printf("steps_saved          %10lld\n",
+              static_cast<long long>(steps_saved));
+  std::printf("steps_rerun          %10lld\n",
+              static_cast<long long>(steps_rerun));
+  std::printf("wall_ms              %10.1f (%.1f queries/s)\n", wall_ms,
+              qps);
+
+  const bool pass = killed && failed_over && all_delivered && identical &&
+                    router.failed_shards() >= 1 && replayed >= 1;
+  std::printf(
+      "\n%s: kill %s, failover %s, futures %s, frontiers %s, "
+      "%zu task(s) replayed\n",
+      pass ? "PASS" : "FAIL", killed ? "delivered" : "FAILED",
+      failed_over ? "completed" : "TIMED OUT",
+      all_delivered ? "all delivered" : "LOST",
+      identical ? "identical" : "DIVERGED", replayed);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    bench::JsonWriter w(out);
+    bench::BeginReport(&w, "failover_bench");
+    w.BeginObject("config");
+    w.Field("queries", queries);
+    w.Field("tables", tables);
+    w.Field("iterations", iterations);
+    w.Field("threads_per_shard", threads);
+    w.Field("local_shards", local_shards);
+    w.Field("remote_shards", remote_shards);
+    w.Field("steps_per_slice", steps_per_slice);
+    w.Field("snapshot_every", snapshot_every);
+    w.Field("kill_at", static_cast<int64_t>(kill_at));
+    w.Field("seed", static_cast<int64_t>(seed));
+    w.EndObject();
+    w.BeginObject("metrics");
+    w.Field("recovery_ms", recovery_ms);
+    w.Field("replayed_tasks", replayed);
+    w.Field("checkpointed_replays", checkpointed);
+    w.Field("steps_saved", steps_saved);
+    w.Field("steps_rerun", steps_rerun);
+    w.Field("wall_ms", wall_ms);
+    w.Field("qps", qps);
+    w.EndObject();
+    w.BeginObject("gates");
+    w.Field("failover_completed", failed_over);
+    w.Field("all_futures_delivered", all_delivered);
+    w.Field("frontiers_identical", identical);
+    w.Field("replayed_at_least_one", replayed >= 1);
+    w.EndObject();
+    w.Field("pass", pass);
+    w.EndObject();
+    out << "\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return pass ? 0 : 1;
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Perf-trajectory driver: run the benchmark suite, emit one BENCH_<pr>.json.
 
-Runs the three machine-readable benches with fixed seeds and merges their
+Runs the machine-readable benches with fixed seeds and merges their
 reports (schema moqo-bench-v1, see bench/bench_report.h) into a single
 trajectory document:
 
@@ -11,7 +11,8 @@ trajectory document:
       "benches": {
         "micro_substrates":     { config / metrics / gates / pass },
         "multiplex_throughput": { ... },
-        "shard_throughput":     { ... }
+        "shard_throughput":     { ... },
+        "failover_bench":       { ... }
       },
       "gates_passed": true
     }
@@ -68,12 +69,18 @@ BENCHES = {
         "--queries=32", "--tables=6", "--iterations=15", "--threads=2",
         "--shards=4", "--seed=2016",
     ],
+    "failover_bench": [
+        "--queries=32", "--tables=6", "--iterations=40", "--threads=2",
+        "--local-shards=1", "--remote-shards=2", "--snapshot-every=2",
+        "--kill-at=16", "--seed=2016",
+    ],
 }
 
 QUICK_OVERRIDES = {
     "micro_substrates": ["--reps=2", "--min-ms=80"],
     "multiplex_throughput": ["--queries=16", "--iterations=10"],
     "shard_throughput": ["--queries=24", "--iterations=10"],
+    "failover_bench": ["--queries=16", "--iterations=20", "--kill-at=8"],
 }
 
 # Metrics that are ratios of two rates measured in the same run on the same
@@ -160,7 +167,7 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--build-dir", default="build",
                         help="CMake build directory containing bench/")
-    parser.add_argument("--output", default="BENCH_6.json",
+    parser.add_argument("--output", default="BENCH_7.json",
                         help="merged trajectory report to write")
     parser.add_argument("--check-against", default=None, metavar="FILE",
                         help="baseline BENCH_*.json to compare to, or "

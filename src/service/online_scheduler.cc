@@ -12,10 +12,13 @@ namespace moqo {
 void SuspendedTask::Abandon() noexcept {
   if (consumed) return;
   try {
-    promise.set_exception(std::make_exception_ptr(std::runtime_error(
+    std::string message =
         "SuspendedTask dropped without Resume(): the session was suspended "
         "off its scheduler and abandoned mid-migration, so its result will "
-        "never be produced")));
+        "never be produced";
+    if (!origin.empty()) message += " [" + origin + "]";
+    promise.set_exception(
+        std::make_exception_ptr(std::runtime_error(message)));
   } catch (const std::future_error&) {
     // No shared state (the promise was moved to a transport or rebuilt
     // task) or the future was already satisfied — nothing to fail.
@@ -34,6 +37,7 @@ SuspendedTask& SuspendedTask::operator=(SuspendedTask&& other) noexcept {
     optimize_millis = other.optimize_millis;
     steps = other.steps;
     promise = std::move(other.promise);
+    origin = std::move(other.origin);
     consumed = other.consumed;
   }
   return *this;
@@ -70,6 +74,10 @@ struct OnlineScheduler::OpenQuery {
   /// Sum of slice durations so far (excludes ready-queue wait time).
   double optimize_millis = 0.0;
   RunState state = RunState::kQueued;
+  /// Slices completed since the last periodic snapshot (see
+  /// OnlineConfig::snapshot_every). Touched only by the worker owning the
+  /// current slice.
+  int slices_since_snapshot = 0;
   /// Set under mu_ by Suspend(); a worker seeing it after a slice parks
   /// the query instead of requeueing it.
   bool suspend_requested = false;
@@ -283,6 +291,11 @@ size_t OnlineScheduler::submitted_count() const {
   return queries_.size();
 }
 
+size_t OnlineScheduler::snapshot_count() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return snapshots_taken_;
+}
+
 OnlineScheduler::ReadyItem OnlineScheduler::MakeReadyItem(OpenQuery* query) {
   ReadyItem item;
   item.seq = seq_++;
@@ -359,6 +372,7 @@ void OnlineScheduler::WorkerLoop() {
     // Run one slice without the lock; this worker owns `q` exclusively
     // until it is requeued or finalized.
     bool finished = false;
+    bool snapshot_due = false;
     std::exception_ptr error;
     BatchTaskResult result;
     try {
@@ -391,6 +405,10 @@ void OnlineScheduler::WorkerLoop() {
         // an empty frontier; being inside the window is not a hit.
         result.deadline_hit = q->had_deadline && q->session->Done() &&
                               !result.gave_up && !expired;
+      } else if (config_.snapshot_every > 0 && config_.snapshot_sink &&
+                 ++q->slices_since_snapshot >= config_.snapshot_every) {
+        q->slices_since_snapshot = 0;
+        snapshot_due = true;
       }
     } catch (...) {
       // A throwing optimizer must not take the service down: finalize the
@@ -404,7 +422,33 @@ void OnlineScheduler::WorkerLoop() {
       result.had_deadline = q->had_deadline;
     }
 
+    if (snapshot_due) {
+      // Still outside the lock and still the exclusive owner of `q`:
+      // serialize the (pure-read) checkpoint without stalling the other
+      // workers, then publish it. Snapshot time is deliberately excluded
+      // from optimize_millis — it is recovery bookkeeping, not
+      // optimization work — and a throwing sink is treated like a
+      // throwing optimizer would be: it must not take a worker down, so
+      // failures are swallowed (the next interval retries).
+      try {
+        TaskSnapshot snapshot;
+        snapshot.submission_index = static_cast<size_t>(q->index);
+        snapshot.task = q->task;
+        snapshot.checkpoint = q->session->Checkpoint();
+        snapshot.had_deadline = q->had_deadline;
+        if (q->had_deadline) {
+          snapshot.remaining_micros = q->deadline.RemainingMicros();
+        }
+        snapshot.optimize_millis = q->optimize_millis;
+        snapshot.steps = q->session->session_stats().steps;
+        config_.snapshot_sink(std::move(snapshot));
+      } catch (...) {
+        snapshot_due = false;
+      }
+    }
+
     lock.lock();
+    if (snapshot_due) ++snapshots_taken_;
     if (!finished && q->suspend_requested) {
       // Hand the query to the waiting Suspend() instead of requeueing.
       q->state = OpenQuery::RunState::kParked;

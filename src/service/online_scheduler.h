@@ -43,11 +43,13 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -117,6 +119,10 @@ struct SuspendedTask {
   int64_t steps = 0;
   /// Fulfills the future returned by the original Submit().
   std::promise<BatchTaskResult> promise;
+  /// Free-form provenance ("shard 3, route key 0x9f…") stamped by whoever
+  /// drained the task; included in the abandonment error so a dropped
+  /// migration names the shard it was lost in transit from.
+  std::string origin;
   /// Set by a successful Resume(); a second Resume() of the same object
   /// returns false instead of admitting a duplicate whose moved-from
   /// promise would blow up at finalization. Also set by a transport that
@@ -127,6 +133,29 @@ struct SuspendedTask {
  private:
   /// Destructor/move-assign helper: fails the promise if still live.
   void Abandon() noexcept;
+};
+
+/// One periodic checkpoint of a still-running task, published through
+/// OnlineConfig::snapshot_sink at a slice boundary (where session state is
+/// checkpointable). Carries everything Resume() needs except the promise —
+/// a supervisor holds these as recovery state and, should the scheduler's
+/// process die, replays the task elsewhere from its last snapshot (re-
+/// running only the steps after it; the checkpoint restores bitwise, so
+/// iteration-bounded results are unaffected by the replay).
+struct TaskSnapshot {
+  /// Submission index of the task on its scheduler.
+  size_t submission_index = 0;
+  /// The original request (query, seed, full deadline window).
+  BatchTask task;
+  /// OptimizerSession::Checkpoint() at the slice boundary.
+  std::vector<uint8_t> checkpoint;
+  bool had_deadline = false;
+  /// Unexpired window at snapshot time.
+  int64_t remaining_micros = 0;
+  /// Slice time accumulated so far.
+  double optimize_millis = 0.0;
+  /// Steps executed so far (also inside the checkpoint).
+  int64_t steps = 0;
 };
 
 /// Configuration for one OnlineScheduler instance.
@@ -151,6 +180,19 @@ struct OnlineConfig {
   /// frontier it ever produced. Keep true (the default) for closed
   /// batches whose Stop() report frontiers are compared to a reference.
   bool retain_frontiers = true;
+  /// Every `snapshot_every` completed slices a live task is checkpointed
+  /// at the slice boundary and published through snapshot_sink — the
+  /// recovery substrate supervised failover replays from. 0 (the default)
+  /// disables snapshots. Checkpointing is a pure read of the session, so
+  /// enabling snapshots never changes results; it only costs the
+  /// serialization time (outside the scheduler lock, off the slice's
+  /// optimize_millis accounting).
+  int snapshot_every = 0;
+  /// Receives the periodic snapshots. Invoked from worker threads while
+  /// the task keeps running, so the sink must be thread-safe and fast
+  /// (hand the snapshot off, don't process it inline). Ignored when null
+  /// or snapshot_every == 0.
+  std::function<void(TaskSnapshot&&)> snapshot_sink;
 };
 
 /// A long-lived deadline-aware optimization service multiplexing admitted
@@ -228,6 +270,9 @@ class OnlineScheduler {
   /// Tasks admitted so far (completed or not; excludes rejected).
   size_t submitted_count() const;
 
+  /// Periodic snapshots published so far (see OnlineConfig::snapshot_every).
+  size_t snapshot_count() const;
+
  private:
   struct OpenQuery;
 
@@ -287,6 +332,8 @@ class OnlineScheduler {
   uint64_t seq_ = 0;
   /// Admitted-but-unfinished tasks.
   size_t open_ = 0;
+  /// Periodic snapshots published through config_.snapshot_sink.
+  size_t snapshots_taken_ = 0;
   bool started_ = false;
   /// No further admissions (Stop() has begun).
   bool stopping_ = false;

@@ -1,0 +1,163 @@
+// Client half of the cross-process shard transport: the Shard
+// implementation the router uses when the scheduler lives in another
+// process.
+//
+// A RemoteShard owns one frame channel to a shard server and a receiver
+// thread that continuously drains the server's reply stream. Submit() and
+// Resume() encode the task as a wire frame, send it as a kSubmit message,
+// and register a pending slot holding the submitter's promise plus the
+// freshest recovery frame for the task (the submit frame at first, then
+// each kSnapshot the server ships back). The receiver fulfills promises as
+// kResult/kTaskError messages arrive, so futures handed out by Submit()
+// behave exactly like a local shard's — including across a failover.
+//
+// Death detection: a mid-frame EOF (killed process), a receive error, or
+// prolonged silence (the server heartbeats; see
+// RemoteShardConfig::silence_timeout_ms) marks the shard dead, fires the
+// death callback once, and leaves every unfinished task recoverable:
+// TakeOrphans() yields (frame, promise) pairs the router replays onto
+// surviving shards (ShardRouter::FailShard). Promises are never failed by
+// death itself — only by abandonment, with the shard's label and the
+// task's route context in the error text.
+//
+// Threading: the public surface is called under the router's mutex (one
+// caller at a time) but is internally locked regardless; the receiver
+// thread is the only other actor and never sends, so the channel's
+// one-sender/one-receiver contract holds. The death callback runs on the
+// receiver thread and must only hand off (the supervisor enqueues and
+// returns) — calling back into this shard or the router from it deadlocks.
+#ifndef MOQO_SERVICE_REMOTE_SHARD_H_
+#define MOQO_SERVICE_REMOTE_SHARD_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame_channel.h"
+#include "service/shard.h"
+#include "service/shard_protocol.h"
+
+namespace moqo {
+
+/// Configuration for one RemoteShard connection.
+struct RemoteShardConfig {
+  /// Receiver poll granularity (also bounds death-detection latency on
+  /// silence).
+  int recv_poll_ms = 50;
+  /// The shard is declared dead after this much silence from the server,
+  /// whose heartbeat cadence must be comfortably shorter. 0 disables the
+  /// silence check (socket death still detects).
+  int silence_timeout_ms = 5000;
+  /// Bound on rendezvous waits: Suspend() waiting for kSuspended, Stop()
+  /// waiting for the kBye handshake.
+  int op_timeout_ms = 10000;
+};
+
+/// See file header.
+class RemoteShard : public Shard {
+ public:
+  /// Takes ownership of a connected channel to a shard server.
+  RemoteShard(RemoteShardConfig config, net::FrameChannel channel);
+
+  /// Stops the receiver and fails any promise still unclaimed (tasks
+  /// neither finished nor taken as orphans) descriptively.
+  ~RemoteShard() override;
+
+  /// Invoked exactly once, from the receiver thread, when the shard is
+  /// declared dead. Set before Start(); the callback must only hand off.
+  void set_death_callback(std::function<void(RemoteShard*)> callback);
+
+  /// Diagnostic label ("shard 3 (pid 12345)") stamped into every error
+  /// this shard raises. Set before Start().
+  void set_label(std::string label);
+  const std::string& label() const { return label_; }
+
+  void Start() override;
+  std::optional<std::future<BatchTaskResult>> Submit(
+      const BatchTask& task) override;
+  void Drain() override;
+  BatchReport Stop() override;
+  std::optional<SuspendedTask> Suspend(size_t submission_index) override;
+  bool Resume(SuspendedTask& task) override;
+  size_t submitted_count() const override;
+  bool alive() const override;
+  std::vector<OrphanTask> TakeOrphans() override;
+
+  /// kSnapshot messages applied so far (recovery frames refreshed).
+  size_t snapshots_received() const;
+  /// Why the shard was declared dead (empty while alive).
+  std::string death_reason() const;
+
+ private:
+  /// One task submitted over this connection, by local index.
+  struct Pending {
+    uint64_t request_id = 0;
+    /// Fulfills the future handed out by Submit() (or carried in by
+    /// Resume()). Moved out when the task finishes, is suspended away, or
+    /// becomes an orphan.
+    std::promise<BatchTaskResult> promise;
+    /// Freshest recovery frame: the submit frame, superseded by each
+    /// snapshot.
+    std::vector<uint8_t> frame;
+    bool done = false;
+    /// Suspended away, orphaned away, or rejected — no longer this
+    /// shard's to finish.
+    bool migrated = false;
+    /// Valid once done: the decoded result for the Stop() report.
+    BatchTaskResult result;
+  };
+
+  void ReceiverLoop();
+  /// Declares the shard dead (idempotent) and wakes every waiter. The
+  /// death callback fires outside the lock, on the receiver thread.
+  void MarkDead(const std::string& reason);
+  /// Sends one protocol message. False if the transport refused it (the
+  /// shard is then marked dead by the receiver or here).
+  bool SendRequest(uint8_t type, uint64_t request_id,
+                   std::vector<uint8_t> body);
+  /// Common Submit()/Resume() path: ship a task frame, register pending.
+  /// `*promise` is moved from only on success.
+  bool SubmitFrame(std::vector<uint8_t> frame,
+                   std::promise<BatchTaskResult>* promise);
+  /// Receiver-side message dispatch. Requires mu_.
+  void HandleMessage(std::unique_lock<std::mutex>& lock, Message&& message);
+
+  RemoteShardConfig config_;
+  net::FrameChannel channel_;
+  std::function<void(RemoteShard*)> death_callback_;
+  std::string label_ = "remote shard";
+
+  mutable std::mutex mu_;
+  /// Serializes senders (router thread vs. destructor).
+  std::mutex send_mu_;
+  std::condition_variable cv_;
+  std::thread receiver_;
+  std::vector<Pending> pending_;
+  /// request id -> local index.
+  std::map<uint64_t, size_t> index_by_request_;
+  uint64_t next_request_id_ = 1;
+  /// Unfinished tasks this shard still owes results for.
+  size_t open_ = 0;
+  size_t snapshots_received_ = 0;
+  /// Rendezvous slot of the (single, router-serialized) Suspend() in
+  /// flight.
+  uint64_t suspend_request_ = 0;
+  std::optional<SuspendedTask> suspend_result_;
+  bool suspend_failed_ = false;
+  bool started_ = false;
+  bool stopping_ = false;
+  bool bye_received_ = false;
+  bool dead_ = false;
+  std::string death_reason_;
+};
+
+}  // namespace moqo
+
+#endif  // MOQO_SERVICE_REMOTE_SHARD_H_

@@ -1,0 +1,69 @@
+#include "service/shard_protocol.h"
+
+#include <utility>
+
+#include "core/checkpoint.h"
+
+namespace moqo {
+
+namespace {
+
+bool KnownType(uint8_t type) {
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kSubmit:
+    case MsgType::kSuspend:
+    case MsgType::kShutdown:
+    case MsgType::kResult:
+    case MsgType::kTaskError:
+    case MsgType::kSnapshot:
+    case MsgType::kSuspended:
+    case MsgType::kSuspendFail:
+    case MsgType::kPing:
+    case MsgType::kBye:
+    case MsgType::kReject:
+      return true;
+  }
+  return false;
+}
+
+bool Fail(std::string* why, const char* reason) {
+  if (why != nullptr) *why = reason;
+  return false;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeMessage(const Message& message) {
+  CheckpointWriter writer;
+  writer.WriteU32(kNetMagic);
+  writer.WriteU32(kNetVersion);
+  writer.WriteU8(static_cast<uint8_t>(message.type));
+  writer.WriteU64(message.request_id);
+  writer.WriteBytes(message.body);
+  return writer.Take();
+}
+
+bool DecodeMessage(const std::vector<uint8_t>& payload, Message* out,
+                   std::string* why) {
+  CheckpointReader reader(payload, /*factory=*/nullptr);
+  if (reader.ReadU32() != kNetMagic || !reader.ok()) {
+    return Fail(why, "bad message magic");
+  }
+  if (reader.ReadU32() != kNetVersion || !reader.ok()) {
+    return Fail(why, "unsupported message version");
+  }
+  uint8_t type = reader.ReadU8();
+  uint64_t request_id = reader.ReadU64();
+  std::vector<uint8_t> body = reader.ReadBytes();
+  if (!reader.ok()) return Fail(why, "truncated message");
+  if (reader.position() != payload.size()) {
+    return Fail(why, "trailing bytes after message");
+  }
+  if (!KnownType(type)) return Fail(why, "unknown message type");
+  out->type = static_cast<MsgType>(type);
+  out->request_id = request_id;
+  out->body = std::move(body);
+  return true;
+}
+
+}  // namespace moqo

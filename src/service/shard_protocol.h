@@ -1,0 +1,90 @@
+// Message layer of the cross-process shard transport.
+//
+// A frame channel (net/frame_channel.h) moves opaque byte strings with
+// integrity checking; this header gives those bytes meaning. Every payload
+// is one Message: a magic/version preamble, a message type, a request id
+// correlating a shard's reply stream back to the router's submissions, and
+// a type-specific body (itself usually a wire.h encoding).
+//
+// The conversation is asymmetric. The router side sends requests
+// (kSubmit, kSuspend, kShutdown); the shard server streams back replies
+// and unsolicited events (kResult, kSnapshot, kPing, ...) tagged with the
+// request id they concern. There is no per-request blocking RPC: the
+// client correlates whatever arrives, whenever it arrives, which is what
+// lets one connection carry many concurrent tasks plus a heartbeat.
+//
+// Like the wire format, decoding is strict: unknown types, short bodies,
+// and trailing bytes are all rejections, never best-effort acceptance.
+#ifndef MOQO_SERVICE_SHARD_PROTOCOL_H_
+#define MOQO_SERVICE_SHARD_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace moqo {
+
+/// First bytes of every protocol message ("MOQN" little-endian).
+inline constexpr uint32_t kNetMagic = 0x4e514f4du;
+
+/// Bumped whenever the message layout or type set changes.
+inline constexpr uint32_t kNetVersion = 1;
+
+/// Message types. Requests (router -> shard) are < 16, replies and events
+/// (shard -> router) are >= 16; the split is convention, not enforced.
+enum class MsgType : uint8_t {
+  /// Body: EncodeWireTask() frame. A fresh task (empty checkpoint) is
+  /// Submit()ed; a mid-run task (checkpoint present) is Resume()d.
+  kSubmit = 1,
+  /// Body: empty. Suspend the task of `request_id` and ship it back.
+  kSuspend = 2,
+  /// Body: empty. Drain, flush every pending result, reply kBye, stop.
+  kShutdown = 3,
+
+  /// Body: EncodeTaskResult() record for `request_id`'s task.
+  kResult = 16,
+  /// Body: UTF-8 error text; `request_id`'s task threw instead of
+  /// finishing.
+  kTaskError = 17,
+  /// Body: EncodeWireTask() frame — a periodic checkpoint snapshot of
+  /// `request_id`'s still-running task (recovery state; supersedes the
+  /// previous frame the client holds for it).
+  kSnapshot = 18,
+  /// Body: EncodeWireTask() frame — the suspended task requested by
+  /// kSuspend, now off the server's scheduler.
+  kSuspended = 19,
+  /// Body: UTF-8 reason; the kSuspend for `request_id` failed (already
+  /// finished, unknown id, ...). The task — if it exists — keeps running.
+  kSuspendFail = 20,
+  /// Body: empty. Liveness heartbeat (request_id = 0).
+  kPing = 21,
+  /// Body: empty. Shutdown handshake: every result has been flushed and
+  /// the server is about to close the connection.
+  kBye = 22,
+  /// Body: UTF-8 reason; the kSubmit for `request_id` was refused
+  /// (admission window full, duplicate id, undecodable frame).
+  kReject = 23,
+};
+
+/// One decoded protocol message.
+struct Message {
+  MsgType type = MsgType::kPing;
+  /// Correlates replies/events with the request (client-chosen, unique per
+  /// connection); 0 for unsolicited connection-level events.
+  uint64_t request_id = 0;
+  /// Type-specific body, opaque at this layer.
+  std::vector<uint8_t> body;
+};
+
+/// Serializes `message` into a frame-channel payload.
+std::vector<uint8_t> EncodeMessage(const Message& message);
+
+/// Mirrors EncodeMessage. Returns false — recording the reason in `why`
+/// when non-null — on bad magic/version, an unknown type, a truncated
+/// payload, or trailing bytes.
+bool DecodeMessage(const std::vector<uint8_t>& payload, Message* out,
+                   std::string* why);
+
+}  // namespace moqo
+
+#endif  // MOQO_SERVICE_SHARD_PROTOCOL_H_

@@ -1,6 +1,8 @@
 #include "service/shard_router.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "common/rng.h"
@@ -24,13 +26,13 @@ uint64_t RingPointHash(size_t shard_id, int replica) {
 ShardRouter::ShardRouter(ShardRouterConfig config,
                          OptimizerFactory make_optimizer)
     : config_(std::move(config)), make_optimizer_(std::move(make_optimizer)) {
-  config_.num_shards = std::max(1, config_.num_shards);
+  config_.num_shards = std::max(0, config_.num_shards);
   config_.virtual_nodes = std::max(1, config_.virtual_nodes);
   std::unique_lock<std::mutex> lock(mu_);
   for (int i = 0; i < config_.num_shards; ++i) {
     size_t id = next_shard_id_++;
-    shards_.emplace(id, std::make_unique<OnlineScheduler>(config_.shard,
-                                                          make_optimizer_));
+    shards_.emplace(id, std::make_unique<LocalShard>(config_.shard,
+                                                     make_optimizer_));
   }
   peak_shards_ = shards_.size();
   RebuildRingLocked();
@@ -77,21 +79,54 @@ size_t ShardRouter::OwnerLocked(uint64_t key) const {
   return it->shard_id;
 }
 
+size_t ShardRouter::LiveOwnerLocked(uint64_t key) const {
+  if (ring_.empty()) return static_cast<size_t>(-1);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), key,
+      [](const RingPoint& point, uint64_t k) { return point.hash < k; });
+  size_t start = static_cast<size_t>(it - ring_.begin()) % ring_.size();
+  for (size_t step = 0; step < ring_.size(); ++step) {
+    size_t id = ring_[(start + step) % ring_.size()].shard_id;
+    if (shards_.at(id)->alive()) return id;
+  }
+  return static_cast<size_t>(-1);
+}
+
 std::optional<std::future<BatchTaskResult>> ShardRouter::Submit(
     const BatchTask& task) {
   // The placement key depends only on the immutable task; serializing the
   // query for it must not run under mu_.
   uint64_t key = RouteKey(task);
   std::unique_lock<std::mutex> lock(mu_);
-  if (stopped_) return std::nullopt;
-  size_t owner = OwnerLocked(key);
-  OnlineScheduler* shard = shards_.at(owner).get();
-  auto ticket = shard->Submit(task);
-  if (!ticket.has_value()) return std::nullopt;
-  // No other router-driven admission can interleave (mu_ is held), so the
-  // task's shard-local index is the shard's latest submission.
-  entries_.push_back(Entry{key, owner, shard->submitted_count() - 1});
-  return ticket;
+  if (stopped_ || ring_.empty()) return std::nullopt;
+  // Walk the ring from the key's owner, skipping shards known dead (their
+  // failover is pending) and shards that die under the Submit itself —
+  // but honoring a *live* shard's refusal, which is admission
+  // back-pressure, not a routing problem.
+  size_t start;
+  {
+    auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), key,
+        [](const RingPoint& point, uint64_t k) { return point.hash < k; });
+    start = static_cast<size_t>(it - ring_.begin()) % ring_.size();
+  }
+  size_t last_tried = static_cast<size_t>(-1);
+  for (size_t step = 0; step < ring_.size(); ++step) {
+    size_t owner = ring_[(start + step) % ring_.size()].shard_id;
+    if (owner == last_tried) continue;
+    last_tried = owner;
+    Shard* shard = shards_.at(owner).get();
+    if (!shard->alive()) continue;
+    auto ticket = shard->Submit(task);
+    if (ticket.has_value()) {
+      // No other router-driven admission can interleave (mu_ is held), so
+      // the task's shard-local index is the shard's latest submission.
+      entries_.push_back(Entry{key, owner, shard->submitted_count() - 1});
+      return ticket;
+    }
+    if (shard->alive()) return std::nullopt;
+  }
+  return std::nullopt;
 }
 
 void ShardRouter::Drain() {
@@ -133,21 +168,30 @@ BatchReport ShardRouter::Stop() {
   return report;
 }
 
-size_t ShardRouter::AddShard() {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (stopped_) return static_cast<size_t>(-1);
+size_t ShardRouter::AddShardLocked(std::unique_ptr<Shard> shard) {
   // A rebalance Resume()s onto live shards only, so membership changes
   // imply a running service.
   StartLocked();
   size_t id = next_shard_id_++;
-  auto shard =
-      std::make_unique<OnlineScheduler>(config_.shard, make_optimizer_);
   shard->Start();
   shards_.emplace(id, std::move(shard));
   peak_shards_ = std::max(peak_shards_, shards_.size());
   RebuildRingLocked();
   RebalanceLocked();
   return id;
+}
+
+size_t ShardRouter::AddShard() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopped_) return static_cast<size_t>(-1);
+  return AddShardLocked(
+      std::make_unique<LocalShard>(config_.shard, make_optimizer_));
+}
+
+size_t ShardRouter::AddShard(std::unique_ptr<Shard> shard) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopped_ || shard == nullptr) return static_cast<size_t>(-1);
+  return AddShardLocked(std::move(shard));
 }
 
 bool ShardRouter::RemoveShard(size_t shard_id) {
@@ -158,20 +202,112 @@ bool ShardRouter::RemoveShard(size_t shard_id) {
   StartLocked();
   // Take the departing shard off the ring first: the rebalance below then
   // re-derives owners without it and migrates its in-flight tasks away. A
-  // task whose new owner refuses it falls back onto the departing
-  // scheduler (still live here) and simply finishes there before the
-  // Stop() below retires it — never lost, only un-moved.
-  std::unique_ptr<OnlineScheduler> departing = std::move(it->second);
+  // task whose new owner refuses it falls back onto the departing shard
+  // (still live here) and simply finishes there before the Stop() below
+  // retires it — never lost, only un-moved.
+  std::unique_ptr<Shard> departing = std::move(it->second);
   shards_.erase(it);
   RebuildRingLocked();
   for (Entry& entry : entries_) {
     if (entry.shard_id != shard_id) continue;
-    MigrateLocked(departing.get(), &entry, OwnerLocked(entry.key));
+    size_t owner = LiveOwnerLocked(entry.key);
+    if (owner == static_cast<size_t>(-1)) continue;
+    MigrateLocked(departing.get(), &entry, owner);
   }
   retired_[shard_id] = departing->Stop();
   // Also re-derive owners for everyone else: removing points can only move
   // keys that lived on the departed shard, so this is a no-op by
   // construction — but a cheap invariant to hold rather than assume.
+  RebalanceLocked();
+  return true;
+}
+
+bool ShardRouter::FailShard(size_t shard_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopped_) return false;
+  auto it = shards_.find(shard_id);
+  if (it == shards_.end()) return false;
+  std::unique_ptr<Shard> dead = std::move(it->second);
+  shards_.erase(it);
+  RebuildRingLocked();
+  // Recovery frames must come out before Stop(): stopping a dead shard
+  // fails whatever promises it still holds, and these are the ones the
+  // replay below is supposed to keep alive.
+  std::vector<OrphanTask> orphans = dead->TakeOrphans();
+  retired_[shard_id] = dead->Stop();
+  dead.reset();
+  ++failed_shards_;
+
+  for (OrphanTask& orphan : orphans) {
+    Entry* entry = nullptr;
+    for (Entry& candidate : entries_) {
+      if (candidate.shard_id == shard_id &&
+          candidate.local_index == orphan.local_index) {
+        entry = &candidate;
+        break;
+      }
+    }
+    std::string context =
+        "shard " + std::to_string(shard_id) +
+        (entry != nullptr ? ", route key " + RouteKeyString(entry->key)
+                          : "");
+    WireTask wire;
+    std::string why;
+    if (!DecodeWireTask(orphan.frame, &wire, &why)) {
+      orphan.promise.set_exception(std::make_exception_ptr(
+          std::runtime_error("failover replay failed for " + context +
+                             ": " + why)));
+      continue;
+    }
+    bool mid_run = !wire.checkpoint.empty();
+    int64_t resumed_steps = wire.steps;
+    SuspendedTask rebuilt =
+        ToSuspendedTask(std::move(wire), std::move(orphan.promise));
+    rebuilt.origin = "failover from " + context;
+
+    // Preferred destination: the key's post-failure ring owner; fall back
+    // to any live survivor before giving up.
+    bool placed = false;
+    size_t preferred = entry != nullptr ? LiveOwnerLocked(entry->key)
+                                        : static_cast<size_t>(-1);
+    if (preferred != static_cast<size_t>(-1)) {
+      Shard* destination = shards_.at(preferred).get();
+      if (destination->Resume(rebuilt)) {
+        if (entry != nullptr) {
+          entry->shard_id = preferred;
+          entry->local_index = destination->submitted_count() - 1;
+        }
+        placed = true;
+      }
+    }
+    if (!placed) {
+      for (auto& [id, shard] : shards_) {
+        if (id == preferred || !shard->alive()) continue;
+        if (shard->Resume(rebuilt)) {
+          if (entry != nullptr) {
+            entry->shard_id = id;
+            entry->local_index = shard->submitted_count() - 1;
+          }
+          placed = true;
+          break;
+        }
+      }
+    }
+    if (!placed) {
+      // No survivor accepted it; `rebuilt`'s destructor fails the future
+      // with the origin context. The entry keeps pointing at the failed
+      // shard, whose retired report holds a migrated stub at this index,
+      // so Stop()'s index arithmetic stays aligned.
+      continue;
+    }
+    ++migrations_;
+    ++failover_replayed_;
+    if (mid_run) {
+      ++checkpointed_migrations_;
+      ++failover_checkpointed_;
+      failover_resume_steps_ += resumed_steps;
+    }
+  }
   RebalanceLocked();
   return true;
 }
@@ -182,14 +318,17 @@ void ShardRouter::RebalanceLocked() {
     // left; its result lives in the retired report and never moves again.
     auto it = shards_.find(entry.shard_id);
     if (it == shards_.end()) continue;
+    // A dead shard's tasks move via FailShard's orphan replay, not via
+    // suspend (there is no process left to suspend from).
+    if (!it->second->alive()) continue;
     size_t owner = OwnerLocked(entry.key);
-    if (owner != entry.shard_id) {
-      MigrateLocked(it->second.get(), &entry, owner);
-    }
+    if (owner == entry.shard_id) continue;
+    if (!shards_.at(owner)->alive()) continue;
+    MigrateLocked(it->second.get(), &entry, owner);
   }
 }
 
-bool ShardRouter::MigrateLocked(OnlineScheduler* source, Entry* entry,
+bool ShardRouter::MigrateLocked(Shard* source, Entry* entry,
                                 size_t to_shard) {
   std::optional<SuspendedTask> suspended =
       source->Suspend(entry->local_index);
@@ -199,10 +338,12 @@ bool ShardRouter::MigrateLocked(OnlineScheduler* source, Entry* entry,
   // Round-trip through the wire exactly as a cross-process transport
   // would: the destination sees only what the frame carries (the query is
   // rebuilt value-for-value, the checkpoint is opaque bytes). The promise
-  // is the in-process reply channel and stays on this side of the "wire".
+  // is the submitter-side reply channel and stays on this side of the
+  // wire.
   std::vector<uint8_t> frame = EncodeWireTask(MakeWireTask(*suspended));
   WireTask wire;
-  if (!DecodeWireTask(frame, &wire)) {
+  std::string why;
+  if (!DecodeWireTask(frame, &wire, &why)) {
     // Decoding our own frame cannot fail short of a framing bug; resume in
     // place so the task is not lost to one.
     if (source->Resume(*suspended)) {
@@ -213,9 +354,11 @@ bool ShardRouter::MigrateLocked(OnlineScheduler* source, Entry* entry,
   bool mid_run = !wire.checkpoint.empty();
   SuspendedTask rebuilt =
       ToSuspendedTask(std::move(wire), std::move(suspended->promise));
+  rebuilt.origin = "migration from shard " + std::to_string(entry->shard_id) +
+                   ", route key " + RouteKeyString(entry->key);
   suspended->consumed = true;
 
-  OnlineScheduler* destination = shards_.at(to_shard).get();
+  Shard* destination = shards_.at(to_shard).get();
   if (!destination->Resume(rebuilt)) {
     // Destination refused (stopping or full kReject window): fall back to
     // the old owner rather than dropping the task. If even that fails the
@@ -265,6 +408,26 @@ size_t ShardRouter::migrations() const {
 size_t ShardRouter::checkpointed_migrations() const {
   std::unique_lock<std::mutex> lock(mu_);
   return checkpointed_migrations_;
+}
+
+size_t ShardRouter::failed_shards() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return failed_shards_;
+}
+
+size_t ShardRouter::failover_replayed() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return failover_replayed_;
+}
+
+size_t ShardRouter::failover_checkpointed() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return failover_checkpointed_;
+}
+
+int64_t ShardRouter::failover_resume_steps() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return failover_resume_steps_;
 }
 
 }  // namespace moqo

@@ -1,8 +1,10 @@
 // Consistent-hash shard router: the online service scaled across N
 // scheduler shards behind one Submit/Drain/Stop + futures front door.
 //
-// A ShardRouter owns a set of in-process OnlineScheduler shards and places
-// every submitted query on a consistent-hash ring: each shard contributes
+// A ShardRouter owns a set of shards — in-process schedulers (LocalShard)
+// and/or connections to shard server processes (RemoteShard), mixed freely
+// behind the Shard interface (service/shard.h) — and places every
+// submitted query on a consistent-hash ring: each shard contributes
 // `virtual_nodes` points keyed by its stable shard id, and a query lands
 // on the first point at or after its RouteKey (service/wire.h). Placement
 // therefore depends only on the query content, the seed, and the current
@@ -14,24 +16,36 @@
 // runs. The router re-derives every in-flight task's owner and migrates
 // the ones whose owner changed: Suspend() drains the task (a portable
 // session checkpoint plus its unexpired deadline remainder) off the old
-// shard, the task is round-tripped through the wire format — encoded and
-// decoded exactly as a cross-process transport would put it on a socket,
-// so the destination sees only what the wire carries — and Resume() lands
+// shard, the task is round-tripped through the wire format — for a remote
+// destination the frame really does cross a socket — and Resume() lands
 // it on the new owner. The future handed out by the original Submit() is
 // untouched throughout and delivers the final result from whichever shard
 // finishes the task.
 //
-// Determinism contract (inherited from the schedulers underneath): every
-// task owns an Rng seeded from its submission, so shard placement and
-// rebalancing affect only timing. Iteration-bounded tasks produce
-// frontiers bitwise identical to an unsharded OnlineScheduler reference —
-// across any shard count and any AddShard/RemoveShard schedule — which
-// bench/shard_throughput.cc gates on every run.
+// Failover: a remote shard's process can die. FailShard() — driven by the
+// supervisor (service/shard_supervisor.h) when death is detected — takes
+// the shard out of the ring, recovers every in-flight task's last known
+// wire frame (the submit frame, superseded by each periodic checkpoint
+// snapshot the shard shipped back), and replays them onto surviving
+// shards. The original Submit() futures keep delivering; replay re-runs
+// only the steps after the last snapshot, and checkpoints restore bitwise,
+// so iteration-bounded results are unaffected by the failure.
 //
-// Thread-safety: Submit/Drain/AddShard/RemoveShard/observers may be called
-// concurrently from any thread (one router mutex serializes them; worker
-// threads inside the shards never take it). Start() and Stop() follow the
-// OnlineScheduler contract: at most once each.
+// Determinism contract (inherited from the schedulers underneath): every
+// task owns an Rng seeded from its submission, so shard placement,
+// rebalancing, and failover affect only timing. Iteration-bounded tasks
+// produce frontiers bitwise identical to an unsharded OnlineScheduler
+// reference — across any shard count, any AddShard/RemoveShard schedule,
+// and any kill schedule — which bench/shard_throughput.cc and
+// bench/failover_bench.cc gate on every run.
+//
+// Thread-safety: Submit/Drain/AddShard/RemoveShard/FailShard/observers may
+// be called concurrently from any thread (one router mutex serializes
+// them; worker threads inside the shards never take it). Start() and
+// Stop() follow the OnlineScheduler contract: at most once each. Do NOT
+// call FailShard() from a RemoteShard death callback — it stops the dead
+// shard, which joins the thread the callback runs on; hand off to another
+// thread (the supervisor's monitor does exactly this).
 #ifndef MOQO_SERVICE_SHARD_ROUTER_H_
 #define MOQO_SERVICE_SHARD_ROUTER_H_
 
@@ -45,16 +59,18 @@
 
 #include "service/batch_optimizer.h"
 #include "service/online_scheduler.h"
+#include "service/shard.h"
 
 namespace moqo {
 
 /// Configuration for one ShardRouter instance.
 struct ShardRouterConfig {
-  /// Configuration applied to every shard (thread count, metrics, policy,
-  /// admission window). Keep retain_frontiers = true if the Stop() report
-  /// should carry frontiers for reference comparison.
+  /// Configuration applied to every local shard (thread count, metrics,
+  /// policy, admission window). Keep retain_frontiers = true if the Stop()
+  /// report should carry frontiers for reference comparison.
   OnlineConfig shard;
-  /// Shards created up front (clamped to >= 1).
+  /// In-process shards created up front (clamped to >= 0; 0 makes sense
+  /// only when remote shards are added before the first Submit()).
   int num_shards = 2;
   /// Ring points per shard (clamped to >= 1). More points smooth the key
   /// distribution; 64 keeps the worst shard within a few percent of fair
@@ -78,29 +94,36 @@ class ShardRouter {
   /// destinations to Resume() onto).
   void Start();
 
-  /// Routes the task to its ring owner and admits it there. Returns the
-  /// shard's future for the result, or std::nullopt if the owner rejected
-  /// it (full window under kReject, or the router is stopping). Under
-  /// kBlock a full owner window blocks the caller — and any concurrent
-  /// membership change — until the owner frees a slot.
+  /// Routes the task to its ring owner and admits it there. A dead (not
+  /// yet failed-over) owner is skipped: the task lands on the next live
+  /// shard along the ring instead. Returns the shard's future for the
+  /// result, or std::nullopt if no live shard accepted it (full window
+  /// under kReject, empty membership, or the router is stopping). Under
+  /// kBlock a full local owner window blocks the caller — and any
+  /// concurrent membership change — until the owner frees a slot.
   std::optional<std::future<BatchTaskResult>> Submit(const BatchTask& task);
 
-  /// Blocks until every admitted task on every shard has completed.
+  /// Blocks until every admitted task on every shard has completed (dead
+  /// shards are skipped; their tasks complete elsewhere after FailShard).
   void Drain();
 
   /// Drains, stops every shard, and returns one report over all router
   /// submissions in router submission order: task i is the i-th successful
   /// Submit(), with its result taken from the shard that finished it
   /// (migrated-away stub slots are skipped). `migrated_tasks` counts
-  /// rebalance hops performed by this router. After Stop() every Submit()
-  /// is rejected; the router cannot be restarted.
+  /// rebalance + failover hops performed by this router. After Stop()
+  /// every Submit() is rejected; the router cannot be restarted.
   BatchReport Stop();
 
-  /// Adds a shard, rebalancing in-flight tasks whose ring owner changed
-  /// onto it via suspend → wire round-trip → resume. Starts the router if
-  /// it was not running. Returns the new shard's stable id, or size_t(-1)
-  /// — changing nothing — once the router is stopped.
+  /// Adds an in-process shard, rebalancing in-flight tasks whose ring
+  /// owner changed onto it via suspend → wire round-trip → resume. Starts
+  /// the router if it was not running. Returns the new shard's stable id,
+  /// or size_t(-1) — changing nothing — once the router is stopped.
   size_t AddShard();
+
+  /// As above with a caller-built shard (how a supervisor wires in a
+  /// RemoteShard). The shard is Start()ed before it joins the ring.
+  size_t AddShard(std::unique_ptr<Shard> shard);
 
   /// Removes shard `shard_id`, first migrating its in-flight tasks to
   /// their new ring owners (a task whose new owner refuses it finishes on
@@ -111,10 +134,20 @@ class ShardRouter {
   /// Starts the router if it was not running.
   bool RemoveShard(size_t shard_id);
 
-  /// Live shard ids in ascending order.
+  /// Fails shard `shard_id` over: takes it off the ring, recovers its
+  /// in-flight tasks' last known wire frames, and replays each onto a
+  /// surviving live shard — the original Submit() futures keep
+  /// delivering. A task whose frame cannot be decoded, or that no
+  /// survivor accepts, fails its future with the shard id and route key
+  /// in the error. Returns false for an unknown id or a stopped router.
+  /// Never call from a shard's death callback (see file header).
+  bool FailShard(size_t shard_id);
+
+  /// Live shard ids in ascending order (dead-but-not-yet-failed-over
+  /// shards included until FailShard removes them).
   std::vector<size_t> shard_ids() const;
 
-  /// Live shards.
+  /// Current member shards.
   size_t shard_count() const;
 
   /// The shard id `task` currently routes to (for tests and placement
@@ -125,12 +158,27 @@ class ShardRouter {
   /// Successful Submit() calls so far.
   size_t submitted_count() const;
 
-  /// In-flight tasks moved between shards by membership changes.
+  /// In-flight tasks moved between shards by membership changes and
+  /// failovers.
   size_t migrations() const;
 
   /// The subset of migrations() that carried a non-empty mid-run session
   /// checkpoint across the wire (the rest were still queued, fresh).
   size_t checkpointed_migrations() const;
+
+  /// Shards taken out by FailShard().
+  size_t failed_shards() const;
+
+  /// In-flight tasks replayed onto survivors by FailShard().
+  size_t failover_replayed() const;
+
+  /// The subset of failover_replayed() whose recovery frame carried a
+  /// mid-run checkpoint snapshot (the rest replayed from scratch).
+  size_t failover_checkpointed() const;
+
+  /// Sum of the already-executed step counts carried by replayed recovery
+  /// frames: work the failover did NOT re-run thanks to snapshots.
+  int64_t failover_resume_steps() const;
 
   const ShardRouterConfig& config() const { return config_; }
 
@@ -158,16 +206,17 @@ class ShardRouter {
   void RebuildRingLocked();
   /// Ring owner of `key`; requires a non-empty ring.
   size_t OwnerLocked(uint64_t key) const;
+  /// First live shard at or after `key` on the ring; size_t(-1) if none.
+  size_t LiveOwnerLocked(uint64_t key) const;
   /// Re-derives every in-flight entry's owner and migrates the moved ones.
   void RebalanceLocked();
-  /// Moves one entry off `source` (the scheduler it currently lives on,
-  /// which RemoveShard may have already taken out of shards_) to
-  /// `to_shard` via suspend → wire → resume. Returns false if the task
-  /// had already finished on its current shard (nothing to move). A task
-  /// is never lost: if the destination refuses, it is resumed back onto
-  /// `source`.
-  bool MigrateLocked(OnlineScheduler* source, Entry* entry,
-                     size_t to_shard);
+  /// Moves one entry off `source` (the shard it currently lives on, which
+  /// RemoveShard may have already taken out of shards_) to `to_shard` via
+  /// suspend → wire → resume. Returns false if the task had already
+  /// finished on its current shard (nothing to move). A task is never
+  /// lost: if the destination refuses, it is resumed back onto `source`.
+  bool MigrateLocked(Shard* source, Entry* entry, size_t to_shard);
+  size_t AddShardLocked(std::unique_ptr<Shard> shard);
 
   ShardRouterConfig config_;
   OptimizerFactory make_optimizer_;
@@ -175,9 +224,9 @@ class ShardRouter {
   Stopwatch epoch_;
 
   mutable std::mutex mu_;
-  /// Live shards by stable id.
-  std::map<size_t, std::unique_ptr<OnlineScheduler>> shards_;
-  /// Final reports of removed (and, after Stop(), all) shards.
+  /// Member shards by stable id.
+  std::map<size_t, std::unique_ptr<Shard>> shards_;
+  /// Final reports of removed/failed (and, after Stop(), all) shards.
   std::map<size_t, BatchReport> retired_;
   std::vector<RingPoint> ring_;
   /// Router submission i is entries_[i].
@@ -185,7 +234,11 @@ class ShardRouter {
   size_t next_shard_id_ = 0;
   size_t migrations_ = 0;
   size_t checkpointed_migrations_ = 0;
-  /// Peak live shard count, for the report's num_threads.
+  size_t failed_shards_ = 0;
+  size_t failover_replayed_ = 0;
+  size_t failover_checkpointed_ = 0;
+  int64_t failover_resume_steps_ = 0;
+  /// Peak member count, for the report's num_threads.
   size_t peak_shards_ = 0;
   bool started_ = false;
   bool stopped_ = false;

@@ -1,0 +1,90 @@
+// shardd: one shard server process.
+//
+// Listens on a Unix-domain socket (--socket) or loopback TCP (--port),
+// accepts exactly one router connection, and serves it with a ShardServer
+// hosting an RMQ-based OnlineScheduler. The process exists to be
+// expendable: the supervisor (service/shard_supervisor.h) spawns one per
+// shard, and killing it -9 mid-stream is the failure mode the snapshot/
+// failover machinery is built for.
+//
+// Exit codes: 0 after an orderly kShutdown/kBye handshake, 1 when the
+// connection died first, 2 when the listener or accept failed (setup
+// error — the supervisor treats a child that exits before connecting as
+// failed spawn, not failover).
+//
+//   $ shardd --socket=/tmp/moqo-shard.sock [--threads=2]
+//       [--steps-per-slice=8] [--snapshot-every=4] [--iterations=20]
+//       [--heartbeat-ms=200] [--pump-ms=10] [--accept-timeout-ms=10000]
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/flags.h"
+#include "core/rmq.h"
+#include "net/frame_channel.h"
+#include "service/shard_server.h"
+
+using namespace moqo;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::string socket_path = flags.GetString("socket", "");
+  const int port = static_cast<int>(flags.GetInt("port", 0));
+  const int accept_timeout_ms =
+      static_cast<int>(flags.GetInt("accept-timeout-ms", 10000));
+  const int threads = static_cast<int>(flags.GetInt("threads", 2));
+  const int steps_per_slice =
+      static_cast<int>(flags.GetInt("steps-per-slice", 8));
+  const int snapshot_every =
+      static_cast<int>(flags.GetInt("snapshot-every", 4));
+  const int heartbeat_ms =
+      static_cast<int>(flags.GetInt("heartbeat-ms", 200));
+  const int pump_ms = static_cast<int>(flags.GetInt("pump-ms", 10));
+  const int iterations = static_cast<int>(flags.GetInt("iterations", 20));
+
+  ShardServerConfig config;
+  config.scheduler.num_threads = threads;
+  config.scheduler.steps_per_slice = steps_per_slice;
+  config.scheduler.snapshot_every = snapshot_every;
+  // Results leave through the connection as they finish; retaining every
+  // frontier in the server-side report would only grow a long-lived shard.
+  config.scheduler.retain_frontiers = false;
+  config.pump_interval_ms = pump_ms;
+  config.heartbeat_ms = heartbeat_ms;
+
+  OptimizerFactory make_rmq = [iterations] {
+    RmqConfig rmq;
+    rmq.max_iterations = iterations;
+    return std::make_unique<Rmq>(rmq);
+  };
+
+  std::string error;
+  std::optional<net::FrameListener> listener =
+      socket_path.empty()
+          ? net::FrameListener::ListenTcp(static_cast<uint16_t>(port),
+                                          &error)
+          : net::FrameListener::ListenUnix(socket_path, &error);
+  if (!listener.has_value()) {
+    std::fprintf(stderr, "shardd: listen failed: %s\n", error.c_str());
+    return 2;
+  }
+  if (socket_path.empty()) {
+    // The supervisor connects by port; with --port=0 it needs to learn
+    // the kernel-assigned one.
+    std::printf("shardd: listening on port %u\n", listener->port());
+    std::fflush(stdout);
+  }
+  std::optional<net::FrameChannel> channel =
+      listener->Accept(accept_timeout_ms);
+  if (!channel.has_value()) {
+    std::fprintf(stderr, "shardd: accept failed: %s\n",
+                 listener->last_error().c_str());
+    return 2;
+  }
+
+  ShardServer server(std::move(config), std::move(make_rmq));
+  bool clean = server.Serve(&channel.value());
+  return clean ? 0 : 1;
+}

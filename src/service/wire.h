@@ -29,8 +29,10 @@
 
 #include <cstdint>
 #include <future>
+#include <string>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "service/batch_optimizer.h"
 #include "service/online_scheduler.h"
 
@@ -77,6 +79,10 @@ WireTask MakeWireTask(const BatchTask& task);
 /// except the promise, which stays with the caller.
 WireTask MakeWireTask(const SuspendedTask& task);
 
+/// Wraps a periodic checkpoint snapshot of a still-running task (the
+/// recovery state a supervisor replays after a shard death).
+WireTask MakeWireTask(const TaskSnapshot& snapshot);
+
 /// Serializes `task` into a framed byte string:
 /// magic, version, query, seed, deadline, remainder, accounting,
 /// checkpoint bytes, CRC32 trailer over everything before it.
@@ -91,6 +97,13 @@ std::vector<uint8_t> EncodeWireTask(const WireTask& task);
 /// at resume time.
 bool DecodeWireTask(const std::vector<uint8_t>& frame, WireTask* out);
 
+/// As above, additionally reporting *why* a frame was rejected ("CRC
+/// mismatch", "invalid query record", …) so failover diagnostics can name
+/// the failure next to the shard id / route key context the caller adds.
+/// `why` is untouched on success and may be null.
+bool DecodeWireTask(const std::vector<uint8_t>& frame, WireTask* out,
+                    std::string* why);
+
 /// Rebuilds a scheduler-resumable task from a decoded frame plus the
 /// reply channel (in-process: the promise carried out of Suspend(); a
 /// cross-process transport would mint a promise whose future it forwards
@@ -103,6 +116,21 @@ SuspendedTask ToSuspendedTask(WireTask&& wire,
 /// serialization is fixed-width little-endian), so every router instance
 /// agrees where a task lives — the property consistent hashing needs.
 uint64_t RouteKey(const BatchTask& task);
+
+/// Renders a route key the way every diagnostic message spells it
+/// ("0x" + 16 hex digits), so failover errors and logs agree.
+std::string RouteKeyString(uint64_t key);
+
+/// Serializes a task result — the shard-to-router half of the transport —
+/// as checkpoint-substrate fields: counters, flags, and the frontier's
+/// cost vectors bit-exactly. `index` is scheduler-local and deliberately
+/// not carried: the receiving side re-stamps its own submission index.
+void EncodeTaskResult(CheckpointWriter* writer,
+                      const BatchTaskResult& result);
+
+/// Mirrors EncodeTaskResult. Returns false (clearing nothing) on a
+/// truncated record, an oversized frontier, or out-of-range fields.
+bool DecodeTaskResult(CheckpointReader* reader, BatchTaskResult* out);
 
 }  // namespace moqo
 

@@ -345,6 +345,145 @@ TEST(WireTaskTest, DeadlineIsNormalizedNotRejected) {
   EXPECT_FALSE(DecodeWireTask(EncodeWireTask(raw), &decoded));
 }
 
+// The 3-argument decode names the failure, so a rejection surfaced over
+// the transport (shard server kReject, failover replay error) tells the
+// operator WHAT was malformed, not just that something was.
+TEST(WireTaskTest, DecodeFailuresCarryAReason) {
+  BatchTask task = MakeTask(5, /*seed=*/11);
+  std::vector<uint8_t> frame = EncodeWireTask(MakeWireTask(task));
+  WireTask decoded;
+  std::string why;
+
+  EXPECT_FALSE(DecodeWireTask({}, &decoded, &why));
+  EXPECT_EQ(why, "frame too short");
+
+  std::vector<uint8_t> flipped = frame;
+  flipped[frame.size() / 2] ^= 0x40;
+  EXPECT_FALSE(DecodeWireTask(flipped, &decoded, &why));
+  EXPECT_EQ(why, "CRC mismatch");
+
+  std::vector<uint8_t> wrong_magic = frame;
+  wrong_magic[0] ^= 0xff;
+  RepairCrc(&wrong_magic);
+  EXPECT_FALSE(DecodeWireTask(wrong_magic, &decoded, &why));
+  EXPECT_EQ(why, "bad magic");
+
+  std::vector<uint8_t> future_version = frame;
+  future_version[4] = 0xee;
+  RepairCrc(&future_version);
+  EXPECT_FALSE(DecodeWireTask(future_version, &decoded, &why));
+  EXPECT_EQ(why, "unsupported version");
+
+  std::vector<uint8_t> padded = frame;
+  padded.insert(padded.end() - 4, {0x00, 0x00});
+  RepairCrc(&padded);
+  EXPECT_FALSE(DecodeWireTask(padded, &decoded, &why));
+  EXPECT_EQ(why, "trailing bytes after payload");
+
+  // A success leaves the reason empty; a null reason pointer is legal.
+  ASSERT_TRUE(DecodeWireTask(frame, &decoded, &why));
+  EXPECT_TRUE(why.empty());
+  ASSERT_TRUE(DecodeWireTask(frame, &decoded, nullptr));
+}
+
+TEST(WireTaskTest, TaskResultRoundTripsBitwise) {
+  BatchTaskResult result;
+  result.index = 42;  // NOT carried: the receiver re-stamps it.
+  result.optimize_millis = 3.25;
+  result.elapsed_millis = 7.5;
+  result.admit_millis = 0.125;
+  result.steps = 977;
+  result.had_deadline = true;
+  result.deadline_hit = true;
+  CostVector a(2), b(2);
+  a[0] = 1.5;
+  a[1] = 8.0;
+  b[0] = 2.75;
+  b[1] = 4.0;
+  result.frontier = {a, b};
+
+  CheckpointWriter writer;
+  EncodeTaskResult(&writer, result);
+  std::vector<uint8_t> body = writer.Take();
+
+  CheckpointReader reader(body, /*factory=*/nullptr);
+  BatchTaskResult decoded;
+  ASSERT_TRUE(DecodeTaskResult(&reader, &decoded));
+  EXPECT_EQ(decoded.index, -1);
+  EXPECT_EQ(decoded.optimize_millis, result.optimize_millis);
+  EXPECT_EQ(decoded.elapsed_millis, result.elapsed_millis);
+  EXPECT_EQ(decoded.admit_millis, result.admit_millis);
+  EXPECT_EQ(decoded.steps, result.steps);
+  EXPECT_TRUE(decoded.had_deadline);
+  EXPECT_TRUE(decoded.deadline_hit);
+  EXPECT_FALSE(decoded.gave_up);
+  EXPECT_FALSE(decoded.migrated);
+  EXPECT_TRUE(BitwiseEqual(decoded.frontier, result.frontier));
+}
+
+TEST(WireTaskTest, TaskResultDecodeRejectsMalformedBodies) {
+  BatchTaskResult result;
+  result.steps = 10;
+  CostVector v(2);
+  v[0] = 1.0;
+  v[1] = 2.0;
+  result.frontier = {v};
+  CheckpointWriter writer;
+  EncodeTaskResult(&writer, result);
+  std::vector<uint8_t> body = writer.Take();
+
+  // Truncation at every byte runs the reader out of input.
+  for (size_t cut = 0; cut < body.size(); ++cut) {
+    std::vector<uint8_t> torn(body.begin(),
+                              body.begin() + static_cast<ptrdiff_t>(cut));
+    CheckpointReader reader(torn, nullptr);
+    BatchTaskResult decoded;
+    EXPECT_FALSE(DecodeTaskResult(&reader, &decoded)) << "cut " << cut;
+  }
+
+  // Structural garbage: a bool byte that is neither 0 nor 1, negative
+  // steps, an out-of-range frontier count, a non-finite timing.
+  {
+    std::vector<uint8_t> bad_bool = body;
+    bad_bool[3 * 8 + 8] = 2;  // first bool byte after 3 doubles + i64
+    CheckpointReader reader(bad_bool, nullptr);
+    BatchTaskResult decoded;
+    EXPECT_FALSE(DecodeTaskResult(&reader, &decoded));
+  }
+  {
+    BatchTaskResult negative = result;
+    negative.steps = -4;
+    CheckpointWriter bad_writer;
+    EncodeTaskResult(&bad_writer, negative);
+    std::vector<uint8_t> bad = bad_writer.Take();
+    CheckpointReader reader(bad, nullptr);
+    BatchTaskResult decoded;
+    EXPECT_FALSE(DecodeTaskResult(&reader, &decoded));
+  }
+  {
+    BatchTaskResult infinite = result;
+    infinite.optimize_millis = -1.0;
+    CheckpointWriter bad_writer;
+    EncodeTaskResult(&bad_writer, infinite);
+    std::vector<uint8_t> bad = bad_writer.Take();
+    CheckpointReader reader(bad, nullptr);
+    BatchTaskResult decoded;
+    EXPECT_FALSE(DecodeTaskResult(&reader, &decoded));
+  }
+}
+
+// Route keys are quoted in failover/migration error messages; the fixed
+// sixteen-digit form keeps two renderings of the same key identical.
+TEST(WireTaskTest, RouteKeyStringIsFixedWidthLowercaseHex) {
+  EXPECT_EQ(RouteKeyString(0), "0x0000000000000000");
+  EXPECT_EQ(RouteKeyString(0xabcdefull), "0x0000000000abcdef");
+  EXPECT_EQ(RouteKeyString(0xFFFFFFFFFFFFFFFFull), "0xffffffffffffffff");
+  BatchTask task = MakeTask(6, /*seed=*/3);
+  std::string rendered = RouteKeyString(RouteKey(task));
+  EXPECT_EQ(rendered.size(), 18u);
+  EXPECT_EQ(rendered.substr(0, 2), "0x");
+}
+
 TEST(WireTaskTest, RouteKeyIsStableAndSeedSensitive) {
   BatchTask task = MakeTask(8, /*seed=*/13);
   uint64_t key = RouteKey(task);
