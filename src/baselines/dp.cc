@@ -70,7 +70,7 @@ void DpSession::OnBegin() {
   }
 }
 
-std::vector<PlanPtr> DpSession::Frontier() const {
+std::vector<PlanPtr> DpSession::CurrentFrontier() const {
   if (!finished_) return {};
   return best_[full_];
 }

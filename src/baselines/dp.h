@@ -48,7 +48,7 @@ class DpSession : public OptimizerSession {
   explicit DpSession(DpConfig config = DpConfig()) : config_(config) {}
 
   /// Non-empty only once the whole lattice has been processed.
-  std::vector<PlanPtr> Frontier() const override;
+  std::vector<PlanPtr> CurrentFrontier() const override;
   bool Done() const override { return finished_ || gave_up_; }
 
   /// DP abandons runs (oversized query, expired mid-lattice budget): such

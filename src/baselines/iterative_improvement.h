@@ -31,7 +31,7 @@ class IiSession : public OptimizerSession {
  public:
   explicit IiSession(IiConfig config = IiConfig()) : config_(config) {}
 
-  std::vector<PlanPtr> Frontier() const override { return archive_.plans(); }
+  std::vector<PlanPtr> CurrentFrontier() const override { return archive_.plans(); }
   bool Done() const override {
     return config_.max_iterations > 0 &&
            iterations_ >= config_.max_iterations;

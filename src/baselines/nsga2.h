@@ -83,7 +83,7 @@ class Nsga2Session : public OptimizerSession {
   explicit Nsga2Session(Nsga2Config config = Nsga2Config())
       : config_(config) {}
 
-  std::vector<PlanPtr> Frontier() const override { return archive_.plans(); }
+  std::vector<PlanPtr> CurrentFrontier() const override { return archive_.plans(); }
   bool Done() const override {
     // An empty population can never evolve: the run produces nothing
     // (matching the blocking implementation's early exit).

@@ -66,7 +66,7 @@ class SaSession : public OptimizerSession {
   explicit SaSession(SaConfig config = SaConfig())
       : config_(std::move(config)) {}
 
-  std::vector<PlanPtr> Frontier() const override { return archive_.plans(); }
+  std::vector<PlanPtr> CurrentFrontier() const override { return archive_.plans(); }
   bool Done() const override {
     return config_.max_epochs > 0 && epochs_ >= config_.max_epochs;
   }

@@ -26,7 +26,7 @@ void TwoPhaseSession::OnBegin() {
   sa_session_ = nullptr;
 }
 
-std::vector<PlanPtr> TwoPhaseSession::Frontier() const {
+std::vector<PlanPtr> TwoPhaseSession::CurrentFrontier() const {
   // During phase one the champion is the only result so far (it enters the
   // shared archive the moment phase one completes).
   if (sa_session_ == nullptr) {

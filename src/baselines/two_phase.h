@@ -40,7 +40,7 @@ class TwoPhaseSession : public OptimizerSession {
   explicit TwoPhaseSession(TwoPhaseConfig config = TwoPhaseConfig())
       : config_(config) {}
 
-  std::vector<PlanPtr> Frontier() const override;
+  std::vector<PlanPtr> CurrentFrontier() const override;
   bool Done() const override {
     // No phase-one restarts means no champion to seed phase two: the run
     // produces nothing (matching the blocking implementation's behavior

@@ -40,7 +40,7 @@ class WeightedSumSession : public OptimizerSession {
   explicit WeightedSumSession(WeightedSumConfig config = WeightedSumConfig())
       : config_(config) {}
 
-  std::vector<PlanPtr> Frontier() const override { return archive_.plans(); }
+  std::vector<PlanPtr> CurrentFrontier() const override { return archive_.plans(); }
   bool Done() const override {
     return config_.max_climbs > 0 && climbs_ >= config_.max_climbs;
   }

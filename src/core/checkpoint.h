@@ -41,8 +41,9 @@ class PlanFactory;
 inline constexpr uint32_t kCheckpointMagic = 0x43514f4du;
 
 /// Bumped whenever the checkpoint layout changes; Restore() rejects other
-/// versions.
-inline constexpr uint32_t kCheckpointVersion = 1;
+/// versions. Version 2 added the warm-start plan archive to the common
+/// header fields (see OptimizerSession::BeginFrom).
+inline constexpr uint32_t kCheckpointVersion = 2;
 
 /// Appends checkpoint fields to a byte buffer.
 class CheckpointWriter {

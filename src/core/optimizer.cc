@@ -4,6 +4,33 @@
 
 namespace moqo {
 
+std::vector<PlanPtr> OptimizerSession::Frontier() const {
+  std::vector<PlanPtr> own = CurrentFrontier();
+  if (warm_.empty()) return own;
+  // Merge, biased toward the algorithm's plans: every algorithm plan is
+  // kept verbatim (approximate algorithms such as DP(alpha) deliberately
+  // report representatives that a sibling plan dominates — pruning those
+  // here would make a warm run differ from its cold twin), and a warm
+  // plan is appended only if no algorithm plan weakly dominates it.
+  // Seeding a session with its own frontier therefore reproduces that
+  // frontier exactly: every warm plan is weakly dominated by its
+  // identical algorithm twin, so nothing is appended — which is what
+  // keeps warm and cold runs bitwise comparable.
+  std::vector<PlanPtr> merged = own;
+  merged.reserve(own.size() + warm_.size());
+  for (const PlanPtr& warm : warm_.plans()) {
+    bool dominated = false;
+    for (const PlanPtr& plan : own) {
+      if (plan->cost().WeakDominates(warm->cost())) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) merged.push_back(warm);
+  }
+  return merged;
+}
+
 std::vector<uint8_t> OptimizerSession::Checkpoint() const {
   CheckpointWriter writer;
   writer.WriteU32(kCheckpointMagic);
@@ -11,6 +38,10 @@ std::vector<uint8_t> OptimizerSession::Checkpoint() const {
   writer.WriteString(CheckpointTag());
   writer.WriteString(rng()->SaveState());
   writer.WriteI64(session_stats_.steps);
+  // The warm-start seed is session state like any other: a warm session
+  // suspended mid-run must keep reporting merged frontiers after it
+  // resumes on another scheduler.
+  writer.WritePlans(warm_.plans());
   OnCheckpoint(&writer);
   return writer.Take();
 }
@@ -27,6 +58,13 @@ bool OptimizerSession::Restore(PlanFactory* factory, Rng* rng,
   session_stats_ = SessionStats();
   session_stats_.steps = reader.ReadI64();
   if (!reader.ok()) return false;
+  std::vector<PlanPtr> warm_plans = reader.ReadPlans();
+  if (!reader.ok() ||
+      !AllPlansCover(warm_plans, factory->query().AllTables())) {
+    return false;
+  }
+  warm_.Clear();
+  for (const PlanPtr& plan : warm_plans) warm_.Insert(plan);
   if (!OnRestore(&reader)) return false;
   // A checkpoint with trailing bytes (or one whose payload reads ran dry)
   // is corrupt even if every individual field decoded.

@@ -33,6 +33,7 @@
 
 #include "common/deadline.h"
 #include "common/rng.h"
+#include "pareto/pareto_archive.h"
 #include "plan/plan_factory.h"
 
 namespace moqo {
@@ -68,7 +69,24 @@ class OptimizerSession {
     factory_ = factory;
     rng_ = rng;
     session_stats_ = SessionStats();
+    warm_.Clear();
     OnBegin();
+  }
+
+  /// Begin() plus a warm-start seed: `warm` plans (typically a cached
+  /// frontier of the same query shape, rebuilt through `factory`) are
+  /// adopted into a side archive that Frontier() merges over the
+  /// algorithm's own result set. The seed never touches algorithm state —
+  /// no RNG draw, no cache entry, no population slot — so the step
+  /// sequence is bitwise identical to a cold Begin() with the same seed;
+  /// only the reported frontier is (weakly) improved. An empty `warm` is
+  /// exactly Begin().
+  void BeginFrom(PlanFactory* factory, Rng* rng,
+                 const std::vector<PlanPtr>& warm) {
+    Begin(factory, rng);
+    for (const PlanPtr& plan : warm) {
+      if (plan != nullptr) warm_.Insert(plan);
+    }
   }
 
   /// Runs one bounded work slice and returns true if the result frontier
@@ -87,8 +105,14 @@ class OptimizerSession {
   }
 
   /// The current non-dominated plans for the full query; empty if nothing
-  /// complete has been produced yet.
-  virtual std::vector<PlanPtr> Frontier() const = 0;
+  /// complete has been produced yet. For a cold-started session this is
+  /// the algorithm's own frontier verbatim; after BeginFrom() it is that
+  /// frontier merged with the still-useful warm plans. Algorithm plans
+  /// always pass through untouched; a warm plan is appended only when no
+  /// algorithm plan weakly dominates it. That makes merging a frontier
+  /// with itself the identity — the property behind the warm-vs-cold
+  /// bitwise conformance gate.
+  std::vector<PlanPtr> Frontier() const;
 
   /// True once the session has exhausted its configured work (iteration /
   /// generation bounds, or DP completion). Unbounded anytime algorithms
@@ -128,6 +152,11 @@ class OptimizerSession {
   const SessionStats& session_stats() const { return session_stats_; }
 
  protected:
+  /// The algorithm's own current non-dominated plans, before any
+  /// warm-start merge. Implementations must not consult the warm archive;
+  /// the base class owns the merge.
+  virtual std::vector<PlanPtr> CurrentFrontier() const = 0;
+
   /// Resets algorithm state; factory()/rng() are valid when called.
   virtual void OnBegin() = 0;
 
@@ -154,6 +183,9 @@ class OptimizerSession {
   PlanFactory* factory_ = nullptr;
   Rng* rng_ = nullptr;
   SessionStats session_stats_;
+  /// Warm-start seed plans (BeginFrom); empty for cold sessions. Owned by
+  /// the base class so no algorithm's step sequence can depend on it.
+  ParetoArchive warm_;
 };
 
 /// An anytime multi-objective query optimization algorithm. Optimizer

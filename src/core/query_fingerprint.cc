@@ -1,0 +1,161 @@
+#include "core/query_fingerprint.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/rng.h"
+#include "core/checkpoint.h"
+
+namespace moqo {
+
+namespace {
+
+/// Bit pattern of a double; canonicalization hashes statistics bit-exactly,
+/// mirroring the bit-exact equality the rest of the code base uses for
+/// catalog and selectivity comparisons.
+uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+/// Label-invariant starting signature of one table: statistics only.
+uint64_t StatsSignature(const TableStats& stats) {
+  return CombineSeed(DoubleBits(stats.cardinality),
+                     DoubleBits(stats.tuple_bytes),
+                     stats.has_index ? 1u : 0u, 0x7461626cull /* "tabl" */);
+}
+
+/// Weisfeiler-Leman refinement rounds. Three rounds distinguish tables up
+/// to the usual WL horizon, which is far beyond what statistics-identical
+/// tables in generated or real workloads need; refinement is cheap (edges
+/// are few), so the constant is chosen for safety, not speed.
+constexpr int kRefinementRounds = 3;
+
+/// One refinement round: fold each table's sorted multiset of
+/// (selectivity bits, neighbor signature) contributions into its signature.
+std::vector<uint64_t> RefineSignatures(const Query& query,
+                                       const std::vector<uint64_t>& sig) {
+  const int n = query.NumTables();
+  std::vector<std::vector<uint64_t>> incident(static_cast<size_t>(n));
+  for (const JoinEdge& edge : query.graph().Edges()) {
+    const uint64_t sel = DoubleBits(edge.selectivity);
+    incident[static_cast<size_t>(edge.left)].push_back(
+        CombineSeed(sel, sig[static_cast<size_t>(edge.right)]));
+    incident[static_cast<size_t>(edge.right)].push_back(
+        CombineSeed(sel, sig[static_cast<size_t>(edge.left)]));
+  }
+  std::vector<uint64_t> next(static_cast<size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    std::vector<uint64_t>& contrib = incident[static_cast<size_t>(t)];
+    std::sort(contrib.begin(), contrib.end());
+    uint64_t h = CombineSeed(sig[static_cast<size_t>(t)],
+                             static_cast<uint64_t>(contrib.size()));
+    for (uint64_t c : contrib) h = CombineSeed(h, c);
+    next[static_cast<size_t>(t)] = h;
+  }
+  return next;
+}
+
+/// Canonical table order: ranks[i] = canonical rank of original table i.
+/// Tables sort by refined signature; equal signatures (automorphic as far
+/// as refinement can tell) keep original order, which serializes
+/// identically for true automorphisms.
+std::vector<int> CanonicalRanks(const Query& query,
+                                std::vector<int>* order_out) {
+  const int n = query.NumTables();
+  std::vector<uint64_t> sig(static_cast<size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    sig[static_cast<size_t>(t)] = StatsSignature(query.catalog().Table(t));
+  }
+  for (int round = 0; round < kRefinementRounds; ++round) {
+    sig = RefineSignatures(query, sig);
+  }
+  std::vector<int> order(static_cast<size_t>(n));
+  for (int t = 0; t < n; ++t) order[static_cast<size_t>(t)] = t;
+  std::stable_sort(order.begin(), order.end(), [&sig](int a, int b) {
+    return sig[static_cast<size_t>(a)] < sig[static_cast<size_t>(b)];
+  });
+  std::vector<int> ranks(static_cast<size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    ranks[static_cast<size_t>(order[static_cast<size_t>(r)])] = r;
+  }
+  if (order_out != nullptr) *order_out = std::move(order);
+  return ranks;
+}
+
+/// An edge in canonical coordinates, ready for sorting.
+struct CanonicalEdge {
+  int lo = 0;
+  int hi = 0;
+  uint64_t selectivity_bits = 0;
+};
+
+bool operator<(const CanonicalEdge& a, const CanonicalEdge& b) {
+  if (a.lo != b.lo) return a.lo < b.lo;
+  if (a.hi != b.hi) return a.hi < b.hi;
+  return a.selectivity_bits < b.selectivity_bits;
+}
+
+}  // namespace
+
+std::vector<uint8_t> CanonicalQueryBytes(const Query& query) {
+  std::vector<int> order;
+  const std::vector<int> ranks = CanonicalRanks(query, &order);
+  const int n = query.NumTables();
+
+  CheckpointWriter writer;
+  writer.WriteU32(static_cast<uint32_t>(n));
+  for (int r = 0; r < n; ++r) {
+    const TableStats& stats =
+        query.catalog().Table(order[static_cast<size_t>(r)]);
+    writer.WriteDouble(stats.cardinality);
+    writer.WriteDouble(stats.tuple_bytes);
+    writer.WriteU8(stats.has_index ? 1 : 0);
+  }
+
+  std::vector<CanonicalEdge> edges;
+  edges.reserve(query.graph().Edges().size());
+  for (const JoinEdge& edge : query.graph().Edges()) {
+    CanonicalEdge canonical;
+    const int a = ranks[static_cast<size_t>(edge.left)];
+    const int b = ranks[static_cast<size_t>(edge.right)];
+    canonical.lo = a < b ? a : b;
+    canonical.hi = a < b ? b : a;
+    canonical.selectivity_bits = DoubleBits(edge.selectivity);
+    edges.push_back(canonical);
+  }
+  std::sort(edges.begin(), edges.end());
+  writer.WriteU32(static_cast<uint32_t>(edges.size()));
+  for (const CanonicalEdge& edge : edges) {
+    writer.WriteU32(static_cast<uint32_t>(edge.lo));
+    writer.WriteU32(static_cast<uint32_t>(edge.hi));
+    writer.WriteU64(edge.selectivity_bits);
+  }
+  return writer.Take();
+}
+
+uint64_t QueryFingerprint(const Query& query) {
+  return Fnv1a64(CanonicalQueryBytes(query));
+}
+
+std::string FingerprintString(uint64_t fingerprint) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string text = "0x0000000000000000";
+  for (int i = 0; i < 16; ++i) {
+    text[static_cast<size_t>(17 - i)] = kHex[(fingerprint >> (4 * i)) & 0xf];
+  }
+  return text;
+}
+
+uint64_t Fnv1a64(const uint8_t* data, size_t size) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace moqo

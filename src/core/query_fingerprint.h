@@ -1,0 +1,61 @@
+// Canonical, seed-independent query identity.
+//
+// Two submissions of the same query shape must map to the same 64-bit
+// fingerprint even when their table ids are permuted or their join edges
+// are listed in a different order / with swapped endpoints — that is what
+// lets a frontier cache recognize repeat traffic across clients that
+// number their tables differently. The fingerprint is computed over a
+// *canonical form* of the query:
+//
+//  1. Every table gets a label-invariant signature seeded from its
+//     statistics (cardinality, tuple width, index flag) and refined
+//     Weisfeiler-Leman style: each round folds in the sorted multiset of
+//     (edge selectivity, neighbor signature) pairs over the table's
+//     incident predicates, so topology distinguishes tables with equal
+//     statistics.
+//  2. Tables are ordered by final signature (ties broken by original id;
+//     tied tables are automorphic as far as the refinement can tell, so
+//     either order serializes identically).
+//  3. Edges are renumbered into canonical table ranks, endpoint-normalized
+//     (lo, hi), and sorted.
+//  4. The canonical form is serialized with CheckpointWriter (bit-exact
+//     doubles) and hashed with FNV-1a.
+//
+// The fingerprint deliberately ignores the optimization seed: layered
+// identity keys derived from (fingerprint, seed) — e.g. the service
+// placement RouteKey — are built on top, see service/wire.h.
+#ifndef MOQO_CORE_QUERY_FINGERPRINT_H_
+#define MOQO_CORE_QUERY_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+
+namespace moqo {
+
+/// The canonical byte form of `query` (step 1-4 above, before hashing).
+/// Exposed so tests can assert relabeling-invariance at the byte level and
+/// so callers needing a collision-free identity can keep the full form.
+std::vector<uint8_t> CanonicalQueryBytes(const Query& query);
+
+/// FNV-1a hash of CanonicalQueryBytes: equal for relabeled isomorphic
+/// queries, independent of any optimization seed.
+uint64_t QueryFingerprint(const Query& query);
+
+/// Fixed-width rendering ("0x" + 16 lowercase hex digits) used by log and
+/// error strings; identical format to the service layer's RouteKeyString so
+/// the two identities line up in operator output.
+std::string FingerprintString(uint64_t fingerprint);
+
+/// FNV-1a over a byte string; the hash behind QueryFingerprint, exposed for
+/// other layered identities (service/wire.cc derives RouteKey from it).
+uint64_t Fnv1a64(const uint8_t* data, size_t size);
+inline uint64_t Fnv1a64(const std::vector<uint8_t>& bytes) {
+  return Fnv1a64(bytes.data(), bytes.size());
+}
+
+}  // namespace moqo
+
+#endif  // MOQO_CORE_QUERY_FINGERPRINT_H_

@@ -40,7 +40,7 @@ bool RmqSession::Done() const {
          next_iteration_ > config_.max_iterations;
 }
 
-std::vector<PlanPtr> RmqSession::Frontier() const {
+std::vector<PlanPtr> RmqSession::CurrentFrontier() const {
   return cache_.Lookup(all_);
 }
 

@@ -72,7 +72,7 @@ class RmqSession : public OptimizerSession {
  public:
   explicit RmqSession(RmqConfig config = RmqConfig()) : config_(config) {}
 
-  std::vector<PlanPtr> Frontier() const override;
+  std::vector<PlanPtr> CurrentFrontier() const override;
   bool Done() const override;
 
   /// Statistics of this run so far.

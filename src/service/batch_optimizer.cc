@@ -131,6 +131,7 @@ void BatchReport::Aggregate() {
   deadline_tasks = 0;
   deadline_hits = 0;
   migrated_tasks = 0;
+  cache_served_tasks = 0;
   size_t counted = 0;
   std::vector<double> optimize_times;
   optimize_times.reserve(tasks.size());
@@ -142,6 +143,7 @@ void BatchReport::Aggregate() {
       continue;
     }
     ++counted;
+    if (task.served_from_cache) ++cache_served_tasks;
     total_frontier += task.frontier.size();
     max_frontier = std::max(max_frontier, task.frontier.size());
     optimize_times.push_back(task.optimize_millis);
@@ -177,6 +179,9 @@ std::string BatchReport::Summary() const {
   }
   if (migrated_tasks > 0) {
     out << "migrated away: " << migrated_tasks << " task(s)\n";
+  }
+  if (cache_served_tasks > 0) {
+    out << "cache-served: " << cache_served_tasks << " task(s)\n";
   }
   return out.str();
 }

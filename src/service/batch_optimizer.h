@@ -47,6 +47,13 @@ struct BatchTask {
   uint64_t seed = 0;
   /// Wall-clock optimization window in microseconds; 0 = unbounded.
   int64_t deadline_micros = 0;
+  /// Canonical query fingerprint (core/query_fingerprint.h), stamped once
+  /// by whichever layer computes it first (router Submit, wire decode) so
+  /// downstream layers — shard placement, the frontier cache — reuse it
+  /// instead of re-canonicalizing. 0 = not yet computed (0 is not a
+  /// reachable FNV-1a output for any non-degenerate query, and
+  /// FingerprintOf() recomputes on demand either way).
+  uint64_t fingerprint = 0;
 };
 
 /// Service configuration for one BatchOptimizer instance.
@@ -98,6 +105,11 @@ struct BatchTaskResult {
   /// report aggregation; the destination scheduler reports the final
   /// result, and the original Submit() future delivers it.
   bool migrated = false;
+  /// True if the result was served from the scheduler's FrontierCache
+  /// (exact hit: same fingerprint and seed as a completed run) without
+  /// opening a session. Such a slot reports zero steps and ~zero latency;
+  /// its frontier is the cached producer's canonical frontier.
+  bool served_from_cache = false;
 };
 
 /// Aggregated outcome of one batch run.
@@ -124,6 +136,8 @@ struct BatchReport {
   /// Tasks suspended off this scheduler mid-run (their slots are excluded
   /// from every aggregate above).
   size_t migrated_tasks = 0;
+  /// Tasks answered from the frontier cache without running a session.
+  size_t cache_served_tasks = 0;
 
   /// Recomputes the aggregate fields (frontier totals, percentiles) from
   /// `tasks`. Run() calls this; schedulers producing their own reports can

@@ -1,0 +1,109 @@
+#include "service/frontier_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace moqo {
+
+namespace {
+
+/// Fixed accounting overhead per entry: the CachedFrontier struct itself,
+/// the shared_ptr control block, the LRU node, and the index slot. The
+/// exact malloc footprint is allocator-dependent; the constant only needs
+/// to keep "a million tiny entries" from reading as zero bytes.
+constexpr size_t kEntryOverhead = 160;
+
+}  // namespace
+
+size_t CachedFrontierBytes(const CachedFrontier& entry) {
+  return entry.plan_bytes.size() + entry.frontier.size() * sizeof(CostVector) +
+         kEntryOverhead;
+}
+
+FrontierCache::FrontierCache(FrontierCacheConfig config)
+    : config_(config) {
+  if (config_.lock_shards < 1) config_.lock_shards = 1;
+  shard_budget_ = std::max<size_t>(
+      1, config_.max_bytes / static_cast<size_t>(config_.lock_shards));
+  shards_ = std::make_unique<Shard[]>(
+      static_cast<size_t>(config_.lock_shards));
+}
+
+FrontierCache::Shard& FrontierCache::ShardFor(uint64_t fingerprint) {
+  // The fingerprint is already a 64-bit hash; folding the high half in
+  // keeps shard choice balanced even if a workload's fingerprints share
+  // low bits.
+  uint64_t mixed = fingerprint ^ (fingerprint >> 32);
+  return shards_[mixed % static_cast<uint64_t>(config_.lock_shards)];
+}
+
+std::shared_ptr<const CachedFrontier> FrontierCache::Lookup(
+    uint64_t fingerprint, uint64_t seed) {
+  Shard& shard = ShardFor(fingerprint);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.lookups;
+  auto it = shard.index.find(fingerprint);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  // Touch: move to the front of the LRU list; the index keeps pointing at
+  // the same (spliced, not reallocated) node.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  const std::shared_ptr<const CachedFrontier>& entry = shard.lru.front();
+  if (entry->seed == seed) {
+    ++shard.exact_hits;
+  } else {
+    ++shard.warm_hits;
+  }
+  return entry;
+}
+
+void FrontierCache::Insert(CachedFrontier entry) {
+  const size_t entry_bytes = CachedFrontierBytes(entry);
+  if (entry_bytes > shard_budget_) return;  // would evict the whole shard
+  Shard& shard = ShardFor(entry.fingerprint);
+  const uint64_t fingerprint = entry.fingerprint;
+  auto shared = std::make_shared<const CachedFrontier>(std::move(entry));
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(fingerprint);
+  if (it != shard.index.end()) {
+    // Replace in place: the newest completed run wins (a repeat under a
+    // new seed refreshes the entry, so exact hits always answer with the
+    // most recent completion). Replacement is not an eviction — the key
+    // stays resident.
+    shard.bytes -= CachedFrontierBytes(**it->second);
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+  shard.lru.push_front(std::move(shared));
+  shard.index[fingerprint] = shard.lru.begin();
+  shard.bytes += entry_bytes;
+  ++shard.inserts;
+  while (shard.bytes > shard_budget_ && !shard.lru.empty()) {
+    const CachedFrontier& victim = *shard.lru.back();
+    shard.bytes -= CachedFrontierBytes(victim);
+    shard.index.erase(victim.fingerprint);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+FrontierCacheStats FrontierCache::stats() const {
+  FrontierCacheStats total;
+  for (int i = 0; i < config_.lock_shards; ++i) {
+    const Shard& shard = shards_[static_cast<size_t>(i)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.lookups += shard.lookups;
+    total.exact_hits += shard.exact_hits;
+    total.warm_hits += shard.warm_hits;
+    total.misses += shard.misses;
+    total.inserts += shard.inserts;
+    total.evictions += shard.evictions;
+    total.bytes += shard.bytes;
+    total.entries += shard.lru.size();
+  }
+  return total;
+}
+
+}  // namespace moqo

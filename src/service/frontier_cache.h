@@ -1,0 +1,142 @@
+// Bounded cache of completed Pareto frontiers, keyed by canonical query
+// fingerprint (core/query_fingerprint.h).
+//
+// Skewed workloads resubmit the same query shapes over and over; ROADMAP
+// item 3 calls caching their frontiers the single biggest throughput lever
+// for such traffic. The cache stores, per fingerprint, the frontier of the
+// most recently *completed* (Done, not gave-up) run: its canonical cost
+// vectors (what an exact hit answers with), the structurally serialized
+// plans (what a warm start rebuilds through the new task's PlanFactory),
+// and the producing seed (what distinguishes an exact hit from a warm
+// hit). Consumers interpret a Lookup as:
+//
+//  * exact hit  — entry->seed == submitted seed: the submitted run is a
+//    bitwise repeat of the cached one, so its future can be resolved
+//    immediately from entry->frontier without opening a session.
+//  * warm hit   — same shape, different seed: the run must still execute
+//    (its result is seed-dependent), but it starts from
+//    OptimizerSession::BeginFrom(decoded plans), so its frontier is at
+//    least as good as cold from the first step.
+//
+// Capacity is bounded in bytes, not entries, because frontier sizes vary
+// by orders of magnitude across query sizes; eviction is LRU. The cache is
+// thread-safe and internally sharded by fingerprint so concurrent Submit
+// paths on a busy scheduler do not serialize on one mutex. Counters
+// (lookups, exact/warm hits, misses, inserts, evictions) feed bench gates
+// and operator dashboards.
+#ifndef MOQO_SERVICE_FRONTIER_CACHE_H_
+#define MOQO_SERVICE_FRONTIER_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "cost/cost_vector.h"
+
+namespace moqo {
+
+/// Capacity and sharding knobs.
+struct FrontierCacheConfig {
+  /// Byte budget across all entries (approximate: serialized plan bytes +
+  /// cost vectors + fixed per-entry overhead). Entries are evicted LRU
+  /// once the budget is exceeded; an entry larger than a whole lock
+  /// shard's slice of the budget is never admitted.
+  size_t max_bytes = 64ull << 20;
+  /// Internal lock shards (each owns max_bytes / lock_shards of the
+  /// budget). More shards = less contention, coarser LRU.
+  int lock_shards = 8;
+};
+
+/// One cached completed run.
+struct CachedFrontier {
+  /// Canonical fingerprint of the producing query.
+  uint64_t fingerprint = 0;
+  /// Seed of the run that produced this frontier; Lookup(fingerprint,
+  /// seed) classifies exact vs warm against it.
+  uint64_t seed = 0;
+  /// CheckpointWriter::WritePlans serialization of the frontier plans,
+  /// decodable through any PlanFactory for the same query shape.
+  std::vector<uint8_t> plan_bytes;
+  /// The frontier's cost vectors in canonical (lexicographic) order — the
+  /// exact-hit answer.
+  std::vector<CostVector> frontier;
+  /// Steps the producing session executed (diagnostics).
+  int64_t steps = 0;
+};
+
+/// Counter snapshot; all counters are cumulative since construction.
+struct FrontierCacheStats {
+  uint64_t lookups = 0;
+  uint64_t exact_hits = 0;
+  uint64_t warm_hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;
+  /// Current occupancy.
+  size_t bytes = 0;
+  size_t entries = 0;
+
+  uint64_t hits() const { return exact_hits + warm_hits; }
+};
+
+/// Thread-safe, byte-bounded, LRU frontier cache (see file header).
+class FrontierCache {
+ public:
+  explicit FrontierCache(FrontierCacheConfig config = FrontierCacheConfig());
+
+  FrontierCache(const FrontierCache&) = delete;
+  FrontierCache& operator=(const FrontierCache&) = delete;
+
+  /// Returns the cached entry for `fingerprint` (refreshing its LRU
+  /// position) or null. `seed` only classifies the hit counter (exact vs
+  /// warm); the returned entry is the same either way, and the caller
+  /// compares entry->seed itself to pick the serving path.
+  std::shared_ptr<const CachedFrontier> Lookup(uint64_t fingerprint,
+                                               uint64_t seed);
+
+  /// Inserts (or replaces) the entry for entry.fingerprint as the
+  /// most-recently-used, then evicts LRU entries until the shard is back
+  /// under budget. An entry exceeding a whole shard budget by itself is
+  /// dropped on the floor (counted as neither insert nor eviction).
+  void Insert(CachedFrontier entry);
+
+  /// Aggregated counters across all lock shards.
+  FrontierCacheStats stats() const;
+
+  const FrontierCacheConfig& config() const { return config_; }
+
+ private:
+  using LruList = std::list<std::shared_ptr<const CachedFrontier>>;
+
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used.
+    LruList lru;
+    std::unordered_map<uint64_t, LruList::iterator> index;
+    size_t bytes = 0;
+    uint64_t lookups = 0;
+    uint64_t exact_hits = 0;
+    uint64_t warm_hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(uint64_t fingerprint);
+
+  FrontierCacheConfig config_;
+  /// Per-shard byte budget (max_bytes / lock_shards, at least 1).
+  size_t shard_budget_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+/// Approximate resident bytes of one entry — the unit the byte budget is
+/// accounted in. Exposed for capacity tests.
+size_t CachedFrontierBytes(const CachedFrontier& entry);
+
+}  // namespace moqo
+
+#endif  // MOQO_SERVICE_FRONTIER_CACHE_H_

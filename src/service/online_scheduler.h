@@ -56,6 +56,7 @@
 #include "common/deadline.h"
 #include "cost/cost_model.h"
 #include "service/batch_optimizer.h"
+#include "service/frontier_cache.h"
 
 namespace moqo {
 
@@ -193,6 +194,23 @@ struct OnlineConfig {
   /// (hand the snapshot off, don't process it inline). Ignored when null
   /// or snapshot_every == 0.
   std::function<void(TaskSnapshot&&)> snapshot_sink;
+  /// Optional frontier cache consulted by Submit() before admission and
+  /// fed by task completion (see service/frontier_cache.h). Shared so
+  /// several scheduler generations (e.g. one per shardd connection) and
+  /// external observers can use one cache. Semantics, keyed by the task's
+  /// canonical query fingerprint:
+  ///  * exact hit (same fingerprint and seed as the cached completed run):
+  ///    Submit() resolves the future immediately from the cached frontier
+  ///    without consuming an admission slot or opening a session; the
+  ///    report slot records served_from_cache with zero steps.
+  ///  * warm hit (same fingerprint, different seed): the session starts
+  ///    via BeginFrom() seeded with the cached plans rebuilt through the
+  ///    task's own factory — the step sequence is unchanged, only the
+  ///    reported frontier is (weakly) improved.
+  ///  * completions that are Done and not gave-up insert their frontier;
+  ///    deadline-expired partial frontiers are never cached.
+  /// Null (the default) disables caching entirely.
+  std::shared_ptr<FrontierCache> frontier_cache;
 };
 
 /// A long-lived deadline-aware optimization service multiplexing admitted

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/rng.h"
+#include "core/query_fingerprint.h"
 #include "service/wire.h"
 
 namespace moqo {
@@ -94,9 +95,13 @@ size_t ShardRouter::LiveOwnerLocked(uint64_t key) const {
 
 std::optional<std::future<BatchTaskResult>> ShardRouter::Submit(
     const BatchTask& task) {
-  // The placement key depends only on the immutable task; serializing the
-  // query for it must not run under mu_.
-  uint64_t key = RouteKey(task);
+  // The layered identity is computed once, outside mu_ (canonicalization
+  // walks the query), and the fingerprint is stamped into the task so the
+  // owning shard's scheduler — and, for a remote shard, the wire frame —
+  // reuses it for its frontier cache instead of re-canonicalizing.
+  BatchTask routed = task;
+  routed.fingerprint = FingerprintOf(task);
+  uint64_t key = DeriveRouteKey(routed.fingerprint, routed.seed);
   std::unique_lock<std::mutex> lock(mu_);
   if (stopped_ || ring_.empty()) return std::nullopt;
   // Walk the ring from the key's owner, skipping shards known dead (their
@@ -117,11 +122,12 @@ std::optional<std::future<BatchTaskResult>> ShardRouter::Submit(
     last_tried = owner;
     Shard* shard = shards_.at(owner).get();
     if (!shard->alive()) continue;
-    auto ticket = shard->Submit(task);
+    auto ticket = shard->Submit(routed);
     if (ticket.has_value()) {
       // No other router-driven admission can interleave (mu_ is held), so
       // the task's shard-local index is the shard's latest submission.
-      entries_.push_back(Entry{key, owner, shard->submitted_count() - 1});
+      entries_.push_back(Entry{key, routed.fingerprint, owner,
+                               shard->submitted_count() - 1});
       return ticket;
     }
     if (shard->alive()) return std::nullopt;
@@ -249,8 +255,10 @@ bool ShardRouter::FailShard(size_t shard_id) {
     }
     std::string context =
         "shard " + std::to_string(shard_id) +
-        (entry != nullptr ? ", route key " + RouteKeyString(entry->key)
-                          : "");
+        (entry != nullptr
+             ? ", route key " + RouteKeyString(entry->key) +
+                   ", fingerprint " + FingerprintString(entry->fingerprint)
+             : "");
     WireTask wire;
     std::string why;
     if (!DecodeWireTask(orphan.frame, &wire, &why)) {
@@ -355,7 +363,8 @@ bool ShardRouter::MigrateLocked(Shard* source, Entry* entry,
   SuspendedTask rebuilt =
       ToSuspendedTask(std::move(wire), std::move(suspended->promise));
   rebuilt.origin = "migration from shard " + std::to_string(entry->shard_id) +
-                   ", route key " + RouteKeyString(entry->key);
+                   ", route key " + RouteKeyString(entry->key) +
+                   ", fingerprint " + FingerprintString(entry->fingerprint);
   suspended->consumed = true;
 
   Shard* destination = shards_.at(to_shard).get();

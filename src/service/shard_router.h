@@ -187,6 +187,10 @@ class ShardRouter {
   /// lives (shard id + that shard's submission index).
   struct Entry {
     uint64_t key = 0;
+    /// Canonical query fingerprint the key was derived from; seed-
+    /// independent, printed next to the key in failover/migration errors
+    /// so operators can correlate failures across seeds of one shape.
+    uint64_t fingerprint = 0;
     size_t shard_id = 0;
     size_t local_index = 0;
   };

@@ -15,6 +15,7 @@
 //   $ shardd --socket=/tmp/moqo-shard.sock [--threads=2]
 //       [--steps-per-slice=8] [--snapshot-every=4] [--iterations=20]
 //       [--heartbeat-ms=200] [--pump-ms=10] [--accept-timeout-ms=10000]
+//       [--cache-mb=64]
 #include <cstdio>
 #include <memory>
 #include <optional>
@@ -43,6 +44,7 @@ int main(int argc, char** argv) {
       static_cast<int>(flags.GetInt("heartbeat-ms", 200));
   const int pump_ms = static_cast<int>(flags.GetInt("pump-ms", 10));
   const int iterations = static_cast<int>(flags.GetInt("iterations", 20));
+  const int cache_mb = static_cast<int>(flags.GetInt("cache-mb", 64));
 
   ShardServerConfig config;
   config.scheduler.num_threads = threads;
@@ -51,6 +53,16 @@ int main(int argc, char** argv) {
   // Results leave through the connection as they finish; retaining every
   // frontier in the server-side report would only grow a long-lived shard.
   config.scheduler.retain_frontiers = false;
+  if (cache_mb > 0) {
+    // Per-shard frontier cache: the router's consistent-hash placement
+    // sends every repeat of a (shape, seed) to the same shard, so a local
+    // cache sees all of its shape's traffic. Wire frames carry the
+    // router-computed fingerprint, so cache keys agree across processes.
+    FrontierCacheConfig cache;
+    cache.max_bytes = static_cast<size_t>(cache_mb) << 20;
+    config.scheduler.frontier_cache =
+        std::make_shared<FrontierCache>(cache);
+  }
   config.pump_interval_ms = pump_ms;
   config.heartbeat_ms = heartbeat_ms;
 

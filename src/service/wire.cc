@@ -3,21 +3,13 @@
 #include <cmath>
 #include <utility>
 
+#include "common/rng.h"
 #include "core/checkpoint.h"
+#include "core/query_fingerprint.h"
 
 namespace moqo {
 
 namespace {
-
-/// FNV-1a over a byte string; the 64-bit placement hash behind RouteKey.
-uint64_t Fnv1a64(const std::vector<uint8_t>& bytes) {
-  uint64_t h = 0xcbf29ce484222325ull;
-  for (uint8_t b : bytes) {
-    h ^= b;
-    h *= 0x100000001b3ull;
-  }
-  return h;
-}
 
 /// The scheduler treats deadline_micros <= 0 as "no deadline"; the frame
 /// stores the normal form so the decoder's non-negativity check never
@@ -33,6 +25,7 @@ int64_t NormalizedDeadline(int64_t deadline_micros) {
 WireTask MakeWireTask(const BatchTask& task) {
   WireTask wire;
   wire.task = task;
+  wire.task.fingerprint = FingerprintOf(task);
   wire.task.deadline_micros = NormalizedDeadline(task.deadline_micros);
   wire.had_deadline = wire.task.deadline_micros > 0;
   wire.remaining_micros = wire.task.deadline_micros;
@@ -42,6 +35,7 @@ WireTask MakeWireTask(const BatchTask& task) {
 WireTask MakeWireTask(const SuspendedTask& task) {
   WireTask wire;
   wire.task = task.task;
+  wire.task.fingerprint = FingerprintOf(task.task);
   wire.task.deadline_micros = NormalizedDeadline(task.task.deadline_micros);
   wire.had_deadline = task.had_deadline;
   wire.remaining_micros = task.remaining_micros;
@@ -54,6 +48,7 @@ WireTask MakeWireTask(const SuspendedTask& task) {
 WireTask MakeWireTask(const TaskSnapshot& snapshot) {
   WireTask wire;
   wire.task = snapshot.task;
+  wire.task.fingerprint = FingerprintOf(snapshot.task);
   wire.task.deadline_micros =
       NormalizedDeadline(snapshot.task.deadline_micros);
   wire.had_deadline = snapshot.had_deadline;
@@ -71,6 +66,7 @@ std::vector<uint8_t> EncodeWireTask(const WireTask& task) {
   writer.WriteU32(kWireVersion);
   WriteQuery(&writer, *task.task.query);
   writer.WriteU64(task.task.seed);
+  writer.WriteU64(task.task.fingerprint);
   writer.WriteI64(task.task.deadline_micros);
   writer.WriteU8(task.had_deadline ? 1 : 0);
   writer.WriteI64(task.remaining_micros);
@@ -129,6 +125,7 @@ bool DecodeWireTask(const std::vector<uint8_t>& frame, WireTask* out,
     return DecodeFail(why, "invalid query record");
   }
   wire.task.seed = reader.ReadU64();
+  wire.task.fingerprint = reader.ReadU64();
   wire.task.deadline_micros = reader.ReadI64();
   uint8_t had_deadline = reader.ReadU8();
   wire.remaining_micros = reader.ReadI64();
@@ -144,6 +141,13 @@ bool DecodeWireTask(const std::vector<uint8_t>& frame, WireTask* out,
     return DecodeFail(why, "trailing bytes after payload");
   }
   if (had_deadline > 1) return DecodeFail(why, "field out of range");
+  // The fingerprint rides the frame so the receiving shard's cache keys
+  // agree with the router's without re-canonicalizing — but a frame whose
+  // stamped fingerprint disagrees with the query it carries would poison
+  // that cache, so the decoder pays one canonicalization to verify.
+  if (wire.task.fingerprint != QueryFingerprint(*wire.task.query)) {
+    return DecodeFail(why, "fingerprint mismatch");
+  }
   wire.had_deadline = had_deadline == 1;
   if (wire.task.deadline_micros < 0 ||
       wire.task.deadline_micros > kMaxDeadlineMicros ||
@@ -169,11 +173,17 @@ SuspendedTask ToSuspendedTask(WireTask&& wire,
   return task;
 }
 
+uint64_t FingerprintOf(const BatchTask& task) {
+  return task.fingerprint != 0 ? task.fingerprint
+                               : QueryFingerprint(*task.query);
+}
+
+uint64_t DeriveRouteKey(uint64_t fingerprint, uint64_t seed) {
+  return CombineSeed(fingerprint, seed, 0x726f757465ull /* "route" */);
+}
+
 uint64_t RouteKey(const BatchTask& task) {
-  CheckpointWriter writer;
-  WriteQuery(&writer, *task.query);
-  writer.WriteU64(task.seed);
-  return Fnv1a64(writer.Take());
+  return DeriveRouteKey(FingerprintOf(task), task.seed);
 }
 
 std::string RouteKeyString(uint64_t key) {
@@ -202,6 +212,7 @@ void EncodeTaskResult(CheckpointWriter* writer,
   writer->WriteU8(result.deadline_hit ? 1 : 0);
   writer->WriteU8(result.gave_up ? 1 : 0);
   writer->WriteU8(result.migrated ? 1 : 0);
+  writer->WriteU8(result.served_from_cache ? 1 : 0);
   writer->WriteU32(static_cast<uint32_t>(result.frontier.size()));
   for (const CostVector& vec : result.frontier) {
     writer->WriteU8(static_cast<uint8_t>(vec.size()));
@@ -221,16 +232,18 @@ bool DecodeTaskResult(CheckpointReader* reader, BatchTaskResult* out) {
   uint8_t deadline_hit = reader->ReadU8();
   uint8_t gave_up = reader->ReadU8();
   uint8_t migrated = reader->ReadU8();
+  uint8_t served_from_cache = reader->ReadU8();
   uint32_t frontier_size = reader->ReadU32();
   if (!reader->ok() || had_deadline > 1 || deadline_hit > 1 ||
-      gave_up > 1 || migrated > 1 || result.steps < 0 ||
-      frontier_size > kMaxWireFrontier) {
+      gave_up > 1 || migrated > 1 || served_from_cache > 1 ||
+      result.steps < 0 || frontier_size > kMaxWireFrontier) {
     return false;
   }
   result.had_deadline = had_deadline == 1;
   result.deadline_hit = deadline_hit == 1;
   result.gave_up = gave_up == 1;
   result.migrated = migrated == 1;
+  result.served_from_cache = served_from_cache == 1;
   result.frontier.reserve(frontier_size);
   for (uint32_t i = 0; i < frontier_size; ++i) {
     uint8_t metrics = reader->ReadU8();

@@ -42,8 +42,10 @@ namespace moqo {
 inline constexpr uint32_t kWireMagic = 0x57514f4du;
 
 /// Bumped whenever the frame layout changes; DecodeWireTask() rejects
-/// other versions.
-inline constexpr uint32_t kWireVersion = 1;
+/// other versions. Version 2 added the canonical query fingerprint after
+/// the seed, so per-shard frontier caches reuse the router's
+/// canonicalization instead of recomputing it.
+inline constexpr uint32_t kWireVersion = 2;
 
 /// One optimization task in transportable form: everything a SuspendedTask
 /// carries except the promise, which is the submitter-side reply channel
@@ -111,10 +113,24 @@ bool DecodeWireTask(const std::vector<uint8_t>& frame, WireTask* out,
 SuspendedTask ToSuspendedTask(WireTask&& wire,
                               std::promise<BatchTaskResult> promise);
 
-/// Stable 64-bit placement key of a task: a hash of the serialized query
-/// and the task seed. Identical across processes and runs (the
-/// serialization is fixed-width little-endian), so every router instance
-/// agrees where a task lives — the property consistent hashing needs.
+/// The task's canonical query fingerprint: returns the stamped
+/// BatchTask::fingerprint when present, computing QueryFingerprint(query)
+/// otherwise. Layers that already paid for canonicalization (the router on
+/// Submit, the wire decoder) stamp the field so everything downstream hits
+/// the cached value.
+uint64_t FingerprintOf(const BatchTask& task);
+
+/// Derives the placement key from the layered identity: a seed-mixed
+/// finalization of the canonical fingerprint (fingerprint ⊕ seed). Same
+/// (query shape, seed) always lands on the same key — and therefore the
+/// same consistent-hash shard — across processes and runs, while repeats
+/// of one shape under different seeds still spread over the ring.
+uint64_t DeriveRouteKey(uint64_t fingerprint, uint64_t seed);
+
+/// Stable 64-bit placement key of a task:
+/// DeriveRouteKey(FingerprintOf(task), task.seed). Identical across
+/// processes and runs, so every router instance agrees where a task
+/// lives — the property consistent hashing needs.
 uint64_t RouteKey(const BatchTask& task);
 
 /// Renders a route key the way every diagnostic message spells it

@@ -1,0 +1,198 @@
+// FrontierCache bounds, counters, LRU behavior, and thread safety
+// (service/frontier_cache.h). The concurrent hammer test is in the CI TSan
+// suite regex, so lock discipline is machine-checked.
+#include "service/frontier_cache.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace moqo {
+namespace {
+
+/// An entry of predictable size: `payload` bytes of serialized plans and
+/// one cost vector.
+CachedFrontier MakeEntry(uint64_t fingerprint, uint64_t seed,
+                         size_t payload) {
+  CachedFrontier entry;
+  entry.fingerprint = fingerprint;
+  entry.seed = seed;
+  entry.plan_bytes.assign(payload, 0xab);
+  CostVector vec(2);
+  vec[0] = static_cast<double>(fingerprint);
+  vec[1] = static_cast<double>(seed);
+  entry.frontier.push_back(vec);
+  entry.steps = 7;
+  return entry;
+}
+
+TEST(FrontierCacheTest, MissThenExactAndWarmHits) {
+  FrontierCache cache;
+  EXPECT_EQ(nullptr, cache.Lookup(1, 42));
+  cache.Insert(MakeEntry(1, 42, 100));
+
+  auto exact = cache.Lookup(1, 42);
+  ASSERT_NE(nullptr, exact);
+  EXPECT_EQ(42u, exact->seed);
+  EXPECT_EQ(7, exact->steps);
+  ASSERT_EQ(1u, exact->frontier.size());
+
+  auto warm = cache.Lookup(1, 43);
+  ASSERT_NE(nullptr, warm);
+  EXPECT_EQ(exact.get(), warm.get());  // same entry, different hit class
+
+  FrontierCacheStats stats = cache.stats();
+  EXPECT_EQ(3u, stats.lookups);
+  EXPECT_EQ(1u, stats.misses);
+  EXPECT_EQ(1u, stats.exact_hits);
+  EXPECT_EQ(1u, stats.warm_hits);
+  EXPECT_EQ(2u, stats.hits());
+  EXPECT_EQ(1u, stats.inserts);
+  EXPECT_EQ(0u, stats.evictions);
+  EXPECT_EQ(1u, stats.entries);
+  EXPECT_GT(stats.bytes, 100u);
+}
+
+TEST(FrontierCacheTest, ReplaceKeepsOneEntryPerFingerprint) {
+  FrontierCache cache;
+  cache.Insert(MakeEntry(5, 1, 100));
+  cache.Insert(MakeEntry(5, 2, 200));
+  auto entry = cache.Lookup(5, 2);
+  ASSERT_NE(nullptr, entry);
+  EXPECT_EQ(2u, entry->seed);  // newest completion wins
+  EXPECT_EQ(200u, entry->plan_bytes.size());
+  FrontierCacheStats stats = cache.stats();
+  EXPECT_EQ(1u, stats.entries);
+  EXPECT_EQ(2u, stats.inserts);
+  EXPECT_EQ(0u, stats.evictions);  // replacement is not an eviction
+}
+
+TEST(FrontierCacheTest, EvictsLeastRecentlyUsedAtByteBudget) {
+  // One lock shard so the LRU order is global and deterministic. Budget
+  // fits two of the three entries.
+  FrontierCacheConfig config;
+  config.lock_shards = 1;
+  const size_t entry_bytes = CachedFrontierBytes(MakeEntry(0, 0, 1000));
+  config.max_bytes = 2 * entry_bytes + entry_bytes / 2;
+  FrontierCache cache(config);
+
+  cache.Insert(MakeEntry(1, 0, 1000));
+  cache.Insert(MakeEntry(2, 0, 1000));
+  // Touch 1 so 2 becomes the LRU victim.
+  EXPECT_NE(nullptr, cache.Lookup(1, 0));
+  cache.Insert(MakeEntry(3, 0, 1000));
+
+  EXPECT_NE(nullptr, cache.Lookup(1, 0));
+  EXPECT_EQ(nullptr, cache.Lookup(2, 0));
+  EXPECT_NE(nullptr, cache.Lookup(3, 0));
+  FrontierCacheStats stats = cache.stats();
+  EXPECT_EQ(1u, stats.evictions);
+  EXPECT_EQ(2u, stats.entries);
+  EXPECT_LE(stats.bytes, config.max_bytes);
+}
+
+TEST(FrontierCacheTest, OversizedEntryIsNeverAdmitted) {
+  FrontierCacheConfig config;
+  config.lock_shards = 1;
+  config.max_bytes = 1024;
+  FrontierCache cache(config);
+  cache.Insert(MakeEntry(1, 0, 4096));
+  EXPECT_EQ(nullptr, cache.Lookup(1, 0));
+  FrontierCacheStats stats = cache.stats();
+  EXPECT_EQ(0u, stats.inserts);
+  EXPECT_EQ(0u, stats.entries);
+  EXPECT_EQ(0u, stats.bytes);
+}
+
+TEST(FrontierCacheTest, ByteAccountingSumsEntries) {
+  FrontierCacheConfig config;
+  config.lock_shards = 1;
+  config.max_bytes = 1 << 20;
+  FrontierCache cache(config);
+  CachedFrontier a = MakeEntry(1, 0, 100);
+  CachedFrontier b = MakeEntry(2, 0, 300);
+  const size_t expected = CachedFrontierBytes(a) + CachedFrontierBytes(b);
+  cache.Insert(std::move(a));
+  cache.Insert(std::move(b));
+  EXPECT_EQ(expected, cache.stats().bytes);
+}
+
+TEST(FrontierCacheTest, CountersAreExactUnderSingleThread) {
+  FrontierCacheConfig config;
+  config.lock_shards = 4;
+  FrontierCache cache(config);
+  for (uint64_t f = 0; f < 32; ++f) cache.Insert(MakeEntry(f, f, 64));
+  uint64_t expected_exact = 0;
+  uint64_t expected_warm = 0;
+  uint64_t expected_miss = 0;
+  for (uint64_t f = 0; f < 48; ++f) {
+    if (f < 32) {
+      if (f % 2 == 0) {
+        cache.Lookup(f, f);
+        ++expected_exact;
+      } else {
+        cache.Lookup(f, f + 1);
+        ++expected_warm;
+      }
+    } else {
+      cache.Lookup(f, f);
+      ++expected_miss;
+    }
+  }
+  FrontierCacheStats stats = cache.stats();
+  EXPECT_EQ(48u, stats.lookups);
+  EXPECT_EQ(expected_exact, stats.exact_hits);
+  EXPECT_EQ(expected_warm, stats.warm_hits);
+  EXPECT_EQ(expected_miss, stats.misses);
+  EXPECT_EQ(32u, stats.inserts);
+}
+
+TEST(FrontierCacheTest, ConcurrentHammerStaysConsistent) {
+  // Lookup/insert/evict from many threads against a tight budget; run
+  // under TSan in CI. Assertions check conservation: counters add up and
+  // occupancy respects the budget once all threads are done.
+  FrontierCacheConfig config;
+  config.lock_shards = 4;
+  config.max_bytes = 64 * 1024;
+  FrontierCache cache(config);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::atomic<uint64_t> found{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &found, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        uint64_t fingerprint = static_cast<uint64_t>((t * 31 + i) % 97);
+        if (i % 3 == 0) {
+          cache.Insert(MakeEntry(fingerprint, static_cast<uint64_t>(t),
+                                 512 + (fingerprint % 7) * 128));
+        } else {
+          auto entry =
+              cache.Lookup(fingerprint, static_cast<uint64_t>(t));
+          if (entry != nullptr) {
+            // Read through the shared_ptr to give TSan a cross-thread
+            // access to race against eviction.
+            found.fetch_add(entry->plan_bytes.size() != 0 ? 1 : 0,
+                            std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  FrontierCacheStats stats = cache.stats();
+  EXPECT_EQ(static_cast<uint64_t>(kThreads) * (kOpsPerThread - kOpsPerThread / 3 - (kOpsPerThread % 3 == 0 ? 0 : (kOpsPerThread % 3 == 1 ? 0 : 1))),
+            stats.exact_hits + stats.warm_hits + stats.misses)
+      << "every lookup must be classified exactly once";
+  EXPECT_EQ(stats.lookups, stats.exact_hits + stats.warm_hits + stats.misses);
+  EXPECT_LE(stats.bytes, config.max_bytes);
+  EXPECT_GT(found.load(), 0u);
+  EXPECT_GE(stats.inserts, stats.evictions);
+}
+
+}  // namespace
+}  // namespace moqo

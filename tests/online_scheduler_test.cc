@@ -695,5 +695,116 @@ TEST(OnlineSchedulerTest, DestructorDrainsAdmittedTasks) {
   EXPECT_FALSE(result.frontier.empty());
 }
 
+// Frontier cache, exact-hit path: resubmitting a completed (query, seed)
+// is answered from the cache without a session — the future resolves with
+// a bitwise-identical frontier, zero steps, and the served_from_cache
+// marker, and the report counts it.
+TEST(OnlineSchedulerTest, ExactCacheHitServesBitwiseIdenticalFrontier) {
+  std::vector<BatchTask> tasks = SmallBatch(4, 6);
+  auto cache = std::make_shared<FrontierCache>();
+  OnlineConfig config;
+  config.num_threads = 2;
+  config.frontier_cache = cache;
+  OnlineScheduler service(config, RmqFactory(20));
+  service.Start();
+
+  std::vector<std::future<BatchTaskResult>> cold;
+  for (const BatchTask& task : tasks) {
+    auto ticket = service.Submit(task);
+    ASSERT_TRUE(ticket.has_value());
+    cold.push_back(std::move(*ticket));
+  }
+  service.Drain();  // all completions inserted before the resubmits
+  std::vector<BatchTaskResult> cold_results;
+  for (auto& ticket : cold) cold_results.push_back(ticket.get());
+
+  std::vector<std::future<BatchTaskResult>> repeat;
+  for (const BatchTask& task : tasks) {
+    auto ticket = service.Submit(task);
+    ASSERT_TRUE(ticket.has_value());
+    repeat.push_back(std::move(*ticket));
+  }
+  for (size_t i = 0; i < repeat.size(); ++i) {
+    BatchTaskResult result = repeat[i].get();
+    EXPECT_TRUE(result.served_from_cache) << "task " << i;
+    EXPECT_EQ(result.steps, 0) << "task " << i;
+    EXPECT_FALSE(result.gave_up);
+    EXPECT_TRUE(BitwiseEqual(result.frontier, cold_results[i].frontier))
+        << "cached frontier for task " << i << " diverged";
+  }
+  BatchReport report = service.Stop();
+  EXPECT_EQ(report.cache_served_tasks, tasks.size());
+  ASSERT_EQ(report.tasks.size(), 2 * tasks.size());
+
+  FrontierCacheStats stats = cache->stats();
+  EXPECT_EQ(stats.exact_hits, tasks.size());
+  EXPECT_EQ(stats.inserts, tasks.size());
+  EXPECT_EQ(stats.entries, tasks.size());
+}
+
+// Frontier cache, warm-hit path: the same query under a different seed
+// runs a full session (no shortcut, no determinism change — warm plans
+// only widen the reported frontier) and its completion replaces the
+// cache entry, so the newest seed then exact-hits.
+TEST(OnlineSchedulerTest, WarmCacheHitRunsFullSessionAndReplacesEntry) {
+  BatchTask task = SmallBatch(1, 6)[0];
+  auto cache = std::make_shared<FrontierCache>();
+  OnlineConfig config;
+  config.num_threads = 1;
+  config.frontier_cache = cache;
+  OnlineScheduler service(config, RmqFactory(20));
+  service.Start();
+
+  ASSERT_TRUE(service.Submit(task).has_value());
+  service.Drain();
+
+  BatchTask reseeded = task;
+  reseeded.seed = task.seed + 1;
+  auto warm_ticket = service.Submit(reseeded);
+  ASSERT_TRUE(warm_ticket.has_value());
+  service.Drain();
+  BatchTaskResult warm = warm_ticket->get();
+  EXPECT_FALSE(warm.served_from_cache);
+  EXPECT_EQ(warm.steps, 20);  // a real run, not a shortcut
+  EXPECT_FALSE(warm.frontier.empty());
+
+  FrontierCacheStats stats = cache->stats();
+  EXPECT_EQ(stats.warm_hits, 1u);
+  EXPECT_EQ(stats.exact_hits, 0u);
+  EXPECT_EQ(stats.inserts, 2u);   // completion replaced the entry
+  EXPECT_EQ(stats.entries, 1u);   // one fingerprint, newest seed wins
+
+  // The replacement now exact-hits for the new seed.
+  auto repeat = service.Submit(reseeded);
+  ASSERT_TRUE(repeat.has_value());
+  BatchTaskResult repeated = repeat->get();
+  EXPECT_TRUE(repeated.served_from_cache);
+  EXPECT_TRUE(BitwiseEqual(repeated.frontier, warm.frontier));
+  service.Stop();
+}
+
+// Without a cache configured, repeats run cold: nothing is served from
+// cache and results still match the blocking reference.
+TEST(OnlineSchedulerTest, CacheOffLeavesRepeatsCold) {
+  std::vector<BatchTask> tasks = SmallBatch(2, 5);
+  OnlineConfig config;
+  config.num_threads = 2;
+  OnlineScheduler service(config, RmqFactory(12));
+  service.Start();
+  for (int round = 0; round < 2; ++round) {
+    for (const BatchTask& task : tasks) {
+      ASSERT_TRUE(service.Submit(task).has_value());
+    }
+    service.Drain();
+  }
+  BatchReport report = service.Stop();
+  EXPECT_EQ(report.cache_served_tasks, 0u);
+  ASSERT_EQ(report.tasks.size(), 4u);
+  for (const BatchTaskResult& result : report.tasks) {
+    EXPECT_FALSE(result.served_from_cache);
+    EXPECT_EQ(result.steps, 12);
+  }
+}
+
 }  // namespace
 }  // namespace moqo

@@ -1,0 +1,236 @@
+// Canonicalization properties of the query fingerprint
+// (core/query_fingerprint.h): relabeling-invariance (permuted tables,
+// renumbered and endpoint-reversed edges, shuffled edge order) and
+// sensitivity (statistics, selectivities, topology).
+#include "core/query_fingerprint.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "query/generator.h"
+#include "query/query.h"
+
+namespace moqo {
+namespace {
+
+/// A small asymmetric base query: distinct cardinalities, a chain + one
+/// chord, mixed index flags.
+QueryPtr BaseQuery() {
+  Catalog catalog;
+  catalog.AddTable({1000.0, 100.0, false});
+  catalog.AddTable({250.0, 80.0, true});
+  catalog.AddTable({90000.0, 120.0, false});
+  catalog.AddTable({40.0, 64.0, true});
+  JoinGraph graph(4);
+  graph.AddEdge(0, 1, 0.01);
+  graph.AddEdge(1, 2, 0.001);
+  graph.AddEdge(2, 3, 0.5);
+  graph.AddEdge(0, 2, 0.25);
+  return std::make_shared<Query>(std::move(catalog), std::move(graph));
+}
+
+/// Rebuilds `query` with table ids permuted by `perm` (new id of old table
+/// t is perm[t]) and edges rewritten accordingly. Edge order follows the
+/// original edge list; endpoint order within an edge is preserved modulo
+/// the relabeling.
+QueryPtr Relabel(const Query& query, const std::vector<int>& perm) {
+  const int n = query.NumTables();
+  std::vector<TableStats> stats(static_cast<size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    stats[static_cast<size_t>(perm[static_cast<size_t>(t)])] =
+        query.catalog().Table(t);
+  }
+  JoinGraph graph(n);
+  for (const JoinEdge& edge : query.graph().Edges()) {
+    graph.AddEdge(perm[static_cast<size_t>(edge.left)],
+                  perm[static_cast<size_t>(edge.right)], edge.selectivity);
+  }
+  return std::make_shared<Query>(Catalog(std::move(stats)), std::move(graph));
+}
+
+TEST(QueryFingerprintTest, StableAcrossCalls) {
+  QueryPtr query = BaseQuery();
+  EXPECT_EQ(QueryFingerprint(*query), QueryFingerprint(*query));
+  EXPECT_EQ(CanonicalQueryBytes(*query), CanonicalQueryBytes(*query));
+}
+
+TEST(QueryFingerprintTest, PermutedTableOrderHashesIdentically) {
+  QueryPtr query = BaseQuery();
+  const std::vector<std::vector<int>> perms = {
+      {1, 0, 2, 3}, {3, 2, 1, 0}, {2, 3, 0, 1}, {1, 2, 3, 0}};
+  for (const std::vector<int>& perm : perms) {
+    QueryPtr relabeled = Relabel(*query, perm);
+    EXPECT_EQ(CanonicalQueryBytes(*query), CanonicalQueryBytes(*relabeled));
+    EXPECT_EQ(QueryFingerprint(*query), QueryFingerprint(*relabeled));
+  }
+}
+
+TEST(QueryFingerprintTest, ReversedEdgeEndpointsHashIdentically) {
+  QueryPtr query = BaseQuery();
+  Catalog catalog;
+  for (int t = 0; t < query->NumTables(); ++t) {
+    catalog.AddTable(query->catalog().Table(t));
+  }
+  JoinGraph graph(query->NumTables());
+  for (const JoinEdge& edge : query->graph().Edges()) {
+    graph.AddEdge(edge.right, edge.left, edge.selectivity);
+  }
+  Query reversed(std::move(catalog), std::move(graph));
+  EXPECT_EQ(QueryFingerprint(*query), QueryFingerprint(reversed));
+}
+
+TEST(QueryFingerprintTest, ShuffledEdgeOrderHashesIdentically) {
+  QueryPtr query = BaseQuery();
+  std::vector<JoinEdge> edges = query->graph().Edges();
+  std::reverse(edges.begin(), edges.end());
+  Catalog catalog;
+  for (int t = 0; t < query->NumTables(); ++t) {
+    catalog.AddTable(query->catalog().Table(t));
+  }
+  JoinGraph graph(query->NumTables());
+  for (const JoinEdge& edge : edges) {
+    graph.AddEdge(edge.left, edge.right, edge.selectivity);
+  }
+  Query shuffled(std::move(catalog), std::move(graph));
+  EXPECT_EQ(QueryFingerprint(*query), QueryFingerprint(shuffled));
+}
+
+TEST(QueryFingerprintTest, ChangedSelectivityHashesDifferently) {
+  QueryPtr query = BaseQuery();
+  Catalog catalog;
+  for (int t = 0; t < query->NumTables(); ++t) {
+    catalog.AddTable(query->catalog().Table(t));
+  }
+  JoinGraph graph(query->NumTables());
+  bool first = true;
+  for (const JoinEdge& edge : query->graph().Edges()) {
+    graph.AddEdge(edge.left, edge.right,
+                  first ? edge.selectivity * 0.5 : edge.selectivity);
+    first = false;
+  }
+  Query changed(std::move(catalog), std::move(graph));
+  EXPECT_NE(QueryFingerprint(*query), QueryFingerprint(changed));
+}
+
+TEST(QueryFingerprintTest, ChangedStatisticsHashDifferently) {
+  QueryPtr query = BaseQuery();
+  for (int t = 0; t < query->NumTables(); ++t) {
+    Catalog catalog;
+    for (int u = 0; u < query->NumTables(); ++u) {
+      TableStats stats = query->catalog().Table(u);
+      if (u == t) stats.cardinality += 1.0;
+      catalog.AddTable(stats);
+    }
+    JoinGraph graph(query->NumTables());
+    for (const JoinEdge& edge : query->graph().Edges()) {
+      graph.AddEdge(edge.left, edge.right, edge.selectivity);
+    }
+    Query changed(std::move(catalog), std::move(graph));
+    EXPECT_NE(QueryFingerprint(*query), QueryFingerprint(changed))
+        << "cardinality bump of table " << t << " went unnoticed";
+  }
+}
+
+TEST(QueryFingerprintTest, IndexFlagHashesDifferently) {
+  QueryPtr query = BaseQuery();
+  Catalog catalog;
+  for (int t = 0; t < query->NumTables(); ++t) {
+    TableStats stats = query->catalog().Table(t);
+    if (t == 0) stats.has_index = !stats.has_index;
+    catalog.AddTable(stats);
+  }
+  JoinGraph graph(query->NumTables());
+  for (const JoinEdge& edge : query->graph().Edges()) {
+    graph.AddEdge(edge.left, edge.right, edge.selectivity);
+  }
+  Query changed(std::move(catalog), std::move(graph));
+  EXPECT_NE(QueryFingerprint(*query), QueryFingerprint(changed));
+}
+
+TEST(QueryFingerprintTest, DifferentTopologySameStatsHashesDifferently) {
+  // Chain 0-1-2-3 vs star centered at 0, identical table statistics and
+  // identical selectivity multiset: only the topology distinguishes them.
+  Catalog stats;
+  for (int t = 0; t < 4; ++t) stats.AddTable({1000.0, 100.0, false});
+  Catalog stats2 = stats;
+  JoinGraph chain(4);
+  chain.AddEdge(0, 1, 0.1);
+  chain.AddEdge(1, 2, 0.1);
+  chain.AddEdge(2, 3, 0.1);
+  JoinGraph star(4);
+  star.AddEdge(0, 1, 0.1);
+  star.AddEdge(0, 2, 0.1);
+  star.AddEdge(0, 3, 0.1);
+  Query chain_query(std::move(stats), std::move(chain));
+  Query star_query(std::move(stats2), std::move(star));
+  EXPECT_NE(QueryFingerprint(chain_query), QueryFingerprint(star_query));
+}
+
+TEST(QueryFingerprintTest, PropertyRandomizedRelabelings) {
+  // Generated queries of every topology survive random relabelings with an
+  // unchanged fingerprint, and a selectivity perturbation always changes
+  // it.
+  Rng rng(20260808);
+  const GraphType types[] = {GraphType::kChain, GraphType::kCycle,
+                             GraphType::kStar, GraphType::kRandom};
+  for (GraphType type : types) {
+    for (int trial = 0; trial < 8; ++trial) {
+      GeneratorConfig config;
+      config.num_tables = 3 + rng.UniformInt(0, 7);
+      config.graph_type = type;
+      Rng query_rng(rng.Fork());
+      QueryPtr query = GenerateQuery(config, &query_rng);
+      const uint64_t fingerprint = QueryFingerprint(*query);
+
+      for (int relabeling = 0; relabeling < 4; ++relabeling) {
+        std::vector<int> perm(static_cast<size_t>(query->NumTables()));
+        std::iota(perm.begin(), perm.end(), 0);
+        std::shuffle(perm.begin(), perm.end(), rng.engine());
+        QueryPtr relabeled = Relabel(*query, perm);
+        EXPECT_EQ(fingerprint, QueryFingerprint(*relabeled))
+            << ToString(type) << " query changed fingerprint under "
+               "relabeling";
+      }
+
+      // Perturb one random edge's selectivity.
+      std::vector<JoinEdge> edges = query->graph().Edges();
+      if (edges.empty()) continue;
+      size_t victim = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int>(edges.size()) - 1));
+      edges[victim].selectivity =
+          edges[victim].selectivity * 0.5 + 1e-7;
+      Catalog catalog;
+      for (int t = 0; t < query->NumTables(); ++t) {
+        catalog.AddTable(query->catalog().Table(t));
+      }
+      JoinGraph graph(query->NumTables());
+      for (const JoinEdge& edge : edges) {
+        graph.AddEdge(edge.left, edge.right, edge.selectivity);
+      }
+      Query perturbed(std::move(catalog), std::move(graph));
+      EXPECT_NE(fingerprint, QueryFingerprint(perturbed))
+          << ToString(type) << " fingerprint blind to selectivity change";
+    }
+  }
+}
+
+TEST(QueryFingerprintTest, FingerprintStringFormat) {
+  EXPECT_EQ("0x0000000000000000", FingerprintString(0));
+  EXPECT_EQ("0x00000000000000ff", FingerprintString(0xff));
+  EXPECT_EQ("0xdeadbeef00000000", FingerprintString(0xdeadbeef00000000ull));
+  EXPECT_EQ(18u, FingerprintString(0x123456789abcdef0ull).size());
+}
+
+TEST(QueryFingerprintTest, Fnv1a64MatchesKnownVectors) {
+  // Standard FNV-1a test vectors.
+  EXPECT_EQ(0xcbf29ce484222325ull, Fnv1a64(nullptr, 0));
+  const uint8_t a[] = {'a'};
+  EXPECT_EQ(0xaf63dc4c8601ec8cull, Fnv1a64(a, 1));
+}
+
+}  // namespace
+}  // namespace moqo

@@ -189,6 +189,96 @@ TEST_P(SessionConformanceTest, BeginResetsSession) {
   ExpectBitwiseEqual(first, second, algorithm.label);
 }
 
+// Warm-start conformance: seeding a session with the frontier a cold run
+// of the same (query, seed) produced must not change the result by a
+// single bit. The frontier-cache warm path depends on this — a warm hit
+// may pre-seed the session, never perturb it.
+TEST_P(SessionConformanceTest, WarmStartFromOwnFrontierIsBitwiseIdentical) {
+  BoundedAlgorithm algorithm = AllBoundedAlgorithms()[GetParam()];
+  Fixture fx(6);
+  constexpr uint64_t kSeed = 2016;
+
+  std::unique_ptr<OptimizerSession> cold = algorithm.make()->NewSession();
+  Rng cold_rng(kSeed);
+  cold->Begin(&fx.factory, &cold_rng);
+  while (!cold->Done()) cold->Step();
+  std::vector<PlanPtr> cold_plans = cold->Frontier();
+  std::vector<CostVector> cold_frontier = CanonicalFrontier(cold_plans);
+  ASSERT_FALSE(cold_frontier.empty()) << algorithm.label;
+
+  std::unique_ptr<OptimizerSession> warm = algorithm.make()->NewSession();
+  Rng warm_rng(kSeed);
+  warm->BeginFrom(&fx.factory, &warm_rng, cold_plans);
+  while (!warm->Done()) warm->Step();
+  ExpectBitwiseEqual(CanonicalFrontier(warm->Frontier()), cold_frontier,
+                     algorithm.label + " warm-vs-cold");
+}
+
+// BeginFrom with no warm plans is exactly Begin.
+TEST_P(SessionConformanceTest, BeginFromEmptyMatchesBegin) {
+  BoundedAlgorithm algorithm = AllBoundedAlgorithms()[GetParam()];
+  Fixture fx(6);
+
+  std::unique_ptr<OptimizerSession> plain = algorithm.make()->NewSession();
+  Rng plain_rng(11);
+  plain->Begin(&fx.factory, &plain_rng);
+  while (!plain->Done()) plain->Step();
+
+  std::unique_ptr<OptimizerSession> empty = algorithm.make()->NewSession();
+  Rng empty_rng(11);
+  empty->BeginFrom(&fx.factory, &empty_rng, {});
+  while (!empty->Done()) empty->Step();
+  ExpectBitwiseEqual(CanonicalFrontier(empty->Frontier()),
+                     CanonicalFrontier(plain->Frontier()),
+                     algorithm.label + " BeginFrom({})");
+}
+
+// The warm archive must survive checkpoint/restore: suspending a
+// warm-started session mid-run and resuming it elsewhere yields the same
+// frontier as the uninterrupted warm run.
+TEST_P(SessionConformanceTest, CheckpointRoundTripPreservesWarmPlans) {
+  BoundedAlgorithm algorithm = AllBoundedAlgorithms()[GetParam()];
+  Fixture fx(6);
+  constexpr uint64_t kSeed = 99;
+
+  // The warm seed: a quick cold run with a different rng stream.
+  std::unique_ptr<OptimizerSession> donor = algorithm.make()->NewSession();
+  Rng donor_rng(7);
+  donor->Begin(&fx.factory, &donor_rng);
+  while (!donor->Done()) donor->Step();
+  std::vector<PlanPtr> warm_plans = donor->Frontier();
+  ASSERT_FALSE(warm_plans.empty()) << algorithm.label;
+
+  std::unique_ptr<OptimizerSession> straight =
+      algorithm.make()->NewSession();
+  Rng straight_rng(kSeed);
+  straight->BeginFrom(&fx.factory, &straight_rng, warm_plans);
+  int straight_steps = 0;
+  while (!straight->Done()) {
+    straight->Step();
+    ++straight_steps;
+  }
+
+  std::unique_ptr<OptimizerSession> interrupted =
+      algorithm.make()->NewSession();
+  Rng interrupted_rng(kSeed);
+  interrupted->BeginFrom(&fx.factory, &interrupted_rng, warm_plans);
+  for (int i = 0; i < straight_steps / 2 && !interrupted->Done(); ++i) {
+    interrupted->Step();
+  }
+  std::vector<uint8_t> snapshot = interrupted->Checkpoint();
+
+  std::unique_ptr<OptimizerSession> resumed =
+      algorithm.make()->NewSession();
+  Rng resumed_rng(0);  // overwritten by the checkpointed rng state
+  ASSERT_TRUE(resumed->Restore(&fx.factory, &resumed_rng, snapshot))
+      << algorithm.label;
+  while (!resumed->Done()) resumed->Step();
+  ExpectBitwiseEqual(CanonicalFrontier(resumed->Frontier()),
+                     CanonicalFrontier(straight->Frontier()),
+                     algorithm.label + " restore-vs-straight");
+}
+
 // Arena reclamation contract: ResetArena() frees the previous generation
 // wholesale, but only once every escaped PlanPtr has died — handles pin
 // the arena they were built in (observable through a weak handle), so

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/query_fingerprint.h"
 #include "core/rmq.h"
 #include "net/frame_channel.h"
 #include "service/batch_optimizer.h"
@@ -432,8 +433,9 @@ TEST(ShardServerTest, AbandonedOrphanErrorNamesShardAndRouteKey) {
     ASSERT_TRUE(DecodeWireTask(orphans[0].frame, &wire, &why)) << why;
     SuspendedTask rebuilt =
         ToSuspendedTask(std::move(wire), std::move(orphans[0].promise));
-    rebuilt.origin =
-        "failover from shard 9, route key " + RouteKeyString(0xabcdefull);
+    rebuilt.origin = "failover from shard 9, route key " +
+                     RouteKeyString(0xabcdefull) + ", fingerprint " +
+                     FingerprintString(0x123456ull);
     // Dropped without a resume: the destructor must fail the future
     // descriptively, carrying the origin.
   }
@@ -444,6 +446,7 @@ TEST(ShardServerTest, AbandonedOrphanErrorNamesShardAndRouteKey) {
     std::string what = e.what();
     EXPECT_NE(what.find("failover from shard 9"), std::string::npos) << what;
     EXPECT_NE(what.find("route key 0x"), std::string::npos) << what;
+    EXPECT_NE(what.find("fingerprint 0x"), std::string::npos) << what;
   }
 }
 

@@ -181,6 +181,7 @@ TEST(ShardSupervisorTest, KillWithoutSurvivorFailsFuturesWithContext) {
       std::string what = e.what();
       EXPECT_NE(what.find("failover from shard"), std::string::npos) << what;
       EXPECT_NE(what.find("route key 0x"), std::string::npos) << what;
+      EXPECT_NE(what.find("fingerprint 0x"), std::string::npos) << what;
       ++contextual_failures;
     }
   }

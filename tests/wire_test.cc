@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/checkpoint.h"
+#include "core/query_fingerprint.h"
 #include "core/rmq.h"
 #include "query/generator.h"
 #include "service/batch_optimizer.h"
@@ -500,6 +501,85 @@ TEST(WireTaskTest, RouteKeyIsStableAndSeedSensitive) {
   BatchTask reseeded = task;
   reseeded.seed ^= 1;
   EXPECT_NE(RouteKey(reseeded), key);
+}
+
+// served_from_cache travels with the result so routers can distinguish a
+// shard-side cache answer from a computed one.
+TEST(WireTaskTest, TaskResultCarriesServedFromCache) {
+  BatchTaskResult result;
+  result.steps = 0;
+  result.served_from_cache = true;
+  CostVector v(2);
+  v[0] = 1.0;
+  v[1] = 2.0;
+  result.frontier = {v};
+  CheckpointWriter writer;
+  EncodeTaskResult(&writer, result);
+  std::vector<uint8_t> body = writer.Take();
+  CheckpointReader reader(body, nullptr);
+  BatchTaskResult decoded;
+  ASSERT_TRUE(DecodeTaskResult(&reader, &decoded));
+  EXPECT_TRUE(decoded.served_from_cache);
+}
+
+// The canonical fingerprint is stamped once at the sender and verified at
+// the receiver, so per-shard caches key identically without recomputing
+// canonicalization on the hot path.
+TEST(WireTaskTest, FingerprintIsStampedAndSurvivesTheWire) {
+  BatchTask task = MakeTask(7, /*seed=*/5);
+  WireTask wire = MakeWireTask(task);
+  EXPECT_EQ(wire.task.fingerprint, QueryFingerprint(*task.query));
+  EXPECT_NE(wire.task.fingerprint, 0u);
+
+  std::vector<uint8_t> frame = EncodeWireTask(wire);
+  WireTask decoded;
+  ASSERT_TRUE(DecodeWireTask(frame, &decoded));
+  EXPECT_EQ(decoded.task.fingerprint, wire.task.fingerprint);
+  EXPECT_EQ(FingerprintOf(decoded.task), wire.task.fingerprint);
+}
+
+// A frame whose stamped fingerprint disagrees with the query it carries is
+// rejected (valid CRC or not) — a shard must never poison its cache with a
+// mislabeled frontier.
+TEST(WireTaskTest, RejectsFingerprintMismatch) {
+  BatchTask task = MakeTask(6, /*seed=*/11);
+  WireTask wire = MakeWireTask(task);
+  wire.task.fingerprint ^= 1;  // CRC is computed over the lie at encode
+  std::vector<uint8_t> frame = EncodeWireTask(wire);
+  WireTask decoded;
+  std::string why;
+  EXPECT_FALSE(DecodeWireTask(frame, &decoded, &why));
+  EXPECT_NE(why.find("fingerprint mismatch"), std::string::npos) << why;
+}
+
+// Isomorphic relabelings of a query produce the same fingerprint, hence
+// the same route key for the same seed: repeats of a shape land on the
+// same shard no matter how the client numbered its tables.
+TEST(WireTaskTest, RelabeledQueryKeepsRouteKey) {
+  BatchTask task = MakeTask(5, /*seed=*/17);
+  const Query& query = *task.query;
+  const int n = query.NumTables();
+  // Rotate table ids by one.
+  std::vector<int> perm(static_cast<size_t>(n));
+  for (int t = 0; t < n; ++t) perm[static_cast<size_t>(t)] = (t + 1) % n;
+  std::vector<TableStats> stats(static_cast<size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    stats[static_cast<size_t>(perm[static_cast<size_t>(t)])] =
+        query.catalog().Table(t);
+  }
+  JoinGraph graph(n);
+  for (const JoinEdge& edge : query.graph().Edges()) {
+    graph.AddEdge(perm[static_cast<size_t>(edge.left)],
+                  perm[static_cast<size_t>(edge.right)], edge.selectivity);
+  }
+  BatchTask relabeled = task;
+  relabeled.query = std::make_shared<Query>(Catalog(std::move(stats)),
+                                            std::move(graph));
+  relabeled.fingerprint = 0;  // force recomputation from the new object
+  BatchTask original = task;
+  original.fingerprint = 0;
+  EXPECT_EQ(FingerprintOf(relabeled), FingerprintOf(original));
+  EXPECT_EQ(RouteKey(relabeled), RouteKey(original));
 }
 
 }  // namespace
