@@ -164,6 +164,7 @@ def check_regressions(current, baseline, tolerance):
         else:
             warnings.append(f"{message} [different core count]")
 
+    skipped_absolute = []
     for name, base_bench in baseline.get("benches", {}).items():
         cur_bench = current.get("benches", {}).get(name)
         if cur_bench is None:
@@ -193,6 +194,15 @@ def check_regressions(current, baseline, tolerance):
                 warnings.append(
                     f"{name}: {key} fell {drop:.0%} "
                     f"({base_val:.3g} -> {cur_val:.3g}) on the same machine")
+            elif not same_machine:
+                skipped_absolute.append(f"{name}.{key}")
+    if skipped_absolute:
+        # One line naming exactly what the fingerprint mismatch silenced,
+        # so "all green" on a foreign runner cannot be mistaken for "all
+        # compared".
+        warnings.append(
+            "fingerprint mismatch skipped absolute-rate comparison for: "
+            + ", ".join(sorted(skipped_absolute)))
     return failures, warnings
 
 
@@ -200,7 +210,7 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--build-dir", default="build",
                         help="CMake build directory containing bench/")
-    parser.add_argument("--output", default="BENCH_9.json",
+    parser.add_argument("--output", default="BENCH_10.json",
                         help="merged trajectory report to write")
     parser.add_argument("--check-against", default=None, metavar="FILE",
                         help="baseline BENCH_*.json to compare to, or "

@@ -95,6 +95,17 @@ class TableSet {
     return !(a == b);
   }
 
+  /// A canonical total order on the bit representation. Exists so
+  /// containers iterated into serialized bytes — checkpoints, wire
+  /// frames, fingerprints — can sort TableSet keys into one deterministic
+  /// order regardless of hash-map iteration order.
+  friend bool operator<(const TableSet& a, const TableSet& b) {
+    for (int w = 0; w < 4; ++w) {
+      if (a.words_[w] != b.words_[w]) return a.words_[w] < b.words_[w];
+    }
+    return false;
+  }
+
  private:
   uint64_t words_[4];
 };

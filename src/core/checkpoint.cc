@@ -1,8 +1,10 @@
 #include "core/checkpoint.h"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <cstring>
+#include <vector>
 
 #include "plan/plan_factory.h"
 
@@ -289,10 +291,20 @@ bool AllPlansCover(const std::vector<PlanPtr>& plans, const TableSet& rel) {
 }
 
 void WritePlanCache(CheckpointWriter* writer, const PlanCache& cache) {
-  writer->WriteU64(cache.entries().size());
-  for (const auto& [rel, entry] : cache.entries()) {
-    writer->WriteTableSet(rel);
-    writer->WritePlans(entry.plans);
+  // The cache is an unordered_map: its iteration order depends on
+  // insertion history and hash seeding, so serializing it directly would
+  // make checkpoint bytes — and everything derived from them (CRCs,
+  // snapshot frames, bitwise restore comparisons) — nondeterministic.
+  // Sort the keys into canonical TableSet order first.
+  std::vector<const TableSet*> keys;
+  keys.reserve(cache.entries().size());
+  for (const auto& [rel, entry] : cache.entries()) keys.push_back(&rel);
+  std::sort(keys.begin(), keys.end(),
+            [](const TableSet* a, const TableSet* b) { return *a < *b; });
+  writer->WriteU64(keys.size());
+  for (const TableSet* rel : keys) {
+    writer->WriteTableSet(*rel);
+    writer->WritePlans(cache.entries().at(*rel).plans);
   }
 }
 

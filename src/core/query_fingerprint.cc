@@ -105,7 +105,9 @@ std::vector<uint8_t> CanonicalQueryBytes(const Query& query) {
   const std::vector<int> ranks = CanonicalRanks(query, &order);
   const int n = query.NumTables();
 
-  CheckpointWriter writer;
+  // These bytes are hash input consumed in-process, never decoded, so a
+  // version gate would only dilute the fingerprint.
+  CheckpointWriter writer;  // moqo-lint: allow(checkpoint-magic)
   writer.WriteU32(static_cast<uint32_t>(n));
   for (int r = 0; r < n; ++r) {
     const TableStats& stats =

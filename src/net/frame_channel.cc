@@ -93,7 +93,8 @@ FrameChannel& FrameChannel::operator=(FrameChannel&& other) noexcept {
     fd_ = other.fd_;
     other.fd_ = -1;
     chunk_limit_ = other.chunk_limit_;
-    last_error_ = std::move(other.last_error_);
+    rx_error_ = std::move(other.rx_error_);
+    tx_error_ = std::move(other.tx_error_);
     rx_ = std::move(other.rx_);
     rx_payload_len_ = other.rx_payload_len_;
     rx_crc_ = other.rx_crc_;
@@ -117,11 +118,11 @@ void FrameChannel::Shutdown() {
 
 IoStatus FrameChannel::Send(const std::vector<uint8_t>& payload) {
   if (fd_ < 0) {
-    last_error_ = "send on closed channel";
+    tx_error_ = "send on closed channel";
     return IoStatus::kError;
   }
   if (payload.size() > kMaxFramePayload) {
-    last_error_ = "frame payload exceeds kMaxFramePayload";
+    tx_error_ = "frame payload exceeds kMaxFramePayload";
     return IoStatus::kError;
   }
   std::vector<uint8_t> frame = FrameBytes(payload);
@@ -134,7 +135,7 @@ IoStatus FrameChannel::Send(const std::vector<uint8_t>& payload) {
     ssize_t n = ::send(fd_, frame.data() + sent, chunk, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      last_error_ = Errno("send");
+      tx_error_ = Errno("send");
       return (errno == EPIPE || errno == ECONNRESET) ? IoStatus::kClosed
                                                      : IoStatus::kError;
     }
@@ -150,7 +151,7 @@ IoStatus FrameChannel::FillRx(size_t want, int timeout_ms) {
   int ready = ::poll(&pfd, 1, timeout_ms);
   if (ready < 0) {
     if (errno == EINTR) return IoStatus::kTimeout;  // caller re-loops
-    last_error_ = Errno("poll");
+    rx_error_ = Errno("poll");
     return IoStatus::kError;
   }
   if (ready == 0) return IoStatus::kTimeout;
@@ -164,19 +165,19 @@ IoStatus FrameChannel::FillRx(size_t want, int timeout_ms) {
     if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
       return IoStatus::kTimeout;
     }
-    last_error_ = Errno("recv");
+    rx_error_ = Errno("recv");
     return IoStatus::kError;
   }
   if (n == 0) {
     rx_.resize(old);
     if (old == 0) {
-      last_error_ = "peer closed at frame boundary";
+      rx_error_ = "peer closed at frame boundary";
       return IoStatus::kClosed;
     }
     // EOF with a partial frame buffered: the peer died (or was killed)
     // mid-write. Never deliver the torn prefix.
-    last_error_ = "peer closed mid-frame (" + std::to_string(old) +
-                  " bytes of a partial frame buffered)";
+    rx_error_ = "peer closed mid-frame (" + std::to_string(old) +
+                " bytes of a partial frame buffered)";
     return IoStatus::kError;
   }
   rx_.resize(old + static_cast<size_t>(n));
@@ -185,7 +186,7 @@ IoStatus FrameChannel::FillRx(size_t want, int timeout_ms) {
 
 IoStatus FrameChannel::Recv(std::vector<uint8_t>* payload, int timeout_ms) {
   if (fd_ < 0) {
-    last_error_ = "recv on closed channel";
+    rx_error_ = "recv on closed channel";
     return IoStatus::kError;
   }
   const int64_t deadline = DeadlineFrom(timeout_ms);
@@ -203,12 +204,12 @@ IoStatus FrameChannel::Recv(std::vector<uint8_t>* payload, int timeout_ms) {
       rx_payload_len_ = GetU32(rx_.data() + 4);
       rx_crc_ = GetU32(rx_.data() + 8);
       if (magic != kFrameMagic) {
-        last_error_ = "bad frame magic";
+        rx_error_ = "bad frame magic";
         return IoStatus::kError;
       }
       if (rx_payload_len_ > kMaxFramePayload) {
-        last_error_ = "frame length " + std::to_string(rx_payload_len_) +
-                      " exceeds limit";
+        rx_error_ = "frame length " + std::to_string(rx_payload_len_) +
+                    " exceeds limit";
         return IoStatus::kError;
       }
       rx_have_header_ = true;
@@ -228,7 +229,7 @@ IoStatus FrameChannel::Recv(std::vector<uint8_t>* payload, int timeout_ms) {
     rx_have_header_ = false;
     if (Crc32(*payload) != rx_crc_) {
       payload->clear();
-      last_error_ = "frame CRC mismatch";
+      rx_error_ = "frame CRC mismatch";
       return IoStatus::kError;
     }
     return IoStatus::kOk;

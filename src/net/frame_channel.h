@@ -31,8 +31,11 @@
 //     so a supervisor can bound how long a silent shard is trusted.
 //
 // Thread-safety: one concurrent sender plus one concurrent receiver per
-// channel is supported (the two directions share no state); multiple
-// concurrent senders or receivers must be serialized by the caller.
+// channel is supported — the two directions share no mutable state, down
+// to the error strings (last_error() is the receive direction's,
+// send_error() the send direction's). Multiple concurrent senders or
+// receivers must be serialized by the caller; RemoteShard's send_mu_ is
+// the canonical example.
 #ifndef MOQO_NET_FRAME_CHANNEL_H_
 #define MOQO_NET_FRAME_CHANNEL_H_
 
@@ -115,8 +118,14 @@ class FrameChannel {
   bool connected() const { return fd_ >= 0; }
   int fd() const { return fd_; }
 
-  /// Human-readable reason of the last kError/kClosed.
-  const std::string& last_error() const { return last_error_; }
+  /// Human-readable reason of the last receive-direction kError/kClosed
+  /// (Recv() and frame parsing). Owned by the receiver thread: a
+  /// concurrent Send() failure never clobbers it.
+  const std::string& last_error() const { return rx_error_; }
+
+  /// Human-readable reason of the last Send() kError/kClosed. Owned by
+  /// the sender thread, symmetric to last_error().
+  const std::string& send_error() const { return tx_error_; }
 
   /// Test hook: caps every read/write syscall at `limit` bytes (0 =
   /// unlimited), forcing the partial-I/O reassembly paths.
@@ -132,7 +141,12 @@ class FrameChannel {
 
   int fd_ = -1;
   size_t chunk_limit_ = 0;
-  std::string last_error_;
+  /// Per-direction error state: rx_error_ is written only under Recv()
+  /// (receiver thread), tx_error_ only under Send() (sender thread). One
+  /// merged string here would be the channel's only cross-direction write
+  /// — a data race under the one-sender + one-receiver contract.
+  std::string rx_error_;
+  std::string tx_error_;
   /// Reassembly buffer of the frame currently being received: header
   /// first, then header + payload. Reset after each completed frame.
   std::vector<uint8_t> rx_;

@@ -16,6 +16,10 @@ Plan* PlanArena::Allocate() {
   assert(size_ < std::numeric_limits<PlanIndex>::max());
   const size_t offset = size_ % kChunkNodes;
   if (offset == 0) {
+    // make_unique can't reach Plan's private constructor (its new happens
+    // inside a std function, not in this friend class), so the raw new[]
+    // stays; ownership lands in the unique_ptr on the same line.
+    // moqo-lint: allow(raw-new-array)
     chunks_.emplace_back(new Plan[kChunkNodes]);
   }
   Plan* node = &chunks_.back()[offset];

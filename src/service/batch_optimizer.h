@@ -172,6 +172,11 @@ struct BatchComparison {
 };
 
 /// Runs batches of optimization tasks over a thread pool.
+///
+/// Deliberately free of mutexes and thread-safety annotations: the object
+/// itself is immutable after construction, per-task state is confined to
+/// the worker running it, and result slots are pre-sized so workers write
+/// disjoint indices. The only synchronization is inside ThreadPool.
 class BatchOptimizer {
  public:
   BatchOptimizer(BatchConfig config, OptimizerFactory make_optimizer);

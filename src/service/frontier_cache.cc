@@ -40,7 +40,7 @@ FrontierCache::Shard& FrontierCache::ShardFor(uint64_t fingerprint) {
 std::shared_ptr<const CachedFrontier> FrontierCache::Lookup(
     uint64_t fingerprint, uint64_t seed) {
   Shard& shard = ShardFor(fingerprint);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   ++shard.lookups;
   auto it = shard.index.find(fingerprint);
   if (it == shard.index.end()) {
@@ -65,7 +65,7 @@ void FrontierCache::Insert(CachedFrontier entry) {
   Shard& shard = ShardFor(entry.fingerprint);
   const uint64_t fingerprint = entry.fingerprint;
   auto shared = std::make_shared<const CachedFrontier>(std::move(entry));
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(fingerprint);
   if (it != shard.index.end()) {
     // Replace in place: the newest completed run wins (a repeat under a
@@ -93,7 +93,7 @@ FrontierCacheStats FrontierCache::stats() const {
   FrontierCacheStats total;
   for (int i = 0; i < config_.lock_shards; ++i) {
     const Shard& shard = shards_[static_cast<size_t>(i)];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total.lookups += shard.lookups;
     total.exact_hits += shard.exact_hits;
     total.warm_hits += shard.warm_hits;

@@ -30,10 +30,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "cost/cost_vector.h"
 
 namespace moqo {
@@ -112,17 +112,19 @@ class FrontierCache {
   using LruList = std::list<std::shared_ptr<const CachedFrontier>>;
 
   struct Shard {
-    mutable std::mutex mu;
+    mutable Mutex mu;
     /// Front = most recently used.
-    LruList lru;
-    std::unordered_map<uint64_t, LruList::iterator> index;
-    size_t bytes = 0;
-    uint64_t lookups = 0;
-    uint64_t exact_hits = 0;
-    uint64_t warm_hits = 0;
-    uint64_t misses = 0;
-    uint64_t inserts = 0;
-    uint64_t evictions = 0;
+    LruList lru GUARDED_BY(mu);
+    /// Lookup/erase only — never iterated, so its unordered order can
+    /// leak into neither the LRU sequence nor any serialized bytes.
+    std::unordered_map<uint64_t, LruList::iterator> index GUARDED_BY(mu);
+    size_t bytes GUARDED_BY(mu) = 0;
+    uint64_t lookups GUARDED_BY(mu) = 0;
+    uint64_t exact_hits GUARDED_BY(mu) = 0;
+    uint64_t warm_hits GUARDED_BY(mu) = 0;
+    uint64_t misses GUARDED_BY(mu) = 0;
+    uint64_t inserts GUARDED_BY(mu) = 0;
+    uint64_t evictions GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(uint64_t fingerprint);

@@ -12,7 +12,7 @@
 namespace moqo {
 
 void SuspendedTask::Abandon() noexcept {
-  if (consumed) return;
+  if (consumed_) return;
   try {
     std::string message =
         "SuspendedTask dropped without Resume(): the session was suspended "
@@ -40,7 +40,7 @@ SuspendedTask& SuspendedTask::operator=(SuspendedTask&& other) noexcept {
     steps = other.steps;
     promise = std::move(other.promise);
     origin = std::move(other.origin);
-    consumed = other.consumed;
+    consumed_ = other.consumed_;
   }
   return *this;
 }
@@ -98,14 +98,14 @@ OnlineScheduler::OnlineScheduler(OnlineConfig config,
 OnlineScheduler::~OnlineScheduler() {
   bool stopped;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopped = stopping_;
   }
   if (!stopped) Stop();
 }
 
 void OnlineScheduler::Start() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (started_) return;
   started_ = true;
   int n = std::max(1, config_.num_threads);
@@ -115,12 +115,11 @@ void OnlineScheduler::Start() {
   }
 }
 
-bool OnlineScheduler::WaitForAdmissionSlot(
-    std::unique_lock<std::mutex>& lock) {
+bool OnlineScheduler::WaitForAdmissionSlot(MutexLock& lock) {
   if (stopping_) return false;
   if (config_.max_open > 0 && open_ >= config_.max_open) {
     if (config_.admission == AdmissionPolicy::kReject) return false;
-    admit_cv_.wait(lock, [this] {
+    admit_cv_.Wait(lock, [this]() REQUIRES(mu_) {
       return stopping_ || open_ < config_.max_open;
     });
     if (stopping_) return false;
@@ -173,7 +172,7 @@ std::optional<std::future<BatchTaskResult>> OnlineScheduler::Submit(
     // any deadline — is trivially hit.
     result.deadline_hit = result.had_deadline;
     result.served_from_cache = true;
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) return std::nullopt;
     result.index = static_cast<int>(queries_.size());
     result.admit_millis =
@@ -186,7 +185,7 @@ std::optional<std::future<BatchTaskResult>> OnlineScheduler::Submit(
       slot.frontier.clear();
       slot.frontier.shrink_to_fit();
     }
-    lock.unlock();
+    lock.Unlock();
     std::promise<BatchTaskResult> promise;
     std::future<BatchTaskResult> ticket = promise.get_future();
     promise.set_value(std::move(result));
@@ -212,17 +211,17 @@ std::optional<std::future<BatchTaskResult>> OnlineScheduler::Submit(
                        ? kMaxDeadlineMicros
                        : task.deadline_micros;
 
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!WaitForAdmissionSlot(lock)) return std::nullopt;
   EnqueueAdmitted(std::move(owned), window);
-  lock.unlock();
-  work_cv_.notify_one();
+  lock.Unlock();
+  work_cv_.NotifyOne();
   return ticket;
 }
 
 std::optional<SuspendedTask> OnlineScheduler::Suspend(
     size_t submission_index) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (submission_index >= queries_.size()) return std::nullopt;
   OpenQuery* q = queries_[submission_index].get();
   if (q == nullptr || q->suspend_requested || stopping_) return std::nullopt;
@@ -233,7 +232,7 @@ std::optional<SuspendedTask> OnlineScheduler::Suspend(
   } else {
     // A worker owns the current slice; it parks the query (instead of
     // requeueing) or finalizes it when the slice ends.
-    suspend_cv_.wait(lock, [&] {
+    suspend_cv_.Wait(lock, [&]() REQUIRES(mu_) {
       OpenQuery* p = queries_[submission_index].get();
       return p == nullptr || p->state == OpenQuery::RunState::kParked;
     });
@@ -246,7 +245,7 @@ std::optional<SuspendedTask> OnlineScheduler::Suspend(
   // Parked and out of the ready queue: this thread owns the query
   // exclusively, so the (potentially large) checkpoint is serialized
   // without blocking the workers.
-  lock.unlock();
+  lock.Unlock();
   SuspendedTask out;
   out.task = q->task;
   out.had_deadline = q->had_deadline;
@@ -258,7 +257,7 @@ std::optional<SuspendedTask> OnlineScheduler::Suspend(
   }
   out.promise = std::move(q->promise);
 
-  lock.lock();
+  lock.Lock();
   BatchTaskResult& slot = results_[submission_index];
   slot.index = q->index;
   slot.migrated = true;
@@ -268,13 +267,13 @@ std::optional<SuspendedTask> OnlineScheduler::Suspend(
   slot.steps = out.steps;
   queries_[submission_index].reset();
   --open_;
-  admit_cv_.notify_one();
-  if (open_ == 0) drain_cv_.notify_all();
+  admit_cv_.NotifyOne();
+  if (open_ == 0) drain_cv_.NotifyAll();
   return out;
 }
 
 bool OnlineScheduler::Resume(SuspendedTask& task) {
-  if (task.consumed) return false;
+  if (task.consumed()) return false;
   {
     // A migration destination must be live: enqueueing into a scheduler
     // that was never started (or is stopping) would park the task where no
@@ -282,7 +281,7 @@ bool OnlineScheduler::Resume(SuspendedTask& task) {
     // up front — before the expensive restore — leaving `task` resumable
     // elsewhere. started_ never reverts, so the recheck under the
     // admission lock below only needs to watch stopping_.
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!started_ || stopping_) return false;
   }
   auto owned = std::make_unique<OpenQuery>(task.task, &model_);
@@ -302,35 +301,35 @@ bool OnlineScheduler::Resume(SuspendedTask& task) {
   if (window < 0) window = 0;
   if (window > kMaxDeadlineMicros) window = kMaxDeadlineMicros;
 
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!WaitForAdmissionSlot(lock)) return false;
-  task.consumed = true;
+  task.MarkConsumed();
   owned->promise = std::move(task.promise);
   EnqueueAdmitted(std::move(owned), window);
-  lock.unlock();
-  work_cv_.notify_one();
+  lock.Unlock();
+  work_cv_.NotifyOne();
   return true;
 }
 
 void OnlineScheduler::Drain() {
   Start();
-  std::unique_lock<std::mutex> lock(mu_);
-  drain_cv_.wait(lock, [this] { return open_ == 0; });
+  MutexLock lock(mu_);
+  drain_cv_.Wait(lock, [this]() REQUIRES(mu_) { return open_ == 0; });
 }
 
 BatchReport OnlineScheduler::Stop() {
   Drain();
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
     stop_workers_ = true;
   }
-  work_cv_.notify_all();
-  admit_cv_.notify_all();
+  work_cv_.NotifyAll();
+  admit_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
 
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   BatchReport report;
   report.num_threads = std::max(1, config_.num_threads);
   report.tasks = std::move(results_);
@@ -341,17 +340,17 @@ BatchReport OnlineScheduler::Stop() {
 }
 
 size_t OnlineScheduler::open_count() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return open_;
 }
 
 size_t OnlineScheduler::submitted_count() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queries_.size();
 }
 
 size_t OnlineScheduler::snapshot_count() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return snapshots_taken_;
 }
 
@@ -398,11 +397,11 @@ void OnlineScheduler::Finalize(OpenQuery* query, BatchTaskResult result,
   }
   queries_[static_cast<size_t>(query->index)].reset();
   --open_;
-  admit_cv_.notify_one();
+  admit_cv_.NotifyOne();
   // A Suspend() may be waiting on this query; it observes the reset slot
   // and reports that the task already finished.
-  suspend_cv_.notify_all();
-  if (open_ == 0) drain_cv_.notify_all();
+  suspend_cv_.NotifyAll();
+  if (open_ == 0) drain_cv_.NotifyAll();
 }
 
 void OnlineScheduler::RemoveFromReady(OpenQuery* query) {
@@ -417,16 +416,18 @@ void OnlineScheduler::RemoveFromReady(OpenQuery* query) {
 
 void OnlineScheduler::WorkerLoop() {
   const int slice_steps = std::max(1, config_.steps_per_slice);
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [this] { return stop_workers_ || !ready_.empty(); });
+    work_cv_.Wait(lock, [this]() REQUIRES(mu_) {
+      return stop_workers_ || !ready_.empty();
+    });
     // Even when stopping, drain what is ready: a requeued slice must finish
     // its task so that every admitted task's promise is fulfilled.
     if (ready_.empty()) return;
     OpenQuery* q = ready_.top().query;
     ready_.pop();
     q->state = OpenQuery::RunState::kRunning;
-    lock.unlock();
+    lock.Unlock();
 
     // Run one slice without the lock; this worker owns `q` exclusively
     // until it is requeued or finalized.
@@ -479,7 +480,9 @@ void OnlineScheduler::WorkerLoop() {
           CachedFrontier entry;
           entry.fingerprint = FingerprintOf(q->task);
           entry.seed = q->task.seed;
-          CheckpointWriter plan_writer;
+          // Cache-internal bytes: decoded only by this process's own
+          // ReadPlans, never persisted or shipped across a build boundary.
+          CheckpointWriter plan_writer;  // moqo-lint: allow(checkpoint-magic)
           plan_writer.WritePlans(q->session->Frontier());
           entry.plan_bytes = plan_writer.Take();
           entry.frontier = result.frontier;
@@ -528,18 +531,18 @@ void OnlineScheduler::WorkerLoop() {
       }
     }
 
-    lock.lock();
+    lock.Lock();
     if (snapshot_due) ++snapshots_taken_;
     if (!finished && q->suspend_requested) {
       // Hand the query to the waiting Suspend() instead of requeueing.
       q->state = OpenQuery::RunState::kParked;
-      suspend_cv_.notify_all();
+      suspend_cv_.NotifyAll();
       continue;
     }
     if (!finished) {
       q->state = OpenQuery::RunState::kQueued;
       ready_.push(MakeReadyItem(q));
-      work_cv_.notify_one();
+      work_cv_.NotifyOne();
       continue;
     }
     Finalize(q, std::move(result), error);

@@ -41,12 +41,10 @@
 #ifndef MOQO_SERVICE_ONLINE_SCHEDULER_H_
 #define MOQO_SERVICE_ONLINE_SCHEDULER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <queue>
 #include <string>
@@ -54,6 +52,7 @@
 #include <vector>
 
 #include "common/deadline.h"
+#include "common/thread_annotations.h"
 #include "cost/cost_model.h"
 #include "service/batch_optimizer.h"
 #include "service/frontier_cache.h"
@@ -124,16 +123,33 @@ struct SuspendedTask {
   /// drained the task; included in the abandonment error so a dropped
   /// migration names the shard it was lost in transit from.
   std::string origin;
-  /// Set by a successful Resume(); a second Resume() of the same object
-  /// returns false instead of admitting a duplicate whose moved-from
-  /// promise would blow up at finalization. Also set by a transport that
-  /// moved the promise into a rebuilt task (see service/wire.h), which
-  /// keeps the destructor from failing the moved-away future.
-  bool consumed = false;
+
+  /// True once the promise has moved on: set by a successful Resume() — a
+  /// second Resume() of the same object returns false instead of admitting
+  /// a duplicate whose moved-from promise would blow up at finalization —
+  /// or by MarkConsumed() when a transport moves the promise into a rebuilt
+  /// task (see service/wire.h), which keeps the destructor from failing the
+  /// moved-away future.
+  ///
+  /// Ownership contract (why this is deliberately NOT guarded by a mutex):
+  /// a SuspendedTask has exactly one owner at a time — the thread that
+  /// drained it via Suspend(), then whichever thread it is std::moved to —
+  /// and only the current owner may call Resume()/MarkConsumed()/the
+  /// destructor. The flag is private so every mutation goes through those
+  /// single-owner entry points; concurrent access would be a bug in the
+  /// caller's hand-off, not in this type.
+  bool consumed() const { return consumed_; }
+
+  /// Records that the promise was moved out (e.g. into a transport frame
+  /// or a rebuilt task), so neither the destructor nor a later Resume()
+  /// touches the moved-away future. Single-owner, like consumed().
+  void MarkConsumed() { consumed_ = true; }
 
  private:
   /// Destructor/move-assign helper: fails the promise if still live.
   void Abandon() noexcept;
+
+  bool consumed_ = false;
 };
 
 /// One periodic checkpoint of a still-running task, published through
@@ -233,7 +249,7 @@ class OnlineScheduler {
   OnlineScheduler& operator=(const OnlineScheduler&) = delete;
 
   /// Spins up the worker threads. Idempotent; called implicitly by Drain().
-  void Start();
+  void Start() EXCLUDES(mu_);
 
   /// Admits one task and returns a future for its result, or std::nullopt
   /// if the task was rejected (full window under kReject, or the service
@@ -241,7 +257,8 @@ class OnlineScheduler {
   /// first slice runs. Under kBlock with a full window, blocks until a
   /// slot frees up — which requires the workers to be running, so only
   /// call pre-Start Submit() on a bounded window if it cannot fill up.
-  std::optional<std::future<BatchTaskResult>> Submit(const BatchTask& task);
+  std::optional<std::future<BatchTaskResult>> Submit(const BatchTask& task)
+      EXCLUDES(mu_);
 
   /// Blocks until every admitted task has completed (session done or
   /// deadline expired). Starts the workers if Start() was never called.
@@ -249,12 +266,12 @@ class OnlineScheduler {
   /// Tasks migrated away by Suspend() released their slot at suspension,
   /// so Drain() never waits on them — even if the suspended task was
   /// abandoned and will never finish anywhere.
-  void Drain();
+  void Drain() EXCLUDES(mu_);
 
   /// Drains, joins the workers, and returns the aggregated report over all
   /// admitted tasks in submission order. After Stop() every Submit() is
   /// rejected; the scheduler cannot be restarted.
-  BatchReport Stop();
+  BatchReport Stop() EXCLUDES(mu_);
 
   /// Drains one admitted-but-unfinished task off this scheduler.
   /// `submission_index` is the task's zero-based admission order — the
@@ -265,7 +282,8 @@ class OnlineScheduler {
   /// finished (its future is already fulfilled), it was already suspended,
   /// or the scheduler is stopping. On success the task's report slot is
   /// marked migrated and its admission-window slot is released.
-  std::optional<SuspendedTask> Suspend(size_t submission_index);
+  std::optional<SuspendedTask> Suspend(size_t submission_index)
+      EXCLUDES(mu_);
 
   /// Re-admits a suspended task — from this scheduler or another instance
   /// with the same optimizer configuration and metrics — restoring its
@@ -278,18 +296,18 @@ class OnlineScheduler {
   /// the checkpoint is rejected (wrong algorithm or corrupt buffer). On
   /// success `task` is consumed and the original Submit() future will
   /// deliver the task's final result from this scheduler.
-  bool Resume(SuspendedTask& task);
+  bool Resume(SuspendedTask& task) EXCLUDES(mu_);
 
   const OnlineConfig& config() const { return config_; }
 
   /// Admitted-but-unfinished tasks.
-  size_t open_count() const;
+  size_t open_count() const EXCLUDES(mu_);
 
   /// Tasks admitted so far (completed or not; excludes rejected).
-  size_t submitted_count() const;
+  size_t submitted_count() const EXCLUDES(mu_);
 
   /// Periodic snapshots published so far (see OnlineConfig::snapshot_every).
-  size_t snapshot_count() const;
+  size_t snapshot_count() const EXCLUDES(mu_);
 
  private:
   struct OpenQuery;
@@ -305,27 +323,28 @@ class OnlineScheduler {
     }
   };
 
-  void WorkerLoop();
-  /// Computes the ready-queue key for `query` under the configured policy.
-  /// Requires mu_ (for seq_); called at admission and at every requeue.
-  ReadyItem MakeReadyItem(OpenQuery* query);
+  void WorkerLoop() EXCLUDES(mu_);
+  /// Computes the ready-queue key for `query` under the configured policy
+  /// (seq_ is guarded); called at admission and at every requeue.
+  ReadyItem MakeReadyItem(OpenQuery* query) REQUIRES(mu_);
   /// Records `result` into the task's report slot (dropping the frontier
   /// there unless config_.retain_frontiers), fulfills the promise with the
   /// full result or with `error`, destroys the per-task state, and
-  /// releases the admission slot. Requires mu_.
+  /// releases the admission slot.
   void Finalize(OpenQuery* query, BatchTaskResult result,
-                std::exception_ptr error);
+                std::exception_ptr error) REQUIRES(mu_);
   /// Waits for an admission-window slot (kBlock) or reports rejection
-  /// (kReject / stopping). Requires mu_; shared by Submit() and Resume().
-  bool WaitForAdmissionSlot(std::unique_lock<std::mutex>& lock);
+  /// (kReject / stopping). `lock` holds mu_ (it is what the wait sleeps
+  /// on); shared by Submit() and Resume().
+  bool WaitForAdmissionSlot(MutexLock& lock) REQUIRES(mu_);
   /// Assigns the submission index, arms the deadline window
   /// (`window_micros`, already clamped; ignored unless the query has a
-  /// deadline), and enqueues the first slice. Requires mu_.
+  /// deadline), and enqueues the first slice.
   void EnqueueAdmitted(std::unique_ptr<OpenQuery> owned,
-                       int64_t window_micros);
+                       int64_t window_micros) REQUIRES(mu_);
   /// Rebuilds ready_ without `query`'s entry (Suspend of a queued task).
-  /// Requires mu_. Seq keys are preserved, so relative order is unchanged.
-  void RemoveFromReady(OpenQuery* query);
+  /// Seq keys are preserved, so relative order is unchanged.
+  void RemoveFromReady(OpenQuery* query) REQUIRES(mu_);
 
   OnlineConfig config_;
   OptimizerFactory make_optimizer_;
@@ -333,30 +352,33 @@ class OnlineScheduler {
   /// Epoch of all admit/finish timestamps: construction time.
   Stopwatch epoch_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   // workers: ready work or shutdown
-  std::condition_variable admit_cv_;  // Submit(kBlock): window slot freed
-  std::condition_variable drain_cv_;  // Drain()/Stop(): open_ hit zero
-  std::condition_variable suspend_cv_;  // Suspend(): slice parked/finished
+  mutable Mutex mu_;
+  CondVar work_cv_;     // workers: ready work or shutdown
+  CondVar admit_cv_;    // Submit(kBlock): window slot freed
+  CondVar drain_cv_;    // Drain()/Stop(): open_ hit zero
+  CondVar suspend_cv_;  // Suspend(): slice parked/finished
+  /// Written by Start() (under mu_, at most once) and joined by Stop()
+  /// without the lock — joining under mu_ would deadlock the workers. The
+  /// Start/Stop at-most-once contract makes that hand-off safe unguarded.
   std::vector<std::thread> workers_;
   std::priority_queue<ReadyItem, std::vector<ReadyItem>, std::greater<>>
-      ready_;
+      ready_ GUARDED_BY(mu_);
   /// Keeps every admitted task's state alive at a stable address; the slot
   /// is released (reset) once the task is finalized.
-  std::vector<std::unique_ptr<OpenQuery>> queries_;
+  std::vector<std::unique_ptr<OpenQuery>> queries_ GUARDED_BY(mu_);
   /// Result slot i belongs to submission index i; filled at finalization.
-  std::vector<BatchTaskResult> results_;
+  std::vector<BatchTaskResult> results_ GUARDED_BY(mu_);
   /// Ready-queue tie-breaker, bumped on every push.
-  uint64_t seq_ = 0;
+  uint64_t seq_ GUARDED_BY(mu_) = 0;
   /// Admitted-but-unfinished tasks.
-  size_t open_ = 0;
+  size_t open_ GUARDED_BY(mu_) = 0;
   /// Periodic snapshots published through config_.snapshot_sink.
-  size_t snapshots_taken_ = 0;
-  bool started_ = false;
+  size_t snapshots_taken_ GUARDED_BY(mu_) = 0;
+  bool started_ GUARDED_BY(mu_) = false;
   /// No further admissions (Stop() has begun).
-  bool stopping_ = false;
+  bool stopping_ GUARDED_BY(mu_) = false;
   /// Workers exit once ready_ runs empty.
-  bool stop_workers_ = false;
+  bool stop_workers_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace moqo

@@ -24,7 +24,7 @@ RemoteShard::RemoteShard(RemoteShardConfig config, net::FrameChannel channel)
 
 RemoteShard::~RemoteShard() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
   // Shutdown, not Close: the receiver may be mid-Recv on this channel.
@@ -34,7 +34,7 @@ RemoteShard::~RemoteShard() {
   // Anything still pending was neither finished, suspended away, nor
   // recovered as an orphan: its submitter is owed an explicit error, not
   // a broken promise.
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (size_t i = 0; i < pending_.size(); ++i) {
     Pending& entry = pending_[i];
     if (entry.done || entry.migrated) continue;
@@ -48,13 +48,22 @@ RemoteShard::~RemoteShard() {
 
 void RemoteShard::set_death_callback(
     std::function<void(RemoteShard*)> callback) {
+  MutexLock lock(mu_);
   death_callback_ = std::move(callback);
 }
 
-void RemoteShard::set_label(std::string label) { label_ = std::move(label); }
+void RemoteShard::set_label(std::string label) {
+  MutexLock lock(mu_);
+  label_ = std::move(label);
+}
+
+std::string RemoteShard::label() const {
+  MutexLock lock(mu_);
+  return label_;
+}
 
 void RemoteShard::Start() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (started_) return;
   started_ = true;
   receiver_ = std::thread([this] { ReceiverLoop(); });
@@ -63,18 +72,17 @@ void RemoteShard::Start() {
 void RemoteShard::MarkDead(const std::string& reason) {
   std::function<void(RemoteShard*)> callback;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (dead_) return;
     dead_ = true;
     death_reason_ = reason;
     callback = death_callback_;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
   if (callback) callback(this);
 }
 
-void RemoteShard::HandleMessage(std::unique_lock<std::mutex>& lock,
-                                Message&& message) {
+void RemoteShard::HandleMessage(MutexLock& lock, Message&& message) {
   auto find_pending = [&]() -> Pending* {
     auto it = index_by_request_.find(message.request_id);
     if (it == index_by_request_.end()) return nullptr;
@@ -176,7 +184,7 @@ void RemoteShard::HandleMessage(std::unique_lock<std::mutex>& lock,
       // ignore rather than kill a healthy connection.
       break;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   (void)lock;
 }
 
@@ -191,7 +199,7 @@ void RemoteShard::ReceiverLoop() {
     std::vector<uint8_t> payload;
     net::IoStatus status = channel_.Recv(&payload, config_.recv_poll_ms);
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (dead_) return;
       if (status == net::IoStatus::kOk) {
         last_rx = now_millis();
@@ -207,7 +215,7 @@ void RemoteShard::ReceiverLoop() {
       if (status == net::IoStatus::kTimeout) {
         if (config_.silence_timeout_ms > 0 && !stopping_ &&
             now_millis() - last_rx > config_.silence_timeout_ms) {
-          lock.unlock();
+          lock.Unlock();
           MarkDead("silence timeout (" +
                    std::to_string(config_.silence_timeout_ms) + " ms)");
           return;
@@ -216,7 +224,7 @@ void RemoteShard::ReceiverLoop() {
       }
       // kClosed / kError.
       if (stopping_ || bye_received_) {
-        cv_.notify_all();
+        cv_.NotifyAll();
         return;
       }
     }
@@ -233,7 +241,7 @@ bool RemoteShard::SendRequest(uint8_t type, uint64_t request_id,
   message.type = static_cast<MsgType>(type);
   message.request_id = request_id;
   message.body = std::move(body);
-  std::unique_lock<std::mutex> send_lock(send_mu_);
+  MutexLock send_lock(send_mu_);
   return channel_.Send(EncodeMessage(message)) == net::IoStatus::kOk;
 }
 
@@ -241,7 +249,7 @@ bool RemoteShard::SubmitFrame(std::vector<uint8_t> frame,
                               std::promise<BatchTaskResult>* promise) {
   uint64_t request_id;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (dead_ || stopping_) return false;
     request_id = next_request_id_++;
   }
@@ -251,7 +259,7 @@ bool RemoteShard::SubmitFrame(std::vector<uint8_t> frame,
                    frame)) {
     return false;
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Pending entry;
   entry.request_id = request_id;
   entry.promise = std::move(*promise);
@@ -265,7 +273,7 @@ bool RemoteShard::SubmitFrame(std::vector<uint8_t> frame,
 std::optional<std::future<BatchTaskResult>> RemoteShard::Submit(
     const BatchTask& task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!started_ || dead_ || stopping_) return std::nullopt;
   }
   std::promise<BatchTaskResult> promise;
@@ -278,21 +286,21 @@ std::optional<std::future<BatchTaskResult>> RemoteShard::Submit(
 
 bool RemoteShard::Resume(SuspendedTask& task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!started_ || dead_ || stopping_) return false;
   }
   std::vector<uint8_t> frame = EncodeWireTask(MakeWireTask(task));
   // SubmitFrame moves the promise only once the frame is sent, so a
   // refusal leaves `task` fully intact for a retry elsewhere.
   if (!SubmitFrame(std::move(frame), &task.promise)) return false;
-  task.consumed = true;
+  task.MarkConsumed();
   return true;
 }
 
 std::optional<SuspendedTask> RemoteShard::Suspend(size_t submission_index) {
   uint64_t request_id = 0;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!started_ || dead_ || stopping_) return std::nullopt;
     if (submission_index >= pending_.size()) return std::nullopt;
     Pending& entry = pending_[submission_index];
@@ -304,16 +312,16 @@ std::optional<SuspendedTask> RemoteShard::Suspend(size_t submission_index) {
   }
   if (!SendRequest(static_cast<uint8_t>(MsgType::kSuspend), request_id,
                    {})) {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     suspend_request_ = 0;
     return std::nullopt;
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait_for(lock, std::chrono::milliseconds(config_.op_timeout_ms),
-               [this] {
-                 return suspend_result_.has_value() || suspend_failed_ ||
-                        dead_;
-               });
+  MutexLock lock(mu_);
+  cv_.WaitFor(lock, std::chrono::milliseconds(config_.op_timeout_ms),
+              [this]() REQUIRES(mu_) {
+                return suspend_result_.has_value() || suspend_failed_ ||
+                       dead_;
+              });
   suspend_request_ = 0;
   if (!suspend_result_.has_value()) return std::nullopt;
   std::optional<SuspendedTask> result = std::move(suspend_result_);
@@ -322,14 +330,14 @@ std::optional<SuspendedTask> RemoteShard::Suspend(size_t submission_index) {
 }
 
 void RemoteShard::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return open_ == 0 || dead_; });
+  MutexLock lock(mu_);
+  cv_.Wait(lock, [this]() REQUIRES(mu_) { return open_ == 0 || dead_; });
 }
 
 BatchReport RemoteShard::Stop() {
   bool send_shutdown = false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!stopping_) {
       stopping_ = true;
       send_shutdown = started_ && !dead_;
@@ -337,11 +345,11 @@ BatchReport RemoteShard::Stop() {
   }
   if (send_shutdown) {
     if (SendRequest(static_cast<uint8_t>(MsgType::kShutdown), 0, {})) {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait_for(lock, std::chrono::milliseconds(config_.op_timeout_ms),
-                   [this] {
-                     return (bye_received_ && open_ == 0) || dead_;
-                   });
+      MutexLock lock(mu_);
+      cv_.WaitFor(lock, std::chrono::milliseconds(config_.op_timeout_ms),
+                  [this]() REQUIRES(mu_) {
+                    return (bye_received_ && open_ == 0) || dead_;
+                  });
     }
   }
   // Shutdown, not Close: the receiver may be mid-Recv on this channel.
@@ -349,7 +357,7 @@ BatchReport RemoteShard::Stop() {
   if (receiver_.joinable()) receiver_.join();
   channel_.Close();
 
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   BatchReport report;
   report.tasks.reserve(pending_.size());
   for (size_t i = 0; i < pending_.size(); ++i) {
@@ -382,17 +390,17 @@ BatchReport RemoteShard::Stop() {
 }
 
 size_t RemoteShard::submitted_count() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return pending_.size();
 }
 
 bool RemoteShard::alive() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return !dead_;
 }
 
 std::vector<OrphanTask> RemoteShard::TakeOrphans() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<OrphanTask> orphans;
   if (!dead_) return orphans;
   for (size_t i = 0; i < pending_.size(); ++i) {
@@ -407,17 +415,17 @@ std::vector<OrphanTask> RemoteShard::TakeOrphans() {
     entry.migrated = true;
     --open_;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   return orphans;
 }
 
 size_t RemoteShard::snapshots_received() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return snapshots_received_;
 }
 
 std::string RemoteShard::death_reason() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return death_reason_;
 }
 

@@ -29,17 +29,16 @@
 #ifndef MOQO_SERVICE_REMOTE_SHARD_H_
 #define MOQO_SERVICE_REMOTE_SHARD_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "net/frame_channel.h"
 #include "service/shard.h"
 #include "service/shard_protocol.h"
@@ -71,29 +70,33 @@ class RemoteShard : public Shard {
   ~RemoteShard() override;
 
   /// Invoked exactly once, from the receiver thread, when the shard is
-  /// declared dead. Set before Start(); the callback must only hand off.
-  void set_death_callback(std::function<void(RemoteShard*)> callback);
+  /// declared dead. Conventionally set before Start(); taking mu_ anyway
+  /// keeps a late setter from racing the receiver reading the callback.
+  void set_death_callback(std::function<void(RemoteShard*)> callback)
+      EXCLUDES(mu_);
 
   /// Diagnostic label ("shard 3 (pid 12345)") stamped into every error
-  /// this shard raises. Set before Start().
-  void set_label(std::string label);
-  const std::string& label() const { return label_; }
+  /// this shard raises. Conventionally set before Start(); guarded like
+  /// the death callback because the receiver thread reads it.
+  void set_label(std::string label) EXCLUDES(mu_);
+  std::string label() const EXCLUDES(mu_);
 
-  void Start() override;
+  void Start() override EXCLUDES(mu_);
   std::optional<std::future<BatchTaskResult>> Submit(
-      const BatchTask& task) override;
-  void Drain() override;
-  BatchReport Stop() override;
-  std::optional<SuspendedTask> Suspend(size_t submission_index) override;
-  bool Resume(SuspendedTask& task) override;
-  size_t submitted_count() const override;
-  bool alive() const override;
-  std::vector<OrphanTask> TakeOrphans() override;
+      const BatchTask& task) override EXCLUDES(mu_, send_mu_);
+  void Drain() override EXCLUDES(mu_);
+  BatchReport Stop() override EXCLUDES(mu_, send_mu_);
+  std::optional<SuspendedTask> Suspend(size_t submission_index) override
+      EXCLUDES(mu_, send_mu_);
+  bool Resume(SuspendedTask& task) override EXCLUDES(mu_, send_mu_);
+  size_t submitted_count() const override EXCLUDES(mu_);
+  bool alive() const override EXCLUDES(mu_);
+  std::vector<OrphanTask> TakeOrphans() override EXCLUDES(mu_);
 
   /// kSnapshot messages applied so far (recovery frames refreshed).
-  size_t snapshots_received() const;
+  size_t snapshots_received() const EXCLUDES(mu_);
   /// Why the shard was declared dead (empty while alive).
-  std::string death_reason() const;
+  std::string death_reason() const EXCLUDES(mu_);
 
  private:
   /// One task submitted over this connection, by local index.
@@ -114,48 +117,59 @@ class RemoteShard : public Shard {
     BatchTaskResult result;
   };
 
-  void ReceiverLoop();
+  void ReceiverLoop() EXCLUDES(mu_);
   /// Declares the shard dead (idempotent) and wakes every waiter. The
   /// death callback fires outside the lock, on the receiver thread.
-  void MarkDead(const std::string& reason);
+  void MarkDead(const std::string& reason) EXCLUDES(mu_);
   /// Sends one protocol message. False if the transport refused it (the
-  /// shard is then marked dead by the receiver or here).
+  /// shard is then marked dead by the receiver or here). Never called
+  /// with mu_ held: send_mu_ sits strictly outside mu_ in the lock order,
+  /// and a blocked send must not stall the receiver.
   bool SendRequest(uint8_t type, uint64_t request_id,
-                   std::vector<uint8_t> body);
+                   std::vector<uint8_t> body) EXCLUDES(mu_, send_mu_);
   /// Common Submit()/Resume() path: ship a task frame, register pending.
   /// `*promise` is moved from only on success.
   bool SubmitFrame(std::vector<uint8_t> frame,
-                   std::promise<BatchTaskResult>* promise);
-  /// Receiver-side message dispatch. Requires mu_.
-  void HandleMessage(std::unique_lock<std::mutex>& lock, Message&& message);
+                   std::promise<BatchTaskResult>* promise)
+      EXCLUDES(mu_, send_mu_);
+  /// Receiver-side message dispatch. `lock` holds mu_ (waiters are
+  /// notified through it).
+  void HandleMessage(MutexLock& lock, Message&& message) REQUIRES(mu_);
 
   RemoteShardConfig config_;
+  /// Two independent directions by contract: exactly one sender at a time
+  /// (serialized by send_mu_) and the receiver thread; FrameChannel keeps
+  /// per-direction state, so the halves share nothing.
   net::FrameChannel channel_;
-  std::function<void(RemoteShard*)> death_callback_;
-  std::string label_ = "remote shard";
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   /// Serializes senders (router thread vs. destructor).
-  std::mutex send_mu_;
-  std::condition_variable cv_;
+  Mutex send_mu_;
+  CondVar cv_;
+  /// Started once under mu_ in Start(), joined by Stop()/the destructor
+  /// without the lock (joining under mu_ would deadlock the receiver).
   std::thread receiver_;
-  std::vector<Pending> pending_;
-  /// request id -> local index.
-  std::map<uint64_t, size_t> index_by_request_;
-  uint64_t next_request_id_ = 1;
+  std::function<void(RemoteShard*)> death_callback_ GUARDED_BY(mu_);
+  std::string label_ GUARDED_BY(mu_) = "remote shard";
+  std::vector<Pending> pending_ GUARDED_BY(mu_);
+  /// request id -> local index. Lookup only — never iterated, so its
+  /// unordered cousin would be safe too; std::map keeps failover frame
+  /// recovery order deterministic anyway.
+  std::map<uint64_t, size_t> index_by_request_ GUARDED_BY(mu_);
+  uint64_t next_request_id_ GUARDED_BY(mu_) = 1;
   /// Unfinished tasks this shard still owes results for.
-  size_t open_ = 0;
-  size_t snapshots_received_ = 0;
+  size_t open_ GUARDED_BY(mu_) = 0;
+  size_t snapshots_received_ GUARDED_BY(mu_) = 0;
   /// Rendezvous slot of the (single, router-serialized) Suspend() in
   /// flight.
-  uint64_t suspend_request_ = 0;
-  std::optional<SuspendedTask> suspend_result_;
-  bool suspend_failed_ = false;
-  bool started_ = false;
-  bool stopping_ = false;
-  bool bye_received_ = false;
-  bool dead_ = false;
-  std::string death_reason_;
+  uint64_t suspend_request_ GUARDED_BY(mu_) = 0;
+  std::optional<SuspendedTask> suspend_result_ GUARDED_BY(mu_);
+  bool suspend_failed_ GUARDED_BY(mu_) = false;
+  bool started_ GUARDED_BY(mu_) = false;
+  bool stopping_ GUARDED_BY(mu_) = false;
+  bool bye_received_ GUARDED_BY(mu_) = false;
+  bool dead_ GUARDED_BY(mu_) = false;
+  std::string death_reason_ GUARDED_BY(mu_);
 };
 
 }  // namespace moqo

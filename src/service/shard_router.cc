@@ -29,7 +29,7 @@ ShardRouter::ShardRouter(ShardRouterConfig config,
     : config_(std::move(config)), make_optimizer_(std::move(make_optimizer)) {
   config_.num_shards = std::max(0, config_.num_shards);
   config_.virtual_nodes = std::max(1, config_.virtual_nodes);
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (int i = 0; i < config_.num_shards; ++i) {
     size_t id = next_shard_id_++;
     shards_.emplace(id, std::make_unique<LocalShard>(config_.shard,
@@ -42,7 +42,7 @@ ShardRouter::ShardRouter(ShardRouterConfig config,
 ShardRouter::~ShardRouter() {
   bool stopped;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopped = stopped_;
   }
   if (!stopped) Stop();
@@ -55,7 +55,7 @@ void ShardRouter::StartLocked() {
 }
 
 void ShardRouter::Start() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   StartLocked();
 }
 
@@ -102,7 +102,7 @@ std::optional<std::future<BatchTaskResult>> ShardRouter::Submit(
   BatchTask routed = task;
   routed.fingerprint = FingerprintOf(task);
   uint64_t key = DeriveRouteKey(routed.fingerprint, routed.seed);
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (stopped_ || ring_.empty()) return std::nullopt;
   // Walk the ring from the key's owner, skipping shards known dead (their
   // failover is pending) and shards that die under the Submit itself —
@@ -136,7 +136,7 @@ std::optional<std::future<BatchTaskResult>> ShardRouter::Submit(
 }
 
 void ShardRouter::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   StartLocked();
   // Shard workers never take mu_, so holding it while the shards drain is
   // safe; it also pins membership for the duration.
@@ -144,7 +144,7 @@ void ShardRouter::Drain() {
 }
 
 BatchReport ShardRouter::Stop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   BatchReport report;
   if (stopped_) return report;
   stopped_ = true;
@@ -188,20 +188,20 @@ size_t ShardRouter::AddShardLocked(std::unique_ptr<Shard> shard) {
 }
 
 size_t ShardRouter::AddShard() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (stopped_) return static_cast<size_t>(-1);
   return AddShardLocked(
       std::make_unique<LocalShard>(config_.shard, make_optimizer_));
 }
 
 size_t ShardRouter::AddShard(std::unique_ptr<Shard> shard) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (stopped_ || shard == nullptr) return static_cast<size_t>(-1);
   return AddShardLocked(std::move(shard));
 }
 
 bool ShardRouter::RemoveShard(size_t shard_id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (stopped_) return false;
   auto it = shards_.find(shard_id);
   if (it == shards_.end() || shards_.size() == 1) return false;
@@ -229,7 +229,7 @@ bool ShardRouter::RemoveShard(size_t shard_id) {
 }
 
 bool ShardRouter::FailShard(size_t shard_id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (stopped_) return false;
   auto it = shards_.find(shard_id);
   if (it == shards_.end()) return false;
@@ -365,7 +365,7 @@ bool ShardRouter::MigrateLocked(Shard* source, Entry* entry,
   rebuilt.origin = "migration from shard " + std::to_string(entry->shard_id) +
                    ", route key " + RouteKeyString(entry->key) +
                    ", fingerprint " + FingerprintString(entry->fingerprint);
-  suspended->consumed = true;
+  suspended->MarkConsumed();
 
   Shard* destination = shards_.at(to_shard).get();
   if (!destination->Resume(rebuilt)) {
@@ -385,7 +385,7 @@ bool ShardRouter::MigrateLocked(Shard* source, Entry* entry,
 }
 
 std::vector<size_t> ShardRouter::shard_ids() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<size_t> ids;
   ids.reserve(shards_.size());
   for (const auto& [id, shard] : shards_) ids.push_back(id);
@@ -393,49 +393,49 @@ std::vector<size_t> ShardRouter::shard_ids() const {
 }
 
 size_t ShardRouter::shard_count() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return shards_.size();
 }
 
 size_t ShardRouter::ShardFor(const BatchTask& task) const {
   uint64_t key = RouteKey(task);  // query serialization: not under mu_
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (ring_.empty()) return static_cast<size_t>(-1);  // stopped
   return OwnerLocked(key);
 }
 
 size_t ShardRouter::submitted_count() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 size_t ShardRouter::migrations() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return migrations_;
 }
 
 size_t ShardRouter::checkpointed_migrations() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return checkpointed_migrations_;
 }
 
 size_t ShardRouter::failed_shards() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return failed_shards_;
 }
 
 size_t ShardRouter::failover_replayed() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return failover_replayed_;
 }
 
 size_t ShardRouter::failover_checkpointed() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return failover_checkpointed_;
 }
 
 int64_t ShardRouter::failover_resume_steps() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return failover_resume_steps_;
 }
 

@@ -53,10 +53,10 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "service/batch_optimizer.h"
 #include "service/online_scheduler.h"
 #include "service/shard.h"
@@ -92,7 +92,7 @@ class ShardRouter {
   /// Starts every shard's workers. Idempotent; called implicitly by
   /// Drain() and by membership changes (a rebalance needs live
   /// destinations to Resume() onto).
-  void Start();
+  void Start() EXCLUDES(mu_);
 
   /// Routes the task to its ring owner and admits it there. A dead (not
   /// yet failed-over) owner is skipped: the task lands on the next live
@@ -101,11 +101,12 @@ class ShardRouter {
   /// under kReject, empty membership, or the router is stopping). Under
   /// kBlock a full local owner window blocks the caller — and any
   /// concurrent membership change — until the owner frees a slot.
-  std::optional<std::future<BatchTaskResult>> Submit(const BatchTask& task);
+  std::optional<std::future<BatchTaskResult>> Submit(const BatchTask& task)
+      EXCLUDES(mu_);
 
   /// Blocks until every admitted task on every shard has completed (dead
   /// shards are skipped; their tasks complete elsewhere after FailShard).
-  void Drain();
+  void Drain() EXCLUDES(mu_);
 
   /// Drains, stops every shard, and returns one report over all router
   /// submissions in router submission order: task i is the i-th successful
@@ -113,17 +114,17 @@ class ShardRouter {
   /// (migrated-away stub slots are skipped). `migrated_tasks` counts
   /// rebalance + failover hops performed by this router. After Stop()
   /// every Submit() is rejected; the router cannot be restarted.
-  BatchReport Stop();
+  BatchReport Stop() EXCLUDES(mu_);
 
   /// Adds an in-process shard, rebalancing in-flight tasks whose ring
   /// owner changed onto it via suspend → wire round-trip → resume. Starts
   /// the router if it was not running. Returns the new shard's stable id,
   /// or size_t(-1) — changing nothing — once the router is stopped.
-  size_t AddShard();
+  size_t AddShard() EXCLUDES(mu_);
 
   /// As above with a caller-built shard (how a supervisor wires in a
   /// RemoteShard). The shard is Start()ed before it joins the ring.
-  size_t AddShard(std::unique_ptr<Shard> shard);
+  size_t AddShard(std::unique_ptr<Shard> shard) EXCLUDES(mu_);
 
   /// Removes shard `shard_id`, first migrating its in-flight tasks to
   /// their new ring owners (a task whose new owner refuses it finishes on
@@ -132,7 +133,7 @@ class ShardRouter {
   /// served from the retired report by Stop()). Returns false — changing
   /// nothing — for an unknown id, the last shard, or a stopped router.
   /// Starts the router if it was not running.
-  bool RemoveShard(size_t shard_id);
+  bool RemoveShard(size_t shard_id) EXCLUDES(mu_);
 
   /// Fails shard `shard_id` over: takes it off the ring, recovers its
   /// in-flight tasks' last known wire frames, and replays each onto a
@@ -141,44 +142,44 @@ class ShardRouter {
   /// survivor accepts, fails its future with the shard id and route key
   /// in the error. Returns false for an unknown id or a stopped router.
   /// Never call from a shard's death callback (see file header).
-  bool FailShard(size_t shard_id);
+  bool FailShard(size_t shard_id) EXCLUDES(mu_);
 
   /// Live shard ids in ascending order (dead-but-not-yet-failed-over
   /// shards included until FailShard removes them).
-  std::vector<size_t> shard_ids() const;
+  std::vector<size_t> shard_ids() const EXCLUDES(mu_);
 
   /// Current member shards.
-  size_t shard_count() const;
+  size_t shard_count() const EXCLUDES(mu_);
 
   /// The shard id `task` currently routes to (for tests and placement
   /// diagnostics; Submit() recomputes this under the same lock). Returns
   /// size_t(-1) once the router is stopped.
-  size_t ShardFor(const BatchTask& task) const;
+  size_t ShardFor(const BatchTask& task) const EXCLUDES(mu_);
 
   /// Successful Submit() calls so far.
-  size_t submitted_count() const;
+  size_t submitted_count() const EXCLUDES(mu_);
 
   /// In-flight tasks moved between shards by membership changes and
   /// failovers.
-  size_t migrations() const;
+  size_t migrations() const EXCLUDES(mu_);
 
   /// The subset of migrations() that carried a non-empty mid-run session
   /// checkpoint across the wire (the rest were still queued, fresh).
-  size_t checkpointed_migrations() const;
+  size_t checkpointed_migrations() const EXCLUDES(mu_);
 
   /// Shards taken out by FailShard().
-  size_t failed_shards() const;
+  size_t failed_shards() const EXCLUDES(mu_);
 
   /// In-flight tasks replayed onto survivors by FailShard().
-  size_t failover_replayed() const;
+  size_t failover_replayed() const EXCLUDES(mu_);
 
   /// The subset of failover_replayed() whose recovery frame carried a
   /// mid-run checkpoint snapshot (the rest replayed from scratch).
-  size_t failover_checkpointed() const;
+  size_t failover_checkpointed() const EXCLUDES(mu_);
 
   /// Sum of the already-executed step counts carried by replayed recovery
   /// frames: work the failover did NOT re-run thanks to snapshots.
-  int64_t failover_resume_steps() const;
+  int64_t failover_resume_steps() const EXCLUDES(mu_);
 
   const ShardRouterConfig& config() const { return config_; }
 
@@ -205,47 +206,50 @@ class ShardRouter {
     }
   };
 
-  void StartLocked();
+  void StartLocked() REQUIRES(mu_);
   /// Recomputes ring_ from the current shards_ membership.
-  void RebuildRingLocked();
+  void RebuildRingLocked() REQUIRES(mu_);
   /// Ring owner of `key`; requires a non-empty ring.
-  size_t OwnerLocked(uint64_t key) const;
+  size_t OwnerLocked(uint64_t key) const REQUIRES(mu_);
   /// First live shard at or after `key` on the ring; size_t(-1) if none.
-  size_t LiveOwnerLocked(uint64_t key) const;
+  size_t LiveOwnerLocked(uint64_t key) const REQUIRES(mu_);
   /// Re-derives every in-flight entry's owner and migrates the moved ones.
-  void RebalanceLocked();
+  void RebalanceLocked() REQUIRES(mu_);
   /// Moves one entry off `source` (the shard it currently lives on, which
   /// RemoveShard may have already taken out of shards_) to `to_shard` via
   /// suspend → wire → resume. Returns false if the task had already
   /// finished on its current shard (nothing to move). A task is never
   /// lost: if the destination refuses, it is resumed back onto `source`.
-  bool MigrateLocked(Shard* source, Entry* entry, size_t to_shard);
-  size_t AddShardLocked(std::unique_ptr<Shard> shard);
+  bool MigrateLocked(Shard* source, Entry* entry, size_t to_shard)
+      REQUIRES(mu_);
+  size_t AddShardLocked(std::unique_ptr<Shard> shard) REQUIRES(mu_);
 
   ShardRouterConfig config_;
   OptimizerFactory make_optimizer_;
   /// Epoch of the Stop() report's wall clock: construction time.
   Stopwatch epoch_;
 
-  mutable std::mutex mu_;
-  /// Member shards by stable id.
-  std::map<size_t, std::unique_ptr<Shard>> shards_;
+  mutable Mutex mu_;
+  /// Member shards by stable id (std::map: membership iteration order is
+  /// part of the determinism contract — Start/Drain/Stop and failover
+  /// replay walk shards in id order everywhere, in every process).
+  std::map<size_t, std::unique_ptr<Shard>> shards_ GUARDED_BY(mu_);
   /// Final reports of removed/failed (and, after Stop(), all) shards.
-  std::map<size_t, BatchReport> retired_;
-  std::vector<RingPoint> ring_;
+  std::map<size_t, BatchReport> retired_ GUARDED_BY(mu_);
+  std::vector<RingPoint> ring_ GUARDED_BY(mu_);
   /// Router submission i is entries_[i].
-  std::vector<Entry> entries_;
-  size_t next_shard_id_ = 0;
-  size_t migrations_ = 0;
-  size_t checkpointed_migrations_ = 0;
-  size_t failed_shards_ = 0;
-  size_t failover_replayed_ = 0;
-  size_t failover_checkpointed_ = 0;
-  int64_t failover_resume_steps_ = 0;
+  std::vector<Entry> entries_ GUARDED_BY(mu_);
+  size_t next_shard_id_ GUARDED_BY(mu_) = 0;
+  size_t migrations_ GUARDED_BY(mu_) = 0;
+  size_t checkpointed_migrations_ GUARDED_BY(mu_) = 0;
+  size_t failed_shards_ GUARDED_BY(mu_) = 0;
+  size_t failover_replayed_ GUARDED_BY(mu_) = 0;
+  size_t failover_checkpointed_ GUARDED_BY(mu_) = 0;
+  int64_t failover_resume_steps_ GUARDED_BY(mu_) = 0;
   /// Peak member count, for the report's num_threads.
-  size_t peak_shards_ = 0;
-  bool started_ = false;
-  bool stopped_ = false;
+  size_t peak_shards_ GUARDED_BY(mu_) = 0;
+  bool started_ GUARDED_BY(mu_) = false;
+  bool stopped_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace moqo

@@ -30,9 +30,9 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "net/frame_channel.h"
 #include "service/batch_optimizer.h"
 #include "service/online_scheduler.h"
@@ -79,11 +79,11 @@ class ShardServer {
   /// State shared between the serve loop and the scheduler worker threads
   /// that publish snapshots.
   struct SnapshotState {
-    std::mutex mu;
+    Mutex mu;
     /// scheduler submission index -> request id, for stamping snapshots.
-    std::map<size_t, uint64_t> request_ids;
+    std::map<size_t, uint64_t> request_ids GUARDED_BY(mu);
     /// Encoded kSnapshot messages awaiting the serve-loop sender.
-    std::vector<std::vector<uint8_t>> outbox;
+    std::vector<std::vector<uint8_t>> outbox GUARDED_BY(mu);
   };
 
   /// Handles one decoded request. Returns false when the reply could not
@@ -104,6 +104,8 @@ class ShardServer {
 
   ShardServerConfig config_;
   OptimizerFactory make_optimizer_;
+  /// Written only by the Serve() thread; served_tasks() is documented as
+  /// a between-connections observer, so it carries no guard.
   size_t served_tasks_ = 0;
 
   /// Serve()-local state, members only to keep the handlers' signatures

@@ -35,12 +35,12 @@ ShardSupervisor::ShardSupervisor(ShardSupervisorConfig config,
 
 ShardSupervisor::~ShardSupervisor() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
   if (monitor_.joinable()) monitor_.join();
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [shard, info] : children_) {
     ReapLocked(&info, /*force=*/true);
   }
@@ -60,7 +60,7 @@ void ShardSupervisor::ReapLocked(ChildInfo* info, bool force) {
 size_t ShardSupervisor::SpawnShard() {
   std::string socket_path;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     socket_path = config_.socket_dir + "/moqo-shard-" +
                   std::to_string(getpid()) + "-" +
                   std::to_string(next_socket_seq_++) + ".sock";
@@ -81,7 +81,7 @@ size_t ShardSupervisor::SpawnShard() {
                        argv.data(), environ);
   if (rc != 0) return static_cast<size_t>(-1);
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++spawned_;
   }
 
@@ -115,20 +115,20 @@ size_t ShardSupervisor::SpawnShard() {
   shard->set_label("remote shard (pid " + std::to_string(pid) + ")");
   shard->set_death_callback([this](RemoteShard* dead) {
     // Receiver thread: enqueue only (see file header).
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     dead_.push_back(dead);
-    cv_.notify_all();
+    cv_.NotifyAll();
   });
   {
     // Registered before AddShard starts the receiver, so a death callback
     // firing immediately still finds the child (shard_id is patched in
     // below; the monitor waits for it).
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     children_[ptr] = ChildInfo{pid, static_cast<size_t>(-1), false};
   }
 
   size_t shard_id = router_->AddShard(std::move(shard));
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (shard_id == static_cast<size_t>(-1)) {
     // Router refused (stopped); the shard object is already destroyed.
     ReapLocked(&children_[ptr], /*force=*/true);
@@ -136,7 +136,7 @@ size_t ShardSupervisor::SpawnShard() {
     return static_cast<size_t>(-1);
   }
   children_[ptr].shard_id = shard_id;
-  cv_.notify_all();
+  cv_.NotifyAll();
   return shard_id;
 }
 
@@ -145,18 +145,20 @@ void ShardSupervisor::MonitorLoop() {
     RemoteShard* dead = nullptr;
     size_t shard_id = static_cast<size_t>(-1);
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !dead_.empty(); });
+      MutexLock lock(mu_);
+      cv_.Wait(lock,
+               [this]() REQUIRES(mu_) { return stop_ || !dead_.empty(); });
       if (dead_.empty() && stop_) return;
       dead = dead_.front();
       dead_.pop_front();
       // Registration may still be in flight (death raced SpawnShard);
       // wait for the shard id to be patched in.
-      cv_.wait_for(lock, std::chrono::seconds(5), [this, dead] {
-        auto it = children_.find(dead);
-        return it == children_.end() ||
-               it->second.shard_id != static_cast<size_t>(-1);
-      });
+      cv_.WaitFor(lock, std::chrono::seconds(5),
+                  [this, dead]() REQUIRES(mu_) {
+                    auto it = children_.find(dead);
+                    return it == children_.end() ||
+                           it->second.shard_id != static_cast<size_t>(-1);
+                  });
       auto it = children_.find(dead);
       if (it == children_.end()) continue;
       shard_id = it->second.shard_id;
@@ -167,14 +169,14 @@ void ShardSupervisor::MonitorLoop() {
     if (shard_id != static_cast<size_t>(-1)) {
       router_->FailShard(shard_id);
     }
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++failovers_;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 }
 
 bool ShardSupervisor::KillShard(size_t shard_id, int signal) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [shard, info] : children_) {
     if (info.shard_id != shard_id || info.reaped) continue;
     return kill(info.pid, signal) == 0;
@@ -183,7 +185,7 @@ bool ShardSupervisor::KillShard(size_t shard_id, int signal) {
 }
 
 pid_t ShardSupervisor::ShardPid(size_t shard_id) const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [shard, info] : children_) {
     if (info.shard_id == shard_id) return info.pid;
   }
@@ -191,18 +193,19 @@ pid_t ShardSupervisor::ShardPid(size_t shard_id) const {
 }
 
 bool ShardSupervisor::WaitForFailovers(size_t count, int timeout_ms) {
-  std::unique_lock<std::mutex> lock(mu_);
-  return cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                      [this, count] { return failovers_ >= count; });
+  MutexLock lock(mu_);
+  return cv_.WaitFor(
+      lock, std::chrono::milliseconds(timeout_ms),
+      [this, count]() REQUIRES(mu_) { return failovers_ >= count; });
 }
 
 size_t ShardSupervisor::failovers() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return failovers_;
 }
 
 size_t ShardSupervisor::spawned() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spawned_;
 }
 

@@ -30,15 +30,14 @@
 
 #include <sys/types.h>
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "service/remote_shard.h"
 #include "service/shard_router.h"
 
@@ -79,26 +78,26 @@ class ShardSupervisor {
   /// Returns the router shard id, or size_t(-1) if the spawn, the
   /// connection, or the router registration failed (the child is killed
   /// and reaped on any failure).
-  size_t SpawnShard();
+  size_t SpawnShard() EXCLUDES(mu_);
 
   /// Sends `signal` to the child behind router shard `shard_id` (test
   /// hook: SIGKILL simulates a crash; failover then proceeds through the
   /// normal detection path). False for an unknown or already-reaped id.
-  bool KillShard(size_t shard_id, int signal);
+  bool KillShard(size_t shard_id, int signal) EXCLUDES(mu_);
 
   /// Pid of the child behind `shard_id`, or -1 if unknown.
-  pid_t ShardPid(size_t shard_id) const;
+  pid_t ShardPid(size_t shard_id) const EXCLUDES(mu_);
 
   /// Blocks until at least `count` failovers completed (FailShard
   /// returned) or `timeout_ms` elapsed. Returns whether the count was
   /// reached.
-  bool WaitForFailovers(size_t count, int timeout_ms);
+  bool WaitForFailovers(size_t count, int timeout_ms) EXCLUDES(mu_);
 
   /// Completed failovers so far.
-  size_t failovers() const;
+  size_t failovers() const EXCLUDES(mu_);
 
   /// Children spawned so far (including exited ones).
-  size_t spawned() const;
+  size_t spawned() const EXCLUDES(mu_);
 
  private:
   struct ChildInfo {
@@ -108,24 +107,26 @@ class ShardSupervisor {
     bool reaped = false;
   };
 
-  void MonitorLoop();
-  /// Reaps `pid` (SIGKILL first if `force`), idempotently. Requires mu_.
-  void ReapLocked(ChildInfo* info, bool force);
+  void MonitorLoop() EXCLUDES(mu_);
+  /// Reaps `pid` (SIGKILL first if `force`), idempotently.
+  void ReapLocked(ChildInfo* info, bool force) REQUIRES(mu_);
 
   ShardSupervisorConfig config_;
   ShardRouter* router_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  /// Started by the constructor, joined by the destructor after stop_ is
+  /// set; never touched in between, so it needs no guard.
   std::thread monitor_;
   /// Shards whose death callback fired, awaiting failover. Pointers are
   /// map keys only — never dereferenced (see file header).
-  std::deque<RemoteShard*> dead_;
-  std::map<RemoteShard*, ChildInfo> children_;
-  uint64_t next_socket_seq_ = 0;
-  size_t failovers_ = 0;
-  size_t spawned_ = 0;
-  bool stop_ = false;
+  std::deque<RemoteShard*> dead_ GUARDED_BY(mu_);
+  std::map<RemoteShard*, ChildInfo> children_ GUARDED_BY(mu_);
+  uint64_t next_socket_seq_ GUARDED_BY(mu_) = 0;
+  size_t failovers_ GUARDED_BY(mu_) = 0;
+  size_t spawned_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace moqo

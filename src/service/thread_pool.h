@@ -7,13 +7,13 @@
 #ifndef MOQO_SERVICE_THREAD_POOL_H_
 #define MOQO_SERVICE_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace moqo {
 
@@ -30,28 +30,32 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Must not be called after the destructor has begun.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and no task is executing. If any task
   /// threw since the last Wait(), rethrows the first such exception (later
   /// ones are dropped); the pool itself stays usable — a throwing task
   /// never takes a worker down.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   /// Number of worker threads.
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
+  /// Fixed at construction, joined by the destructor; never touched by
+  /// the workers themselves, so it needs no guard.
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // signals workers: work or shutdown
-  std::condition_variable idle_cv_;  // signals Wait(): pool drained
-  int active_ = 0;                   // tasks currently executing
-  bool stop_ = false;                // set once the destructor has begun
-  std::exception_ptr first_error_;   // first task exception since last Wait
+
+  Mutex mu_;
+  CondVar work_cv_;  // signals workers: work or shutdown
+  CondVar idle_cv_;  // signals Wait(): pool drained
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  int active_ GUARDED_BY(mu_) = 0;   // tasks currently executing
+  bool stop_ GUARDED_BY(mu_) = false;  // set once the destructor has begun
+  /// First task exception since the last Wait().
+  std::exception_ptr first_error_ GUARDED_BY(mu_);
 };
 
 }  // namespace moqo

@@ -292,6 +292,37 @@ TEST(CheckpointIoTest, ReadPastEndFailsInsteadOfThrowing) {
   EXPECT_EQ(reader.ReadString(), "");  // stays failed
 }
 
+// Checkpoint bytes must not depend on PlanCache insertion history: the
+// cache is an unordered_map, and two caches holding identical entries can
+// iterate in different orders. WritePlanCache sorts keys canonically, so
+// the serialized bytes — and every CRC and snapshot frame derived from
+// them — are identical regardless of how the cache was built.
+TEST(CheckpointIoTest, PlanCacheSerializationIsInsertionOrderInvariant) {
+  Fixture fx(8);
+  std::vector<PlanPtr> scans;
+  for (int t = 0; t < 8; ++t) {
+    scans.push_back(fx.factory.MakeScan(t, ScanAlgorithm::kFullScan));
+  }
+
+  PlanCache forward;
+  for (int t = 0; t < 8; ++t) {
+    forward.Insert(TableSet::Singleton(t), scans[static_cast<size_t>(t)],
+                   1.0);
+  }
+  PlanCache backward;
+  for (int t = 7; t >= 0; --t) {
+    backward.Insert(TableSet::Singleton(t), scans[static_cast<size_t>(t)],
+                    1.0);
+  }
+  ASSERT_EQ(forward.NumTableSets(), backward.NumTableSets());
+
+  CheckpointWriter writer_forward;
+  WritePlanCache(&writer_forward, forward);
+  CheckpointWriter writer_backward;
+  WritePlanCache(&writer_backward, backward);
+  EXPECT_EQ(writer_forward.Take(), writer_backward.Take());
+}
+
 // Structural sharing survives the round-trip: a sub-plan referenced by two
 // plans is serialized once and restored as one shared node.
 TEST(CheckpointIoTest, PlanRoundTripPreservesSharingAndCosts) {

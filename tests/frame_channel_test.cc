@@ -112,6 +112,54 @@ TEST(FrameChannelTest, CorruptPayloadFailsCrc) {
   EXPECT_NE(receiver.last_error().find("CRC"), std::string::npos);
 }
 
+// The error strings are per-direction state: a failing Send() must not
+// clobber the receive-direction diagnostic another thread may be reading
+// (under the one-sender + one-receiver contract the two directions run
+// concurrently, so a shared string would also be a data race — the TSan
+// variant of the next test exercises exactly that interleaving).
+TEST(FrameChannelTest, SendFailureDoesNotClobberReceiveError) {
+  std::vector<uint8_t> frame = FrameBytes(Payload(32, 9));
+  frame[kFrameHeaderBytes + 3] ^= 0x10;  // corrupt one payload byte
+  FrameChannel sender, receiver;
+  ASSERT_TRUE(FrameChannel::Pair(&sender, &receiver));
+  ASSERT_EQ(::send(sender.fd(), frame.data(), frame.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(frame.size()));
+  std::vector<uint8_t> got;
+  ASSERT_EQ(receiver.Recv(&got, 1000), IoStatus::kError);
+  ASSERT_NE(receiver.last_error().find("CRC"), std::string::npos);
+
+  // Now fail a send on the same channel: the receive diagnostic survives
+  // and the send failure is reported through its own accessor.
+  sender.Close();
+  receiver.Close();
+  EXPECT_EQ(receiver.Send(Payload(4, 1)), IoStatus::kError);
+  EXPECT_NE(receiver.send_error().find("send"), std::string::npos);
+  EXPECT_NE(receiver.last_error().find("CRC"), std::string::npos)
+      << "Send() overwrote the receive-direction error";
+}
+
+// One thread hammers Send() into a dead peer while the other drives
+// Recv() to an error: with a single shared error string this is a
+// write-write race TSan flags; with per-direction strings it is clean.
+TEST(FrameChannelTest, ConcurrentSendAndRecvErrorsDoNotRace) {
+  FrameChannel a, b;
+  ASSERT_TRUE(FrameChannel::Pair(&a, &b));
+  b.Shutdown();  // both directions die; fd stays valid on both sides
+  std::thread sender([&a] {
+    for (int i = 0; i < 100; ++i) {
+      a.Send(Payload(16, static_cast<uint8_t>(i)));
+    }
+  });
+  std::vector<uint8_t> got;
+  for (int i = 0; i < 100; ++i) {
+    a.Recv(&got, 10);
+  }
+  sender.join();
+  // Each direction reports its own failure.
+  EXPECT_FALSE(a.last_error().empty());
+  EXPECT_FALSE(a.send_error().empty());
+}
+
 TEST(FrameChannelTest, BadMagicAndOversizedLengthAreErrors) {
   {
     std::vector<uint8_t> frame = FrameBytes(Payload(8, 5));

@@ -1,0 +1,16 @@
+// Fixture: an unversioned checkpoint stream — no reader can reject a
+// foreign layout.
+#include <cstdint>
+#include <vector>
+
+struct CheckpointWriter {
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  std::vector<uint8_t> Take();
+};
+
+std::vector<uint8_t> EncodeState(uint64_t steps) {
+  CheckpointWriter writer;  // expect: checkpoint-magic
+  writer.WriteU64(steps);
+  return writer.Take();
+}

@@ -1,0 +1,10 @@
+// Fixture: raw array new with untyped ownership.
+#include <cstddef>
+
+struct Node {
+  int value = 0;
+};
+
+Node* AllocateChunk(size_t n) {
+  return new Node[n];  // expect: raw-new-array
+}

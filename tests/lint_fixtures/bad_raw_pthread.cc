@@ -1,0 +1,10 @@
+// Fixture: direct pthread use instead of std::thread + moqo::Mutex.
+#include <pthread.h>
+
+void* Worker(void*);
+
+void SpawnDetached() {
+  pthread_t handle;
+  pthread_create(&handle, nullptr, Worker, nullptr);  // expect: raw-pthread
+  pthread_detach(handle);  // expect: raw-pthread
+}

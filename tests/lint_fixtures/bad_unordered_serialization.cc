@@ -1,0 +1,17 @@
+// Fixture: hash-map iteration order leaking into serialized bytes.
+#include <cstdint>
+#include <unordered_map>
+
+struct Writer {
+  void WriteU64(uint64_t v);
+};
+
+struct Cache {
+  std::unordered_map<uint64_t, int> entries_;
+};
+
+void Serialize(const Cache& cache, Writer* writer) {
+  for (const auto& [key, value] : cache.entries_) {  // expect: unordered-serialization
+    writer->WriteU64(key);
+  }
+}

@@ -1,0 +1,18 @@
+// Fixture: wall time and ambient randomness outside approved sites.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+int64_t Stamp() {
+  auto now = std::chrono::system_clock::now();  // expect: wall-clock
+  return now.time_since_epoch().count();
+}
+
+int Roll() {
+  return rand() % 6;  // expect: wall-clock
+}
+
+unsigned Seed() {
+  std::random_device device;  // expect: wall-clock
+  return device();
+}

@@ -1,0 +1,25 @@
+// Fixture: the suppression mechanism. Both placements — trailing on the
+// offending line and on the line directly above — must silence exactly
+// the named rule.
+#include <cstdint>
+#include <vector>
+
+struct CheckpointWriter {
+  void WriteU64(uint64_t v);
+  std::vector<uint8_t> Take();
+};
+
+std::vector<uint8_t> HashInput(uint64_t key) {
+  // Bytes feed a hash in this same process and are never decoded, so no
+  // version gate is needed.
+  CheckpointWriter writer;  // moqo-lint: allow(checkpoint-magic)
+  writer.WriteU64(key);
+  return writer.Take();
+}
+
+std::vector<uint8_t> HashInputAbove(uint64_t key) {
+  // moqo-lint: allow(checkpoint-magic)
+  CheckpointWriter writer;
+  writer.WriteU64(key);
+  return writer.Take();
+}

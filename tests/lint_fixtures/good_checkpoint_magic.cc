@@ -1,0 +1,21 @@
+// Fixture: a versioned stream — magic + version lead the bytes, so a
+// reader from another build rejects instead of misparsing.
+#include <cstdint>
+#include <vector>
+
+inline constexpr uint32_t kStateMagic = 0x4d514f4du;
+inline constexpr uint32_t kStateVersion = 1;
+
+struct CheckpointWriter {
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  std::vector<uint8_t> Take();
+};
+
+std::vector<uint8_t> EncodeState(uint64_t steps) {
+  CheckpointWriter writer;
+  writer.WriteU32(kStateMagic);
+  writer.WriteU32(kStateVersion);
+  writer.WriteU64(steps);
+  return writer.Take();
+}

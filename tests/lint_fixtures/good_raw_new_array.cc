@@ -1,0 +1,11 @@
+// Fixture: typed array ownership via make_unique.
+#include <cstddef>
+#include <memory>
+
+struct Node {
+  int value = 0;
+};
+
+std::unique_ptr<Node[]> AllocateChunk(size_t n) {
+  return std::make_unique<Node[]>(n);
+}

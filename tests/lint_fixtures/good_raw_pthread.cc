@@ -1,0 +1,9 @@
+// Fixture: the sanctioned threading surface.
+#include <thread>
+
+void Work();
+
+void SpawnJoined() {
+  std::thread worker([] { Work(); });
+  worker.join();
+}

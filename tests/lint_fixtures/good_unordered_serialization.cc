@@ -1,0 +1,28 @@
+// Fixture: ordered iteration into serialized bytes, and unordered
+// iteration that never feeds a serializer — both clean.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+struct Writer {
+  void WriteU64(uint64_t v);
+};
+
+struct Cache {
+  std::map<uint64_t, int> ordered_;
+  std::unordered_map<uint64_t, int> entries_;
+};
+
+void Serialize(const Cache& cache, Writer* writer) {
+  for (const auto& [key, value] : cache.ordered_) {
+    writer->WriteU64(key);
+  }
+}
+
+uint64_t Total(const Cache& cache) {
+  uint64_t total = 0;
+  for (const auto& [key, value] : cache.entries_) {
+    total += key;
+  }
+  return total;
+}

@@ -1,0 +1,19 @@
+// Fixture: the approved time/randomness sources — monotonic clock and a
+// seeded deterministic stream.
+#include <chrono>
+#include <cstdint>
+
+struct Rng {
+  explicit Rng(uint64_t seed);
+  uint64_t Next();
+};
+
+int64_t Elapsed() {
+  auto now = std::chrono::steady_clock::now();
+  return now.time_since_epoch().count();
+}
+
+uint64_t Draw(uint64_t seed) {
+  Rng rng(seed);
+  return rng.Next();
+}

@@ -408,7 +408,7 @@ TEST(OnlineSchedulerTest, SuspendFromBacklogAndResumeIntoSameScheduler) {
   // A never-started scheduler refuses the re-admission (no worker would
   // ever run it); the task stays intact and resumable once it is running.
   EXPECT_FALSE(service.Resume(*suspended));
-  EXPECT_FALSE(suspended->consumed);
+  EXPECT_FALSE(suspended->consumed());
   service.Start();
   ASSERT_TRUE(service.Resume(*suspended));
   service.Drain();
@@ -518,6 +518,55 @@ TEST(OnlineSchedulerTest, MoveAssignAbandonsOverwrittenSuspension) {
   service.Stop();
 }
 
+// The SuspendedTask consumed flag is the single-owner hand-off contract
+// in miniature: a fresh suspension is unconsumed; a successful Resume()
+// consumes it (a second Resume() is refused instead of admitting a
+// duplicate with a moved-from promise); and MarkConsumed() — the
+// transport path, where the promise is moved into a rebuilt task — keeps
+// the destructor from failing the moved-away future, which must stay
+// deliverable by its new owner.
+TEST(OnlineSchedulerTest, ConsumedFlagTracksPromiseOwnership) {
+  std::vector<BatchTask> tasks = SmallBatch(2, 5);
+  OnlineConfig config;
+  config.num_threads = 1;
+  OnlineScheduler service(config, RmqFactory(6));
+  auto ticket0 = service.Submit(tasks[0]);
+  auto ticket1 = service.Submit(tasks[1]);
+  ASSERT_TRUE(ticket0.has_value() && ticket1.has_value());
+
+  // Suspend both from the pre-Start backlog — deterministic; once the
+  // single worker is running it could finish task 1 before a later
+  // Suspend(1) lands.
+  auto suspended = service.Suspend(0);
+  auto shipped = service.Suspend(1);
+  ASSERT_TRUE(suspended.has_value());
+  ASSERT_TRUE(shipped.has_value());
+  EXPECT_FALSE(suspended->consumed());
+
+  service.Start();
+  ASSERT_TRUE(service.Resume(*suspended));
+  EXPECT_TRUE(suspended->consumed());
+  EXPECT_FALSE(service.Resume(*suspended))
+      << "a consumed task was admitted twice";
+
+  // Transport path: the promise moves into a rebuilt task (here, stood in
+  // by a bare promise); MarkConsumed() tells the husk it no longer owns
+  // the future, so dropping it must not fail the ticket.
+  std::promise<BatchTaskResult> rebuilt = std::move(shipped->promise);
+  shipped->MarkConsumed();
+  EXPECT_TRUE(shipped->consumed());
+  shipped.reset();  // destructor must leave the moved-away promise alone
+  BatchTaskResult stub;
+  stub.index = 1;
+  stub.steps = 77;
+  rebuilt.set_value(std::move(stub));
+  EXPECT_EQ(ticket1->get().steps, 77);
+
+  service.Drain();
+  EXPECT_EQ(ticket0->get().steps, 6);
+  service.Stop();
+}
+
 // A migration destination must be live: Resume() on a never-started or
 // stopped scheduler returns false and leaves the task untouched, so the
 // caller can land it on a running instance instead of parking it where no
@@ -534,12 +583,12 @@ TEST(OnlineSchedulerTest, ResumeRequiresRunningScheduler) {
 
   OnlineScheduler never_started(config, RmqFactory(6));
   EXPECT_FALSE(never_started.Resume(*suspended));
-  EXPECT_FALSE(suspended->consumed);
+  EXPECT_FALSE(suspended->consumed());
 
   OnlineScheduler stopped(config, RmqFactory(6));
   stopped.Stop();
   EXPECT_FALSE(stopped.Resume(*suspended));
-  EXPECT_FALSE(suspended->consumed);
+  EXPECT_FALSE(suspended->consumed());
 
   // The same object still lands on a running scheduler, and the original
   // future delivers from there.

@@ -158,7 +158,9 @@ TEST(ShardRouterTest, RebalanceUnderMembershipChangeIsInvisible) {
     ASSERT_TRUE(ticket.has_value());
     tickets.push_back(std::move(*ticket));
     if (i == 5) added = router.AddShard();
-    if (i == 11) ASSERT_TRUE(router.RemoveShard(added));
+    if (i == 11) {
+      ASSERT_TRUE(router.RemoveShard(added));
+    }
   }
   EXPECT_EQ(router.shard_count(), 2u);
   router.Drain();
@@ -282,7 +284,7 @@ TEST(ShardRouterTest, ManualWireHopDeliversThroughOriginalFuture) {
   ASSERT_TRUE(DecodeWireTask(frame, &wire));
   SuspendedTask rebuilt =
       ToSuspendedTask(std::move(wire), std::move(suspended->promise));
-  suspended->consumed = true;  // promise handed to the rebuilt task
+  suspended->MarkConsumed();  // promise handed to the rebuilt task
 
   ASSERT_TRUE(destination.Resume(rebuilt));
   destination.Drain();

@@ -154,7 +154,7 @@ TEST(ShardServerTest, MidRunResumeOverWireIsBitwiseIdentical) {
     auto suspended = local.Suspend(i);
     if (suspended.has_value()) {
       ASSERT_TRUE(shard.Resume(*suspended));
-      EXPECT_TRUE(suspended->consumed);
+      EXPECT_TRUE(suspended->consumed());
       ++moved;
     }
   }

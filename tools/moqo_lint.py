@@ -1,0 +1,354 @@
+#!/usr/bin/env python3
+"""moqo-lint: determinism and portability checks for the moqo tree.
+
+The service's core promise is bitwise-identical Pareto frontiers under any
+thread count, sharding layout, migration schedule, failover, or cache
+warm-start. Most regressions against that promise are not logic bugs but
+*byte* bugs: hash-map iteration order leaking into serialized state, a
+wall clock leaking into results, or a checkpoint stream that cannot be
+versioned. This linter catches those patterns at review time, before they
+cost a bisect.
+
+Rules (ids are stable; use them in allow comments):
+
+  unordered-serialization
+      A range-for over a std::unordered_map/unordered_set whose body
+      serializes bytes (Write*/Encode*/Serialize*/Fingerprint* calls).
+      Iteration order of unordered containers depends on hash seeding and
+      insertion history, so such loops make checkpoints, wire frames, and
+      fingerprints nondeterministic. Sort the keys first (see
+      WritePlanCache in src/core/checkpoint.cc) or iterate an ordered
+      container.
+
+  wall-clock
+      std::chrono::system_clock, rand(), or std::random_device outside
+      the approved sites (src/common/deadline.h and bench/ mains). Wall
+      time and ambient randomness are the two classic ways identical runs
+      diverge; the codebase uses steady_clock and per-task seeded Rng
+      streams instead.
+
+  raw-pthread
+      Direct pthread_* calls in src/. The tree standardizes on
+      std::thread plus the annotated moqo::Mutex/CondVar wrappers
+      (src/common/thread_annotations.h) so Clang thread-safety analysis
+      sees every lock.
+
+  raw-new-array
+      `new T[n]` in src/. Use std::make_unique<T[]> (or a vector) so
+      ownership is typed and the matching delete[] cannot be forgotten.
+
+  checkpoint-magic
+      A CheckpointWriter whose byte stream reaches Take() without any
+      *Magic* token being written. Unversioned streams cannot be rejected
+      by a reader from another build, which turns layout changes into
+      silent corruption. Streams that never leave the process (cache
+      bytes, hash inputs) or that ride inside an already-versioned
+      envelope may carry an allow comment saying so.
+
+Suppression: append `// moqo-lint: allow(<rule-id>)` to the offending
+line, or place it on the line directly above, with a comment explaining
+why the site is safe.
+
+Self-test: `moqo_lint.py --self-test` runs every rule against the
+committed fixtures in tests/lint_fixtures/ — each bad_<rule>.cc must
+produce exactly its `// expect: <rule-id>` markers, each good_<rule>.cc
+must produce none — so the linter's own regressions fail CI like any
+other test.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+RULE_IDS = (
+    "unordered-serialization",
+    "wall-clock",
+    "raw-pthread",
+    "raw-new-array",
+    "checkpoint-magic",
+)
+
+ALLOW_RE = re.compile(r"//\s*moqo-lint:\s*allow\(([a-z,\s-]+)\)")
+EXPECT_RE = re.compile(r"//\s*expect:\s*([a-z-]+)")
+
+# An identifier declared as (or an accessor returning) an unordered
+# container: everything after the template argument list's final '>'.
+UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set)\s*<")
+DECL_NAME_RE = re.compile(r">\s*&?\s*([A-Za-z_]\w*)")
+
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(.*?:\s*(.+?)\)\s*\{")
+SERIALIZE_CALL_RE = re.compile(
+    r"\b(?:Write[A-Z]\w*|Encode\w*|Serialize\w*|Fingerprint\w*)\s*\(")
+
+WALL_CLOCK_RES = (
+    re.compile(r"std::chrono::system_clock"),
+    re.compile(r"\brand\s*\(\s*\)"),
+    re.compile(r"\bstd::random_device\b|\brandom_device\s+\w"),
+)
+WALL_CLOCK_ALLOWED_SUFFIXES = ("src/common/deadline.h",)
+WALL_CLOCK_ALLOWED_DIRS = ("bench/",)
+
+PTHREAD_RE = re.compile(r"\bpthread_\w+\s*\(")
+NEW_ARRAY_RE = re.compile(r"\bnew\s+[A-Za-z_][\w:]*(?:\s*<[^;{]*?>)?\s*\[")
+
+CHECKPOINT_WRITER_RE = re.compile(r"\bCheckpointWriter\s+([A-Za-z_]\w*)\s*;")
+MAGIC_TOKEN_RE = re.compile(r"Magic")
+
+LINE_COMMENT_RE = re.compile(r"^\s*(//|\*|/\*)")
+
+
+def is_allowed(lines, index, rule):
+    """True if line `index` (0-based) or the one above carries an allow
+    comment naming `rule`."""
+    for probe in (index, index - 1):
+        if probe < 0:
+            continue
+        match = ALLOW_RE.search(lines[probe])
+        if match and rule in [r.strip() for r in match.group(1).split(",")]:
+            return True
+    return False
+
+
+def collect_unordered_names(files):
+    """All identifiers declared as / returning unordered containers across
+    the scan set (declarations in headers guard loops in .cc files)."""
+    names = set()
+    for _, lines in files:
+        for line in lines:
+            if not UNORDERED_DECL_RE.search(line):
+                continue
+            matches = DECL_NAME_RE.findall(line)
+            if matches:
+                names.add(matches[-1])
+    return names
+
+
+def body_of_brace_block(lines, start_index, open_col):
+    """Text from the '{' at (start_index, open_col) to its matching '}'.
+    Bounded: gives up (returning what it has) after 200 lines."""
+    depth = 0
+    collected = []
+    for i in range(start_index, min(start_index + 200, len(lines))):
+        segment = lines[i][open_col:] if i == start_index else lines[i]
+        for ch in segment:
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                if depth == 0:
+                    collected.append(segment[: segment.index("}")])
+                    return "\n".join(collected)
+        collected.append(segment)
+    return "\n".join(collected)
+
+
+def check_unordered_serialization(path, lines, unordered_names, findings):
+    for i, line in enumerate(lines):
+        if LINE_COMMENT_RE.match(line):
+            continue
+        match = RANGE_FOR_RE.search(line)
+        if not match:
+            continue
+        iterable = match.group(1)
+        words = set(re.findall(r"[A-Za-z_]\w*", iterable))
+        if not (words & unordered_names) and "unordered_" not in iterable:
+            continue
+        open_col = line.index("{", match.end() - 1)
+        body = body_of_brace_block(lines, i, open_col)
+        if SERIALIZE_CALL_RE.search(body):
+            findings.append((
+                path, i + 1, "unordered-serialization",
+                "range-for over an unordered container feeds serialized "
+                "bytes; sort keys into canonical order first",
+            ))
+
+
+def check_wall_clock(path, lines, findings):
+    normalized = path.replace(os.sep, "/")
+    if normalized.endswith(WALL_CLOCK_ALLOWED_SUFFIXES):
+        return
+    if any("/" + d in normalized or normalized.startswith(d)
+           for d in WALL_CLOCK_ALLOWED_DIRS):
+        return
+    for i, line in enumerate(lines):
+        if LINE_COMMENT_RE.match(line):
+            continue
+        for pattern in WALL_CLOCK_RES:
+            if pattern.search(line):
+                findings.append((
+                    path, i + 1, "wall-clock",
+                    "wall-clock/ambient randomness outside approved sites; "
+                    "use steady_clock (common/deadline.h) or a seeded Rng",
+                ))
+                break
+
+
+def check_raw_pthread(path, lines, treat_as_src, findings):
+    if not treat_as_src:
+        return
+    for i, line in enumerate(lines):
+        if LINE_COMMENT_RE.match(line):
+            continue
+        if PTHREAD_RE.search(line):
+            findings.append((
+                path, i + 1, "raw-pthread",
+                "direct pthread_* call; use std::thread and the annotated "
+                "wrappers in common/thread_annotations.h",
+            ))
+
+
+def check_raw_new_array(path, lines, treat_as_src, findings):
+    if not treat_as_src:
+        return
+    for i, line in enumerate(lines):
+        if LINE_COMMENT_RE.match(line):
+            continue
+        if NEW_ARRAY_RE.search(line):
+            findings.append((
+                path, i + 1, "raw-new-array",
+                "raw array new; use std::make_unique<T[]> or a container",
+            ))
+
+
+def check_checkpoint_magic(path, lines, treat_as_src, findings):
+    if not treat_as_src:
+        # Tests hand-craft unversioned streams on purpose (round-trip and
+        # corruption suites); the rule guards production streams in src/.
+        return
+    for i, line in enumerate(lines):
+        if LINE_COMMENT_RE.match(line):
+            continue
+        match = CHECKPOINT_WRITER_RE.search(line)
+        if not match:
+            continue
+        writer = match.group(1)
+        take_re = re.compile(r"\b" + re.escape(writer) + r"\s*\.\s*Take\s*\(")
+        saw_magic = False
+        closed = False
+        for j in range(i, min(i + 200, len(lines))):
+            if MAGIC_TOKEN_RE.search(lines[j]):
+                saw_magic = True
+                break
+            if j > i and take_re.search(lines[j]):
+                closed = True
+                break
+        if closed and not saw_magic:
+            findings.append((
+                path, i + 1, "checkpoint-magic",
+                "CheckpointWriter stream reaches Take() without a versioned "
+                "magic token; readers cannot reject foreign layouts",
+            ))
+
+
+def lint_file(path, lines, unordered_names, treat_as_src):
+    findings = []
+    check_unordered_serialization(path, lines, unordered_names, findings)
+    check_wall_clock(path, lines, findings)
+    check_raw_pthread(path, lines, treat_as_src, findings)
+    check_raw_new_array(path, lines, treat_as_src, findings)
+    check_checkpoint_magic(path, lines, treat_as_src, findings)
+    return [f for f in findings if not is_allowed(lines, f[1] - 1, f[2])]
+
+
+def gather_files(roots):
+    files = []
+    for root in roots:
+        if os.path.isfile(root):
+            files.append(root)
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = [
+                d for d in dirnames
+                if d not in ("lint_fixtures", "build", "CMakeFiles",
+                             "_deps", ".git")
+            ]
+            for name in sorted(filenames):
+                if name.endswith((".h", ".cc")):
+                    files.append(os.path.join(dirpath, name))
+    return sorted(files)
+
+
+def read_all(paths):
+    out = []
+    for path in paths:
+        with open(path, encoding="utf-8", errors="replace") as handle:
+            out.append((path, handle.read().splitlines()))
+    return out
+
+
+def run_lint(roots):
+    files = read_all(gather_files(roots))
+    unordered_names = collect_unordered_names(files)
+    findings = []
+    for path, lines in files:
+        normalized = path.replace(os.sep, "/")
+        treat_as_src = "/src/" in normalized or normalized.startswith("src/")
+        findings.extend(lint_file(path, lines, unordered_names, treat_as_src))
+    return findings
+
+
+def run_self_test(fixture_dir):
+    files = read_all(gather_files([fixture_dir]))
+    if not files:
+        print(f"moqo-lint self-test: no fixtures under {fixture_dir}",
+              file=sys.stderr)
+        return 1
+    unordered_names = collect_unordered_names(files)
+    failures = 0
+    for path, lines in files:
+        # Fixtures exercise the src-only rules too, so every fixture is
+        # linted as if it lived under src/.
+        actual = {(f[1], f[2])
+                  for f in lint_file(path, lines, unordered_names, True)}
+        expected = set()
+        for i, line in enumerate(lines):
+            for rule in EXPECT_RE.findall(line):
+                expected.add((i + 1, rule))
+        name = os.path.basename(path)
+        if name.startswith("good_") and expected:
+            print(f"FAIL {name}: good fixtures must not carry expect "
+                  f"markers")
+            failures += 1
+            continue
+        if actual == expected:
+            print(f"PASS {name}")
+            continue
+        failures += 1
+        print(f"FAIL {name}")
+        for line_no, rule in sorted(expected - actual):
+            print(f"  missing: line {line_no} [{rule}]")
+        for line_no, rule in sorted(actual - expected):
+            print(f"  spurious: line {line_no} [{rule}]")
+    total = len(files)
+    print(f"moqo-lint self-test: {total - failures}/{total} fixtures pass")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("roots", nargs="*", default=["src", "tests", "bench"],
+                        help="files or directories to scan")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the rules against tests/lint_fixtures/")
+    args = parser.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    if args.self_test:
+        return run_self_test(os.path.join(repo_root, "tests",
+                                          "lint_fixtures"))
+
+    roots = args.roots or ["src", "tests", "bench"]
+    roots = [r if os.path.exists(r) else os.path.join(repo_root, r)
+             for r in roots]
+    findings = run_lint(roots)
+    for path, line_no, rule, message in findings:
+        print(f"{path}:{line_no}: [{rule}] {message}")
+    if findings:
+        print(f"moqo-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
